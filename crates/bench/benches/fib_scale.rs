@@ -1,0 +1,70 @@
+//! Ablation E8 — FIB lookup latency vs table size.
+//!
+//! `F_32_match`/`F_128_match`/`F_FIB` lookups at 1k–1M installed routes.
+//! On real PISA hardware lookups are constant-time TCAM/SRAM; in software
+//! the trie depth shows — this bench documents the substrate's scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dip_tables::fib::{Ipv4Fib, NameFib, NextHop};
+use dip_wire::ipv4::Ipv4Addr;
+use dip_wire::ndn::Name;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn v4_fib_with(n: usize, rng: &mut StdRng) -> (Ipv4Fib, Vec<Ipv4Addr>) {
+    let mut fib = Ipv4Fib::new();
+    let mut probes = Vec::with_capacity(1024);
+    for i in 0..n {
+        let addr = Ipv4Addr::from_u32(rng.gen());
+        let len = rng.gen_range(8..=24);
+        fib.add_route(addr, len, NextHop::port((i % 64) as u32));
+        if probes.len() < 1024 {
+            probes.push(addr);
+        }
+    }
+    (fib, probes)
+}
+
+fn fib_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fib_scale/ipv4_lpm");
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let (fib, probes) = v4_fib_with(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                std::hint::black_box(fib.lookup(probes[i]))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fib_scale/name_lpm");
+    for n in [1_000usize, 10_000, 100_000] {
+        let mut fib = NameFib::new();
+        let mut probes = Vec::new();
+        for i in 0..n {
+            let name = Name::parse(&format!("/provider{}/site{}/item{}", i % 100, i % 1000, i));
+            fib.add_route(&name, NextHop::port((i % 64) as u32));
+            if probes.len() < 1024 {
+                probes.push(name.child(b"segment0"));
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                std::hint::black_box(fib.lookup(&probes[i]))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = fib_scale
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation E4 — processing time vs FN-chain length.
+//!
+//! §4.1: the prototype replaces the FN loop with an if-else chain over
+//! `FN_Num`. This bench sweeps 1–16 FNs per packet (cheap `F_source` ops
+//! on disjoint fields, so the op cost itself is flat) and shows how
+//! dispatch overhead scales with chain length in the software dataplane.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dip_core::DipRouter;
+use dip_wire::packet::DipRepr;
+use dip_wire::triple::{FnKey, FnTriple};
+
+fn packet_with_n_fns(n: u16) -> Vec<u8> {
+    let fns = (0..n).map(|i| FnTriple::router(32 * i, 32, FnKey::Source)).collect();
+    DipRepr { fns, locations: vec![0u8; usize::from(n) * 4], ..Default::default() }
+        .to_bytes(&[0u8; 64])
+        .unwrap()
+}
+
+fn fn_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fn_chain");
+    for n in [1u16, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut router = DipRouter::new(1, [0; 16]);
+            router.config_mut().default_port = Some(1);
+            let template = packet_with_n_fns(n);
+            b.iter_batched(
+                || template.clone(),
+                |mut pkt| {
+                    std::hint::black_box(router.process(&mut pkt, 0, 0));
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = fn_chain
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Codec micro-bench: DIP header parse/emit for every paper protocol —
+//! the zero-copy wire layer's cost floor (relevant to the "DIP ≈ IP"
+//! Figure 2 claim: header handling must stay cheap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dip_protocols::opt::OptSession;
+use dip_protocols::{ip, ndn, ndn_opt};
+use dip_wire::ipv4::Ipv4Addr;
+use dip_wire::ndn::Name;
+use dip_wire::packet::{DipPacket, DipRepr};
+
+fn protocol_packets() -> Vec<(&'static str, Vec<u8>)> {
+    let name = Name::parse("hotnets.org");
+    let session = OptSession::establish([1; 16], &[2; 16], &[[3; 16]]);
+    vec![
+        (
+            "dip32",
+            ip::dip32_packet(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 64)
+                .to_bytes(&[0u8; 64])
+                .unwrap(),
+        ),
+        ("ndn_interest", ndn::interest(&name, 64).to_bytes(&[0u8; 64]).unwrap()),
+        ("opt", session.packet(&[0u8; 64], 1, 64).to_bytes(&[0u8; 64]).unwrap()),
+        (
+            "ndn_opt_data",
+            ndn_opt::data(&session, &name, &[0u8; 64], 1, 64).to_bytes(&[0u8; 64]).unwrap(),
+        ),
+    ]
+}
+
+fn parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("header_codec/parse");
+    for (label, bytes) in protocol_packets() {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let pkt = DipPacket::new_checked(&bytes[..]).unwrap();
+                std::hint::black_box(DipRepr::parse(&pkt).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn emit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("header_codec/emit");
+    for (label, bytes) in protocol_packets() {
+        let pkt = DipPacket::new_checked(&bytes[..]).unwrap();
+        let repr = DipRepr::parse(&pkt).unwrap();
+        let mut out = vec![0u8; repr.header_len()];
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                repr.emit(&mut out).unwrap();
+                std::hint::black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(100);
+    targets = parse, emit
+}
+criterion_main!(benches);

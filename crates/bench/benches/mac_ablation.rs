@@ -1,0 +1,53 @@
+//! Ablation E3 — the §4.1 cipher choice: 2EM vs AES for `F_MAC`.
+//!
+//! Measures (a) the raw CBC-MAC over OPT's 52-byte coverage under both
+//! ciphers, and (b) a full OPT packet through the router pipeline with
+//! each cipher configured. On Tofino, AES additionally costs a packet
+//! resubmission — that penalty lives in the PISA model
+//! (`dip_sim::TofinoModel`), which the `fig2_processing_time` harness
+//! reports; here we quantify the pure computation gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dip_bench::{Protocol, Workload};
+use dip_crypto::{CbcMac, MacAlgorithm};
+use dip_fnops::context::MacChoice;
+
+fn raw_mac(c: &mut Criterion) {
+    let key = [7u8; 16];
+    let coverage = [0xabu8; 52]; // OPT F_MAC coverage
+    let em = CbcMac::new_2em(&key);
+    let aes = CbcMac::new_aes(&key);
+
+    let mut group = c.benchmark_group("mac_ablation/raw");
+    group.bench_function("2em_52B", |b| b.iter(|| std::hint::black_box(em.mac(&coverage))));
+    group.bench_function("aes_52B", |b| b.iter(|| std::hint::black_box(aes.mac(&coverage))));
+    group.finish();
+}
+
+fn opt_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mac_ablation/opt_pipeline");
+    for (label, choice) in [("2em", MacChoice::TwoRoundEm), ("aes", MacChoice::Aes)] {
+        group.bench_function(label, |b| {
+            let mut w = Workload::new(Protocol::Opt, 768);
+            w.set_mac_choice(choice);
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let mut pkt = w.next_packet();
+                    let t0 = std::time::Instant::now();
+                    std::hint::black_box(w.process(&mut pkt));
+                    total += t0.elapsed();
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = raw_mac, opt_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation E5 — the modular-parallelism flag (§2.2).
+//!
+//! Two measurements: (a) the cost of computing the parallel execution plan
+//! itself (the price a router pays to honor the flag), and (b) the
+//! model-level speedup it buys — printed as auxiliary output since plan
+//! *benefit* is a pipeline-occupancy effect, not a software wall-clock one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dip_fnops::parallel::plan;
+use dip_fnops::FnRegistry;
+use dip_wire::opt::triple_bits;
+use dip_wire::triple::{FnKey, FnTriple};
+
+fn ndn_opt_router_chain() -> Vec<FnTriple> {
+    vec![
+        FnTriple::router(0, 32, FnKey::Pit),
+        FnTriple::router(32 + triple_bits::PARM.0, triple_bits::PARM.1, FnKey::Parm),
+        FnTriple::router(32 + triple_bits::MAC.0, triple_bits::MAC.1, FnKey::Mac),
+        FnTriple::router(32 + triple_bits::MARK.0, triple_bits::MARK.1, FnKey::Mark),
+    ]
+}
+
+fn wide_independent_chain(n: u16) -> Vec<FnTriple> {
+    (0..n).map(|i| FnTriple::router(32 * i, 32, FnKey::Source)).collect()
+}
+
+fn planner(c: &mut Criterion) {
+    let registry = FnRegistry::standard();
+    let ndn_opt = ndn_opt_router_chain();
+    let wide = wide_independent_chain(16);
+
+    let mut group = c.benchmark_group("parallel_flag/planner");
+    group.bench_function("ndn_opt_4fns", |b| {
+        b.iter(|| std::hint::black_box(plan(&ndn_opt, &registry)))
+    });
+    group.bench_function("independent_16fns", |b| {
+        b.iter(|| std::hint::black_box(plan(&wide, &registry)))
+    });
+    group.finish();
+
+    // Auxiliary: report the depth reduction the flag buys (the PISA model
+    // converts this to time; see fig2_processing_time).
+    let p1 = plan(&ndn_opt, &registry);
+    let p2 = plan(&wide, &registry);
+    eprintln!(
+        "parallel_flag: NDN+OPT chain 4 FNs -> depth {} | 16 independent FNs -> depth {}",
+        p1.depth(),
+        p2.depth()
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(100);
+    targets = planner
+}
+criterion_main!(benches);

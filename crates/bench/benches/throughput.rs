@@ -1,0 +1,75 @@
+//! Software-dataplane throughput scaling: packets/second through the
+//! RSS-style [`dip_sim::ShardedRouter`] at 1/2/4/8 shards, for a cheap
+//! workload (DIP-32) and an expensive one (OPT with its MAC chain).
+//!
+//! On PISA hardware the pipeline is inherently parallel; this bench
+//! documents how far the *software* substrate scales, which bounds every
+//! wall-clock number reported in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dip_core::DipRouter;
+use dip_protocols::{ip, opt::OptSession};
+use dip_sim::{Job, ShardedRouter};
+use dip_tables::fib::NextHop;
+use dip_wire::ipv4::Ipv4Addr;
+
+fn dip32_packets(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            ip::dip32_packet(
+                Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1),
+                Ipv4Addr::new(1, 1, 1, 1),
+                64,
+            )
+            .to_bytes(&[0u8; 64])
+            .unwrap()
+        })
+        .collect()
+}
+
+fn opt_packets(n: usize) -> Vec<Vec<u8>> {
+    let session = OptSession::establish([5; 16], &[6; 16], &[[0x42; 16]]);
+    (0..n)
+        .map(|i| {
+            let payload = (i as u64).to_be_bytes();
+            session.packet(&payload, i as u32, 64).to_bytes(&payload).unwrap()
+        })
+        .collect()
+}
+
+fn factory(i: usize) -> DipRouter {
+    let mut r = DipRouter::new(i as u64, [0x42; 16]);
+    r.config_mut().default_port = Some(1);
+    r.state_mut().ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
+    r
+}
+
+fn run(shards: usize, packets: &[Vec<u8>]) {
+    let driver = ShardedRouter::start(shards, factory);
+    for (i, p) in packets.iter().enumerate() {
+        driver.submit(Job { packet: p.clone(), in_port: 0, now: i as u64 });
+    }
+    let stats = driver.shutdown();
+    assert_eq!(stats.total(), packets.len() as u64);
+    assert_eq!(stats.dropped, 0);
+}
+
+fn throughput(c: &mut Criterion) {
+    const BATCH: usize = 4_000;
+    for (label, packets) in
+        [("dip32", dip32_packets(BATCH)), ("opt", opt_packets(BATCH))]
+    {
+        let mut group = c.benchmark_group(format!("throughput/{label}"));
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.sample_size(10);
+        for shards in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+                b.iter(|| run(s, &packets));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

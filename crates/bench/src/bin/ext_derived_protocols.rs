@@ -1,0 +1,170 @@
+//! Experiment E11 — the three extension protocols built from custom FNs
+//! (§5's opportunities: new services by upgrading FNs only).
+//!
+//! 1. **NetFence AIMD** — a closed congestion-control loop: offered load vs
+//!    admitted rate over time, with the bottleneck toggling congestion on
+//!    and off (the classic sawtooth).
+//! 2. **SCION-style hop fields** — stateless forwarding correctness and the
+//!    attack matrix (forge / splice / detour / wrong ingress).
+//! 3. **In-band telemetry** — per-hop path reconstruction from a probe.
+
+use dip_core::{DipRouter, Verdict};
+use dip_fnops::DropReason;
+use dip_protocols::{netfence, scion_path, telemetry};
+use std::sync::Arc;
+
+fn main() {
+    netfence_sawtooth();
+    println!();
+    scion_matrix();
+    println!();
+    telemetry_demo();
+}
+
+fn netfence_sawtooth() {
+    println!("E11a — NetFence AIMD over DIP (custom F_cong, key 0x100)\n");
+    let mut access = DipRouter::new(1, [1; 16]);
+    access.config_mut().default_port = Some(1);
+    access.registry_mut().install(Arc::new(netfence::CongestionOp));
+    {
+        let nf = access.state_mut().ext.get_or_default::<netfence::NetFenceState>();
+        nf.police = true;
+        nf.params = Some(netfence::AimdParams {
+            initial_rate_bps: 400_000.0,
+            min_rate_bps: 20_000.0,
+            max_rate_bps: 2_000_000.0,
+            additive_increase_bps: 200_000.0,
+        });
+    }
+    let mut bottleneck = DipRouter::new(2, [2; 16]);
+    bottleneck.config_mut().default_port = Some(1);
+    bottleneck.registry_mut().install(Arc::new(netfence::CongestionOp));
+
+    const FLOW: u64 = 9;
+    const PKT: usize = 1_000; // ~1 kB packets
+    const STEP_NS: u64 = 10_000_000; // 10 ms between packets -> 100 pkt/s offered
+
+    println!("{:>6} {:>12} {:>10} {:>10}", "t(s)", "rate(B/s)", "admitted", "congested");
+    let mut now: u64 = 0;
+    for second in 0..12u64 {
+        // Congestion at the bottleneck during seconds 3-5 and 8-9.
+        let congested = (3..6).contains(&second) || (8..10).contains(&second);
+        bottleneck.state_mut().ext.get_or_default::<netfence::NetFenceState>().congested =
+            congested;
+        let mut admitted = 0;
+        for _ in 0..100 {
+            now += STEP_NS;
+            let mut pkt = netfence::packet(FLOW, 64).to_bytes(&vec![0u8; PKT]).unwrap();
+            match access.process(&mut pkt, 0, now).0 {
+                Verdict::Forward(_) => {
+                    admitted += 1;
+                    let (v, _) = bottleneck.process(&mut pkt, 0, now);
+                    assert!(matches!(v, Verdict::Forward(_)));
+                    // Receiver echoes any congestion mark straight back.
+                    let locs =
+                        dip_wire::DipPacket::new_checked(&pkt[..]).unwrap().locations().to_vec();
+                    if netfence::parse_field(&locs).unwrap().1 == 1 {
+                        let echo = dip_wire::packet::DipRepr {
+                            fns: vec![dip_wire::triple::FnTriple::router(
+                                0,
+                                netfence::CONG_FIELD_BITS,
+                                netfence::CONG_KEY,
+                            )],
+                            locations: locs,
+                            ..Default::default()
+                        };
+                        let mut ebuf = echo.to_bytes(&[]).unwrap();
+                        access.process(&mut ebuf, 1, now);
+                    }
+                }
+                Verdict::Drop(DropReason::RateLimited) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        let rate = access
+            .state_mut()
+            .ext
+            .get_or_default::<netfence::NetFenceState>()
+            .flow_rate(FLOW)
+            .unwrap();
+        println!(
+            "{:>6} {:>12.0} {:>9}% {:>10}",
+            second,
+            rate,
+            admitted,
+            if congested { "yes" } else { "" }
+        );
+    }
+    println!("-> multiplicative decrease under congestion, additive recovery after");
+}
+
+fn scion_matrix() {
+    println!("E11b — SCION-style stateless path forwarding (custom F_hopfield, key 0x101)\n");
+    const S1: [u8; 16] = [1; 16];
+    const S2: [u8; 16] = [2; 16];
+    let as_router = |id: u64, s: [u8; 16]| {
+        let mut r = DipRouter::new(id, s);
+        r.registry_mut().install(Arc::new(scion_path::HopFieldOp));
+        r
+    };
+    let path = scion_path::ScionPath::construct(&[(0, 5, S1), (2, 6, S2)]);
+
+    let run = |mutate: &dyn Fn(&mut scion_path::ScionPath), in_port: u32| -> &'static str {
+        let mut p = path.clone();
+        mutate(&mut p);
+        let mut buf = p.packet(64).to_bytes(&[]).unwrap();
+        let mut r1 = as_router(1, S1);
+        match r1.process(&mut buf, in_port, 0).0 {
+            Verdict::Forward(_) => {
+                let mut r2 = as_router(2, S2);
+                match r2.process(&mut buf, 2, 0).0 {
+                    Verdict::Forward(_) => "forwarded end-to-end",
+                    Verdict::Drop(_) => "dropped at hop 2",
+                    _ => "other",
+                }
+            }
+            Verdict::Drop(_) => "dropped at hop 1",
+            _ => "other",
+        }
+    };
+
+    println!("  honest path            : {}", run(&|_| {}, 0));
+    println!("  forged egress at hop 2 : {}", run(&|p| p.hops[1].egress = 9, 0));
+    println!("  wrong ingress port     : {}", run(&|_| {}, 7));
+    let other = scion_path::ScionPath::construct(&[(0, 9, S1), (2, 6, S2)]);
+    println!(
+        "  spliced A[0] + B[1]    : {}",
+        run(&|p| p.hops[1] = other.hops[1], 0)
+    );
+    println!("-> zero table lookups per hop; every manipulation caught by the chained MACs");
+}
+
+fn telemetry_demo() {
+    println!("E11c — in-band telemetry (custom F_tele, key 0x102)\n");
+    let mut buf = telemetry::probe(8, 64).to_bytes(&[]).unwrap();
+    let hops = [(101u64, 120_000u64, 3u32), (102, 350_000, 1), (103, 410_000, 2), (104, 980_000, 9)];
+    for (node, at, port) in hops {
+        let mut r = DipRouter::new(node, [0; 16]);
+        r.config_mut().default_port = Some(1);
+        r.registry_mut().install(Arc::new(telemetry::TelemetryOp));
+        let (v, _) = r.process(&mut buf, port, at);
+        assert!(matches!(v, Verdict::Forward(_)));
+    }
+    let pkt = dip_wire::DipPacket::new_checked(&buf[..]).unwrap();
+    let (records, overflow) = telemetry::parse_records(pkt.locations()).unwrap();
+    println!("  {:>6} {:>12} {:>9} {:>12}", "node", "arrival(µs)", "ingress", "hop lat(µs)");
+    let mut prev = None;
+    for r in &records {
+        println!(
+            "  {:>6} {:>12} {:>9} {:>12}",
+            r.node_id,
+            r.arrival_us,
+            r.ingress,
+            prev.map(|p: u32| (r.arrival_us - p).to_string()).unwrap_or_else(|| "-".into())
+        );
+        prev = Some(r.arrival_us);
+    }
+    assert_eq!(records.len(), 4);
+    assert!(!overflow);
+    println!("-> destination reconstructs path and per-hop latency from the header alone");
+}

@@ -1,0 +1,89 @@
+//! Regenerates **Figure 2: Packet processing time in the DIP prototype**.
+//!
+//! Protocol (§4.2): IPv4/IPv6 native baselines plus DIP-32, DIP-128, NDN,
+//! OPT and NDN+OPT packets at 128/768/1500 bytes; 1000 forwarding tests per
+//! point. Two axes are reported:
+//!
+//! * **software dataplane** — wall-clock nanoseconds per packet through the
+//!   real `DipRouter` pipeline on this machine;
+//! * **PISA model** — the calibrated Tofino pipeline model of
+//!   `dip_sim::TofinoModel` (the hardware substitute; see DESIGN.md §3).
+//!
+//! The reproduction target is the *shape*: DIP ≈ IP baseline, OPT and
+//! NDN+OPT cost visibly more (MACs), size affects everything via
+//! serialization.
+
+use dip_bench::{summarize, Protocol, Workload, FIG2_SIZES, RUNS_PER_POINT};
+use dip_sim::TofinoModel;
+use std::time::Instant;
+
+fn main() {
+    let model = TofinoModel::tofino();
+    println!("Figure 2 — packet processing time ({RUNS_PER_POINT} forwarding tests per point)");
+    println!();
+    println!(
+        "{:<14} {:>6}  {:>12} {:>10}  {:>12}",
+        "protocol", "size", "sw ns/pkt", "± std", "PISA ns/pkt"
+    );
+    println!("{}", "-".repeat(62));
+
+    let mut rows: Vec<(Protocol, usize, f64, f64)> = Vec::new();
+    for proto in Protocol::ALL {
+        for size in FIG2_SIZES {
+            let mut w = Workload::new(proto, size);
+            // Warm-up (caches, allocator).
+            for _ in 0..200 {
+                let mut pkt = w.next_packet();
+                let _ = w.process(&mut pkt);
+            }
+            let mut samples = Vec::with_capacity(RUNS_PER_POINT);
+            let mut model_ns = 0.0;
+            for _ in 0..RUNS_PER_POINT {
+                let mut pkt = w.next_packet();
+                let t0 = Instant::now();
+                let stats = w.process(&mut pkt);
+                samples.push(t0.elapsed().as_nanos() as f64);
+                model_ns = model.process_ns(&stats, size, w.mac_choice());
+            }
+            let s = summarize(&samples);
+            println!(
+                "{:<14} {:>5}B  {:>12.0} {:>10.0}  {:>12.0}",
+                proto.label(),
+                size,
+                s.mean,
+                s.stddev,
+                model_ns
+            );
+            rows.push((proto, size, s.mean, model_ns));
+        }
+        println!();
+    }
+
+    // Shape checks mirroring the paper's observations.
+    let mean_of = |p: Protocol, size: usize, model: bool| {
+        rows.iter()
+            .find(|(rp, rs, _, _)| *rp == p && *rs == size)
+            .map(|(_, _, sw, m)| if model { *m } else { *sw })
+            .unwrap()
+    };
+    println!("shape checks (PISA model, 768B):");
+    let ip = mean_of(Protocol::Ipv4Native, 768, true);
+    let dip32 = mean_of(Protocol::Dip32, 768, true);
+    let opt = mean_of(Protocol::Opt, 768, true);
+    let ndn_opt = mean_of(Protocol::NdnOpt, 768, true);
+    println!("  DIP-32 / IPv4 baseline : {:.2}x (paper: \"close to the baseline\")", dip32 / ip);
+    println!("  OPT    / IPv4 baseline : {:.2}x (paper: \"more processing time, MACs\")", opt / ip);
+    println!("  NDN+OPT/ OPT           : {:.2}x (paper: slightly above OPT)", ndn_opt / opt);
+
+    // ASCII rendition of the figure (PISA model).
+    println!();
+    println!("Figure 2 (PISA model, ns/packet):");
+    let max = rows.iter().map(|r| r.3).fold(0.0, f64::max);
+    for proto in Protocol::ALL {
+        for size in FIG2_SIZES {
+            let v = mean_of(proto, size, true);
+            let bar = "#".repeat(((v / max) * 48.0).round() as usize);
+            println!("  {:<14} {:>5}B |{}", proto.label(), size, bar);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Table 1: Field operations in the DIP prototype** from the
+//! live registry (plus the `F_pass` extension of §2.4), and reports each
+//! module's PISA cost profile — the data behind the MAC-vs-match cost gap
+//! that drives Figure 2.
+
+use dip_fnops::FnRegistry;
+use dip_wire::triple::FnKey;
+
+fn main() {
+    let registry = FnRegistry::standard();
+
+    println!("Table 1 — field operations in the DIP prototype");
+    println!();
+    println!(
+        "{:<36} {:<14} {:>4} {:>7} {:>8} {:>8}",
+        "operation", "notation", "key", "stages", "lookups", "cipher"
+    );
+    println!("{}", "-".repeat(82));
+    for key in registry.supported_keys() {
+        let op = registry.get(key).expect("listed key resolves");
+        // Representative field width per operation (the §3 triples).
+        let field_bits: u16 = match key {
+            FnKey::Match32 | FnKey::Fib | FnKey::Pit => 32,
+            FnKey::Match128 | FnKey::Source | FnKey::Parm | FnKey::Mark => 128,
+            FnKey::Mac => 416,
+            FnKey::Ver => 544,
+            FnKey::Dag | FnKey::Intent => 90 * 8,
+            FnKey::Pass => 256,
+            FnKey::Other(_) => 32,
+        };
+        let cost = op.cost(field_bits);
+        println!(
+            "{:<36} {:<14} {:>4} {:>7} {:>8} {:>8}",
+            key.description(),
+            key.notation(),
+            key.to_wire(),
+            cost.stages,
+            cost.table_lookups,
+            cost.cipher_blocks
+        );
+    }
+    println!();
+    println!(
+        "(keys 1-11 are Table 1 of the paper; key 12 is the F_pass source-label\n\
+         verification discussed in §2.4)"
+    );
+}

@@ -1,0 +1,93 @@
+//! Regenerates **Table 2: The packet header size overhead**.
+//!
+//! Every row is *measured* from the actual bytes the protocol builders
+//! emit (not recomputed from formulas), then compared with the paper's
+//! numbers.
+
+use dip_protocols::{header_sizes, ip, ndn, ndn_opt, opt::OptSession};
+use dip_wire::ipv4::Ipv4Addr;
+use dip_wire::ipv6::Ipv6Addr;
+use dip_wire::ndn::Name;
+
+fn main() {
+    let name = Name::parse("hotnets.org");
+    let session = OptSession::establish([1; 16], &[2; 16], &[[3; 16]]);
+
+    let rows: Vec<(&str, usize, usize)> = vec![
+        (
+            "IPv6 forwarding",
+            dip_wire::ipv6::IPV6_HEADER_LEN,
+            header_sizes::IPV6,
+        ),
+        (
+            "IPv4 forwarding",
+            dip_wire::ipv4::IPV4_HEADER_LEN,
+            header_sizes::IPV4,
+        ),
+        (
+            "DIP-128 forwarding",
+            ip::dip128_packet(
+                Ipv6Addr::new([1, 0, 0, 0, 0, 0, 0, 2]),
+                Ipv6Addr::new([3, 0, 0, 0, 0, 0, 0, 4]),
+                64,
+            )
+            .header_len(),
+            header_sizes::DIP_128,
+        ),
+        (
+            "DIP-32 forwarding",
+            ip::dip32_packet(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 64)
+                .header_len(),
+            header_sizes::DIP_32,
+        ),
+        ("NDN forwarding (interest)", ndn::interest(&name, 64).header_len(), header_sizes::NDN),
+        ("NDN forwarding (data)", ndn::data(&name, 64).header_len(), header_sizes::NDN),
+        ("OPT forwarding", session.packet(b"x", 1, 64).header_len(), header_sizes::OPT),
+        (
+            "NDN+OPT forwarding",
+            ndn_opt::data(&session, &name, b"x", 1, 64).header_len(),
+            header_sizes::NDN_OPT,
+        ),
+    ];
+
+    println!("Table 2 — packet header size overhead");
+    println!();
+    println!("{:<28} {:>14} {:>10} {:>8}", "Network function", "measured (B)", "paper (B)", "match");
+    println!("{}", "-".repeat(64));
+    let mut all_match = true;
+    for (label, measured, paper) in &rows {
+        let ok = measured == paper;
+        all_match &= ok;
+        println!(
+            "{:<28} {:>14} {:>10} {:>8}",
+            label,
+            measured,
+            paper,
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    println!();
+    if all_match {
+        println!("all rows match the paper exactly");
+    } else {
+        println!("MISMATCH — see EXPERIMENTS.md");
+        std::process::exit(1);
+    }
+
+    // Derived analysis: goodput fraction (payload / wire bytes) at the
+    // Figure-2 packet sizes — what the header overhead costs in practice.
+    println!();
+    println!("derived: goodput fraction at Figure-2 sizes");
+    println!("{:<28} {:>8} {:>8} {:>8}", "Network function", "128B", "768B", "1500B");
+    println!("{}", "-".repeat(56));
+    for (label, hdr, _) in &rows {
+        let f = |size: usize| {
+            if *hdr >= size {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * (size - hdr) as f64 / size as f64)
+            }
+        };
+        println!("{:<28} {:>8} {:>8} {:>8}", label, f(128), f(768), f(1500));
+    }
+}

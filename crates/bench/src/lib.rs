@@ -1,0 +1,60 @@
+//! # dip-bench — workload generation shared by every table/figure harness
+//!
+//! The paper's evaluation protocol (§4.2): "For the IP, NDN, OPT, and
+//! NDN+OPT packets, we test their processing time with 128-byte, 768-byte,
+//! and 1500-byte packet sizes. The forwarding times of IPv4 and IPv6
+//! packets are used as baselines. We carried out 1000 forwarding tests for
+//! each size of the packet." This crate builds exactly those workloads —
+//! 1000 *distinct* packets per protocol per size (distinct so NDN's
+//! duplicate-interest suppression and PIT consumption see realistic
+//! traffic) — plus the native IPv4/IPv6 forwarding baselines.
+
+#![forbid(unsafe_code)]
+
+pub mod native;
+pub mod workload;
+
+pub use native::{native_ipv4_forward, native_ipv6_forward};
+pub use workload::{Protocol, Workload, FIG2_SIZES, RUNS_PER_POINT};
+
+/// Simple summary statistics for harness output.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes summary statistics of a sample.
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty());
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Summary { mean, stddev: var.sqrt(), min, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_basics() {
+        let s = summarize(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+}

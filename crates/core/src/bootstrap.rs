@@ -1,0 +1,234 @@
+//! FN discovery and capability propagation (§2.3).
+//!
+//! "After the host is connected to an accessed AS, it uses bootstrapping
+//! mechanisms (similar to DHCP) to get the set of available FNs." —
+//! [`FnDiscover`]/[`FnOffer`] are that exchange.
+//!
+//! "One readily deployable mechanism to globally propagate supported FNs
+//! among ASes is relying on BGP communities" — [`CapabilityMap`] models the
+//! propagated per-AS capability sets and answers the planning question a
+//! host actually has: *which FNs can I use end-to-end along this AS path?*
+
+use dip_wire::error::{ensure_len, Result, WireError};
+use dip_wire::triple::FnKey;
+use std::collections::{BTreeSet, HashMap};
+
+/// A host's request for the available FN set (DHCP-DISCOVER analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnDiscover {
+    /// Random transaction id echoed in the offer.
+    pub xid: u32,
+}
+
+/// The access router's reply listing supported operation keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnOffer {
+    /// Echoed transaction id.
+    pub xid: u32,
+    /// The AS advertising these capabilities.
+    pub as_id: u32,
+    /// Supported operation keys, ascending.
+    pub keys: Vec<u16>,
+}
+
+impl FnDiscover {
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0x01];
+        out.extend_from_slice(&self.xid.to_be_bytes());
+        out
+    }
+
+    /// Parses from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        ensure_len(buf, 5)?;
+        if buf[0] != 0x01 {
+            return Err(WireError::Malformed("not an FnDiscover"));
+        }
+        Ok(FnDiscover { xid: u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) })
+    }
+}
+
+impl FnOffer {
+    /// Builds an offer from a registry's supported set.
+    pub fn from_registry(xid: u32, as_id: u32, registry: &dip_fnops::FnRegistry) -> Self {
+        FnOffer {
+            xid,
+            as_id,
+            keys: registry.supported_keys().iter().map(|k| k.to_wire()).collect(),
+        }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0x02];
+        out.extend_from_slice(&self.xid.to_be_bytes());
+        out.extend_from_slice(&self.as_id.to_be_bytes());
+        out.push(self.keys.len() as u8);
+        for k in &self.keys {
+            out.extend_from_slice(&k.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        ensure_len(buf, 10)?;
+        if buf[0] != 0x02 {
+            return Err(WireError::Malformed("not an FnOffer"));
+        }
+        let n = usize::from(buf[9]);
+        ensure_len(buf, 10 + 2 * n)?;
+        let keys = (0..n)
+            .map(|i| u16::from_be_bytes([buf[10 + 2 * i], buf[11 + 2 * i]]))
+            .collect();
+        Ok(FnOffer {
+            xid: u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]),
+            as_id: u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]),
+            keys,
+        })
+    }
+
+    /// The offered keys as [`FnKey`]s.
+    pub fn fn_keys(&self) -> Vec<FnKey> {
+        self.keys.iter().map(|&k| FnKey::from_wire(k)).collect()
+    }
+}
+
+/// Propagated per-AS FN capability sets (the BGP-communities substitute).
+#[derive(Debug, Clone, Default)]
+pub struct CapabilityMap {
+    caps: HashMap<u32, BTreeSet<u16>>,
+}
+
+impl CapabilityMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        CapabilityMap::default()
+    }
+
+    /// Records (or replaces) an AS's advertised capability set.
+    pub fn announce(&mut self, as_id: u32, keys: impl IntoIterator<Item = u16>) {
+        self.caps.insert(as_id, keys.into_iter().collect());
+    }
+
+    /// Records an AS's capabilities from its bootstrap offer.
+    pub fn announce_offer(&mut self, offer: &FnOffer) {
+        self.announce(offer.as_id, offer.keys.iter().copied());
+    }
+
+    /// Withdraws an AS (e.g. on session teardown).
+    pub fn withdraw(&mut self, as_id: u32) {
+        self.caps.remove(&as_id);
+    }
+
+    /// The advertised set of one AS, if known.
+    pub fn capabilities(&self, as_id: u32) -> Option<&BTreeSet<u16>> {
+        self.caps.get(&as_id)
+    }
+
+    /// Whether `as_id` supports `key`.
+    pub fn supports(&self, as_id: u32, key: FnKey) -> bool {
+        self.caps.get(&as_id).is_some_and(|s| s.contains(&key.to_wire()))
+    }
+
+    /// The FN keys usable end-to-end across every AS of `path` — the
+    /// intersection of all advertised sets. Unknown ASes support nothing.
+    pub fn end_to_end(&self, path: &[u32]) -> BTreeSet<u16> {
+        let mut iter = path.iter();
+        let Some(first) = iter.next() else {
+            return BTreeSet::new();
+        };
+        let mut acc = self.caps.get(first).cloned().unwrap_or_default();
+        for as_id in iter {
+            let set = self.caps.get(as_id).cloned().unwrap_or_default();
+            acc = acc.intersection(&set).copied().collect();
+        }
+        acc
+    }
+
+    /// Whether a *participation-required* FN (e.g. OPT's chain) can run on
+    /// `path`: every AS must support it.
+    pub fn path_supports(&self, path: &[u32], key: FnKey) -> bool {
+        !path.is_empty() && path.iter().all(|&a| self.supports(a, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_fnops::FnRegistry;
+
+    #[test]
+    fn discover_roundtrip() {
+        let d = FnDiscover { xid: 0xabcd_1234 };
+        assert_eq!(FnDiscover::decode(&d.encode()).unwrap(), d);
+        assert!(FnDiscover::decode(&[0x02, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn offer_roundtrip() {
+        let o = FnOffer { xid: 7, as_id: 65001, keys: vec![1, 2, 4, 5] };
+        assert_eq!(FnOffer::decode(&o.encode()).unwrap(), o);
+    }
+
+    #[test]
+    fn offer_from_standard_registry_lists_twelve_keys() {
+        let o = FnOffer::from_registry(1, 65001, &FnRegistry::standard());
+        assert_eq!(o.keys.len(), 12);
+        assert!(o.fn_keys().contains(&FnKey::Fib));
+        assert!(o.fn_keys().contains(&FnKey::Pass));
+    }
+
+    #[test]
+    fn offer_decode_rejects_truncation() {
+        let o = FnOffer { xid: 7, as_id: 65001, keys: vec![1, 2, 3] };
+        let enc = o.encode();
+        assert!(FnOffer::decode(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_is_the_intersection() {
+        let mut m = CapabilityMap::new();
+        m.announce(1, [1, 2, 3, 4, 5, 6, 7, 8]);
+        m.announce(2, [1, 2, 4, 5, 6, 7, 8]);
+        m.announce(3, [1, 4, 6, 7, 8, 12]);
+        let e2e = m.end_to_end(&[1, 2, 3]);
+        assert_eq!(e2e, BTreeSet::from([1, 4, 6, 7, 8]));
+    }
+
+    #[test]
+    fn unknown_as_breaks_the_path() {
+        let mut m = CapabilityMap::new();
+        m.announce(1, [6, 7, 8]);
+        assert!(m.path_supports(&[1], FnKey::Mac));
+        assert!(!m.path_supports(&[1, 99], FnKey::Mac));
+        assert!(m.end_to_end(&[1, 99]).is_empty());
+        assert!(!m.path_supports(&[], FnKey::Mac));
+    }
+
+    #[test]
+    fn withdraw_removes_capabilities() {
+        let mut m = CapabilityMap::new();
+        m.announce(1, [7]);
+        assert!(m.supports(1, FnKey::Mac));
+        m.withdraw(1);
+        assert!(!m.supports(1, FnKey::Mac));
+        assert!(m.capabilities(1).is_none());
+    }
+
+    #[test]
+    fn bootstrap_flow_host_learns_fns() {
+        // Host side of §2.3: discover -> offer -> usable key set.
+        let registry = FnRegistry::with_keys(&[FnKey::Fib, FnKey::Pit]);
+        let d = FnDiscover { xid: 99 };
+        let wire = d.encode();
+        // Access router:
+        let received = FnDiscover::decode(&wire).unwrap();
+        let offer = FnOffer::from_registry(received.xid, 65010, &registry);
+        // Host:
+        let parsed = FnOffer::decode(&offer.encode()).unwrap();
+        assert_eq!(parsed.xid, 99);
+        assert_eq!(parsed.fn_keys(), vec![FnKey::Fib, FnKey::Pit]);
+    }
+}

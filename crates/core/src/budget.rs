@@ -1,0 +1,150 @@
+//! Per-packet processing budgets (§2.4, *Security*).
+//!
+//! "The processing of the packet is dynamically customized according to the
+//! FNs in the packet header, so we should prevent packet processing from
+//! exhausting the router state. Enforcing a hard limit for packet
+//! processing time and per-packet state consumption is enough to prevent
+//! such attacks."
+//!
+//! Time is accounted in the same architecture units as the PISA cost model
+//! (stages, lookups, cipher blocks, resubmits) so the budget is
+//! deterministic and platform-independent.
+
+use dip_fnops::OpCost;
+
+/// Hard limits applied to one packet's FN chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessingBudget {
+    /// Maximum number of FNs executed per packet.
+    pub max_fns: u32,
+    /// Maximum total pipeline stages.
+    pub max_stages: u32,
+    /// Maximum total table lookups.
+    pub max_table_lookups: u32,
+    /// Maximum total cipher block invocations.
+    pub max_cipher_blocks: u32,
+    /// Maximum packet resubmissions.
+    pub max_resubmits: u32,
+}
+
+impl Default for ProcessingBudget {
+    fn default() -> Self {
+        // Generous defaults: every paper protocol fits comfortably, an
+        // adversarial 255-FN chain of MACs does not.
+        ProcessingBudget {
+            max_fns: 32,
+            max_stages: 64,
+            max_table_lookups: 64,
+            max_cipher_blocks: 64,
+            max_resubmits: 4,
+        }
+    }
+}
+
+impl ProcessingBudget {
+    /// A budget that admits everything (for baselines/ablations).
+    pub fn unlimited() -> Self {
+        ProcessingBudget {
+            max_fns: u32::MAX,
+            max_stages: u32::MAX,
+            max_table_lookups: u32::MAX,
+            max_cipher_blocks: u32::MAX,
+            max_resubmits: u32::MAX,
+        }
+    }
+}
+
+/// Running consumption against a [`ProcessingBudget`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BudgetMeter {
+    /// FNs executed so far.
+    pub fns: u32,
+    /// Accumulated cost.
+    pub cost: OpCost,
+}
+
+impl BudgetMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        BudgetMeter::default()
+    }
+
+    /// Charges one operation; returns `false` when the budget would be
+    /// exceeded (the packet must be dropped, §2.4).
+    #[must_use]
+    pub fn charge(&mut self, budget: &ProcessingBudget, cost: OpCost) -> bool {
+        let fns = self.fns + 1;
+        let total = self.cost + cost;
+        if fns > budget.max_fns
+            || total.stages > budget.max_stages
+            || total.table_lookups > budget.max_table_lookups
+            || total.cipher_blocks > budget.max_cipher_blocks
+            || total.resubmits > budget.max_resubmits
+        {
+            return false;
+        }
+        self.fns = fns;
+        self.cost = total;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let b = ProcessingBudget::default();
+        let mut m = BudgetMeter::new();
+        assert!(m.charge(&b, OpCost::lookup(1, 1)));
+        assert!(m.charge(&b, OpCost::cipher(2, 4, 0)));
+        assert_eq!(m.fns, 2);
+        assert_eq!(m.cost.stages, 3);
+        assert_eq!(m.cost.cipher_blocks, 4);
+    }
+
+    #[test]
+    fn fn_count_limit() {
+        let b = ProcessingBudget { max_fns: 2, ..ProcessingBudget::unlimited() };
+        let mut m = BudgetMeter::new();
+        assert!(m.charge(&b, OpCost::stages(1)));
+        assert!(m.charge(&b, OpCost::stages(1)));
+        assert!(!m.charge(&b, OpCost::stages(1)));
+        // A failed charge must not consume budget.
+        assert_eq!(m.fns, 2);
+    }
+
+    #[test]
+    fn cipher_limit_stops_mac_flood() {
+        let b = ProcessingBudget::default();
+        let mut m = BudgetMeter::new();
+        let mac_cost = OpCost::cipher(2, 5, 0);
+        let mut accepted = 0;
+        while m.charge(&b, mac_cost) {
+            accepted += 1;
+            assert!(accepted < 100, "budget never enforced");
+        }
+        assert!(accepted <= 12, "cipher budget admits too much: {accepted}");
+    }
+
+    #[test]
+    fn unlimited_admits_everything() {
+        let b = ProcessingBudget::unlimited();
+        let mut m = BudgetMeter::new();
+        for _ in 0..1000 {
+            assert!(m.charge(&b, OpCost::cipher(10, 10, 1)));
+        }
+    }
+
+    #[test]
+    fn default_budget_fits_paper_protocols() {
+        // The heaviest paper chain is NDN+OPT: PIT + parm + MAC + mark.
+        let b = ProcessingBudget::default();
+        let mut m = BudgetMeter::new();
+        assert!(m.charge(&b, OpCost::lookup(1, 1))); // PIT
+        assert!(m.charge(&b, OpCost::cipher(1, 3, 0))); // parm
+        assert!(m.charge(&b, OpCost::cipher(2, 5, 0))); // MAC over 52B
+        assert!(m.charge(&b, OpCost::cipher(1, 2, 0))); // mark
+    }
+}

@@ -1,0 +1,103 @@
+//! ICMP-like control messages (§2.4).
+//!
+//! "The inbound router may receive a DIP packet carrying an FN that the AS
+//! has not supported yet. If this FN requires all on-path ASes to
+//! participate ... the router should return an FN unsupported message to
+//! notify the source through a mechanism similar to ICMP."
+//!
+//! Control messages travel as the payload of a DIP packet whose
+//! `next_header` is [`CONTROL_NEXT_HEADER`].
+
+use dip_wire::error::{ensure_len, Result, WireError};
+
+/// `next_header` value identifying a DIP control message payload.
+pub const CONTROL_NEXT_HEADER: u8 = 0xFD;
+
+/// Control message types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlMessage {
+    /// An on-path node does not support a required FN.
+    FnUnsupported {
+        /// The offending operation key (wire value, tag bit stripped).
+        key: u16,
+        /// Identifier of the node that rejected the packet.
+        node_id: u64,
+        /// Index of the FN triple in the original packet.
+        fn_index: u8,
+    },
+    /// Hop limit expired at a node (diagnostic analogue of ICMP
+    /// time-exceeded).
+    HopLimitExceeded {
+        /// Identifier of the node where the hop limit expired.
+        node_id: u64,
+    },
+}
+
+const TYPE_FN_UNSUPPORTED: u8 = 1;
+const TYPE_HOP_LIMIT: u8 = 2;
+
+impl ControlMessage {
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            ControlMessage::FnUnsupported { key, node_id, fn_index } => {
+                let mut out = vec![TYPE_FN_UNSUPPORTED];
+                out.extend_from_slice(&key.to_be_bytes());
+                out.extend_from_slice(&node_id.to_be_bytes());
+                out.push(*fn_index);
+                out
+            }
+            ControlMessage::HopLimitExceeded { node_id } => {
+                let mut out = vec![TYPE_HOP_LIMIT];
+                out.extend_from_slice(&node_id.to_be_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        ensure_len(buf, 1)?;
+        match buf[0] {
+            TYPE_FN_UNSUPPORTED => {
+                ensure_len(buf, 12)?;
+                Ok(ControlMessage::FnUnsupported {
+                    key: u16::from_be_bytes([buf[1], buf[2]]),
+                    node_id: u64::from_be_bytes(buf[3..11].try_into().unwrap()),
+                    fn_index: buf[11],
+                })
+            }
+            TYPE_HOP_LIMIT => {
+                ensure_len(buf, 9)?;
+                Ok(ControlMessage::HopLimitExceeded {
+                    node_id: u64::from_be_bytes(buf[1..9].try_into().unwrap()),
+                })
+            }
+            _ => Err(WireError::Malformed("unknown control message type")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_unsupported_roundtrip() {
+        let m = ControlMessage::FnUnsupported { key: 7, node_id: 0xdeadbeef, fn_index: 2 };
+        assert_eq!(ControlMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn hop_limit_roundtrip() {
+        let m = ControlMessage::HopLimitExceeded { node_id: 42 };
+        assert_eq!(ControlMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(ControlMessage::decode(&[]).is_err());
+        assert!(ControlMessage::decode(&[9, 0, 0]).is_err());
+        assert!(ControlMessage::decode(&[TYPE_FN_UNSUPPORTED, 0]).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Host-side packet handling.
+//!
+//! §2.3: hosts *construct* FN chains before sending (done by the protocol
+//! profiles in `dip-protocols` with [`dip_wire::packet::DipBuilder`]) and
+//! *execute host-tagged FNs* on receipt — "Finally, the host receives and
+//! verifies the packet by performing F_ver."
+//!
+//! [`deliver`] is that receive path: it runs every FN whose tag bit is set,
+//! with the session material the host holds (source key + per-hop dynamic
+//! keys for OPT verification).
+
+use dip_crypto::Block;
+use dip_fnops::{Action, DropReason, FnRegistry, PacketCtx, RouterState};
+use dip_tables::Ticks;
+use dip_wire::{DipPacket, BASIC_HEADER_LEN, FN_TRIPLE_LEN};
+
+/// Session material a receiving host holds for verification.
+#[derive(Debug, Clone, Default)]
+pub struct HostContext {
+    /// The source↔destination session key seeding the PVF chain.
+    pub source_key: Option<Block>,
+    /// Dynamic keys of the on-path routers, in path order.
+    pub path_keys: Vec<Block>,
+}
+
+/// Outcome of host-side delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Number of host-tagged FNs executed.
+    pub host_fns_executed: u32,
+    /// Whether a verification FN ran and succeeded.
+    pub verified: bool,
+}
+
+/// Executes the host-tagged FNs of a received packet.
+///
+/// Returns the delivery summary, or the drop reason when a host FN rejects
+/// the packet (e.g. `F_ver` authentication failure).
+pub fn deliver(
+    buf: &mut [u8],
+    host_ctx: &HostContext,
+    state: &mut RouterState,
+    registry: &FnRegistry,
+    now: Ticks,
+) -> Result<Delivery, DropReason> {
+    let (triples, loc_start, header_len) = {
+        let pkt = DipPacket::new_checked(&buf[..]).map_err(|_| DropReason::MalformedField)?;
+        let triples = pkt.triples().map_err(|_| DropReason::MalformedField)?;
+        let loc_len = pkt.fn_loc_len();
+        for t in &triples {
+            if !t.fits(loc_len) {
+                return Err(DropReason::MalformedField);
+            }
+        }
+        (triples, BASIC_HEADER_LEN + pkt.fn_num() as usize * FN_TRIPLE_LEN, pkt.header_len())
+    };
+
+    let (head, payload) = buf.split_at_mut(header_len);
+    let locations = &mut head[loc_start..];
+    let mut ctx = PacketCtx::new(locations, payload, 0, now);
+    ctx.source_key = host_ctx.source_key;
+    ctx.path_keys = host_ctx.path_keys.clone();
+
+    let mut delivery = Delivery { host_fns_executed: 0, verified: false };
+    for triple in triples.iter().filter(|t| t.host) {
+        let Some(op) = registry.get(triple.key) else {
+            // A host cannot skip its own verification obligations.
+            return Err(DropReason::UnsupportedFn);
+        };
+        let op = std::sync::Arc::clone(op);
+        delivery.host_fns_executed += 1;
+        match op.execute(triple, state, &mut ctx) {
+            Action::Deliver => delivery.verified = true,
+            Action::Continue => {}
+            Action::Drop(r) => return Err(r),
+            // Host FNs don't make forwarding decisions; anything else is a
+            // protocol construction error.
+            _ => return Err(DropReason::MalformedField),
+        }
+    }
+    Ok(delivery)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_crypto::mmo_hash;
+    use dip_fnops::context::MacChoice;
+    use dip_crypto::{CbcMac, MacAlgorithm};
+    use dip_wire::opt::{OptRepr, OPT_BLOCK_BITS};
+    use dip_wire::packet::DipRepr;
+    use dip_wire::triple::{FnKey, FnTriple};
+
+    fn mac(key: &Block, data: &[u8]) -> Block {
+        CbcMac::new_2em(key).mac(data)
+    }
+
+    /// Packet as produced by a source and one honest router.
+    fn opt_packet(payload: &[u8], source_key: Block, hop_key: Block) -> Vec<u8> {
+        let data_hash = mmo_hash(payload);
+        let mut block = OptRepr {
+            data_hash,
+            session_id: [9; 16],
+            timestamp: 1,
+            pvf: mac(&source_key, &data_hash),
+            opv: [0; 16],
+        };
+        // Router order (§3): F_MAC over the pre-mark coverage, then F_mark.
+        let bytes = block.to_bytes();
+        block.opv = mac(&hop_key, &bytes[..52]);
+        block.pvf = mac(&hop_key, &block.pvf);
+        DipRepr {
+            fns: vec![FnTriple::host(0, OPT_BLOCK_BITS, FnKey::Ver)],
+            locations: block.to_bytes().to_vec(),
+            ..Default::default()
+        }
+        .to_bytes(payload)
+        .unwrap()
+    }
+
+    #[test]
+    fn delivery_verifies_honest_packet() {
+        let source_key = [1u8; 16];
+        let hop_key = [2u8; 16];
+        let mut buf = opt_packet(b"data", source_key, hop_key);
+        let mut state = RouterState::new(100, [0; 16]);
+        state.mac_choice = MacChoice::TwoRoundEm;
+        let host = HostContext { source_key: Some(source_key), path_keys: vec![hop_key] };
+        let d = deliver(&mut buf, &host, &mut state, &FnRegistry::standard(), 0).unwrap();
+        assert!(d.verified);
+        assert_eq!(d.host_fns_executed, 1);
+    }
+
+    #[test]
+    fn delivery_rejects_tampering() {
+        let source_key = [1u8; 16];
+        let hop_key = [2u8; 16];
+        let mut buf = opt_packet(b"data", source_key, hop_key);
+        let n = buf.len();
+        buf[n - 1] ^= 0xff; // tamper with the payload
+        let mut state = RouterState::new(100, [0; 16]);
+        let host = HostContext { source_key: Some(source_key), path_keys: vec![hop_key] };
+        assert_eq!(
+            deliver(&mut buf, &host, &mut state, &FnRegistry::standard(), 0),
+            Err(DropReason::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn plain_packet_delivers_unverified() {
+        let mut buf = DipRepr::default().to_bytes(b"hello").unwrap();
+        let mut state = RouterState::new(100, [0; 16]);
+        let d =
+            deliver(&mut buf, &HostContext::default(), &mut state, &FnRegistry::standard(), 0)
+                .unwrap();
+        assert!(!d.verified);
+        assert_eq!(d.host_fns_executed, 0);
+    }
+
+    #[test]
+    fn missing_host_module_is_an_error() {
+        let mut buf = opt_packet(b"data", [1; 16], [2; 16]);
+        let mut state = RouterState::new(100, [0; 16]);
+        let registry = FnRegistry::with_keys(&[FnKey::Match32]);
+        assert_eq!(
+            deliver(&mut buf, &HostContext::default(), &mut state, &registry, 0),
+            Err(DropReason::UnsupportedFn)
+        );
+    }
+}

@@ -1,0 +1,503 @@
+//! The per-hop packet processing loop — **Algorithm 1** of the paper.
+//!
+//! ```text
+//! 1 parse basic DIP header (FN_Num and FN_LocLen);
+//! 2 parse FN[] according to FN_Num;
+//! 3 extract FN_Loc according to FN_LocLen;
+//! 4 for i <- 1 to FN_Num do
+//! 5   if FN[i].tag == 1 then continue;            // skip host operation
+//! 9   target_field <- FN_Loc(FN[i].FieldLoc, FN[i].FieldLen);
+//! 10  switch FN[i].key do ... F_FIB / F_PIT / F_parm / F_MAC / F_mark ...
+//! 18 end processing;
+//! ```
+//!
+//! plus the surrounding concerns: hop-limit handling, the §2.4 processing
+//! budget, unknown-FN policy (skip vs. notify), and combining per-op
+//! [`Action`]s into a routing [`Verdict`].
+
+use crate::budget::{BudgetMeter, ProcessingBudget};
+use crate::control::ControlMessage;
+use dip_fnops::parallel::{plan, Plan};
+use dip_fnops::{Action, DropReason, FnRegistry, OpCost, PacketCtx, RouterState};
+use dip_tables::{Port, Ticks};
+use dip_wire::triple::FnKey;
+use dip_wire::{DipPacket, BASIC_HEADER_LEN, FN_TRIPLE_LEN};
+use std::collections::HashSet;
+
+/// What to do with a packet carrying an operation key this node has no
+/// module for, when the key is not in the participation-required set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnknownFnPolicy {
+    /// "Otherwise, the router can simply ignore this FN" (§2.4).
+    #[default]
+    Skip,
+    /// Strict mode: treat every unknown FN as requiring participation.
+    Notify,
+}
+
+/// Per-router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Hard per-packet processing limits (§2.4).
+    pub budget: ProcessingBudget,
+    /// Policy for unknown, non-participation FNs.
+    pub unknown_fn_policy: UnknownFnPolicy,
+    /// Keys that "require all on-path ASes to participate" (§2.4) — a
+    /// packet carrying one of these through a node that lacks the module
+    /// triggers an FN-unsupported notification. Defaults to the OPT
+    /// path-authentication chain.
+    pub participation_keys: HashSet<u16>,
+    /// Egress used when the FN chain produced no routing decision (the
+    /// paper's OPT-only experiment forwards on a statically configured
+    /// port). `None` delivers locally.
+    pub default_port: Option<Port>,
+    /// Whether this node honors the parallel flag (§2.2); affects only the
+    /// reported plan depth / timing model, never observable results.
+    pub parallel_enabled: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            budget: ProcessingBudget::default(),
+            unknown_fn_policy: UnknownFnPolicy::Skip,
+            participation_keys: [FnKey::Parm, FnKey::Mac, FnKey::Mark]
+                .into_iter()
+                .map(|k| k.to_wire())
+                .collect(),
+            default_port: None,
+            parallel_enabled: true,
+        }
+    }
+}
+
+/// The router's decision for one packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward copies on these ports.
+    Forward(Vec<Port>),
+    /// Deliver to the local stack.
+    Deliver,
+    /// Absorbed without error (e.g. aggregated interest).
+    Consumed,
+    /// Answer from the content store: send `data` back out the ingress.
+    RespondCached(Vec<u8>),
+    /// Send a control message back toward the source (§2.4).
+    Notify(ControlMessage),
+    /// Discard.
+    Drop(DropReason),
+}
+
+/// Accounting for one processed packet.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessStats {
+    /// Router-executed FNs.
+    pub fns_executed: u32,
+    /// Host-tagged FNs skipped (Algorithm 1 line 5).
+    pub skipped_host: u32,
+    /// Unsupported FNs skipped under [`UnknownFnPolicy::Skip`].
+    pub skipped_unsupported: u32,
+    /// Accumulated architecture cost.
+    pub cost: OpCost,
+    /// Sequential depth of the execution plan (= `fns_executed` when the
+    /// parallel flag is off; possibly smaller when on).
+    pub plan_depth: usize,
+}
+
+/// A DIP-capable router: forwarding state + FN registry + config.
+///
+/// ```
+/// use dip_core::{DipRouter, Verdict};
+/// use dip_tables::fib::NextHop;
+/// use dip_wire::ipv4::Ipv4Addr;
+/// use dip_wire::packet::DipRepr;
+/// use dip_wire::triple::{FnKey, FnTriple};
+///
+/// let mut router = DipRouter::new(1, [7; 16]);
+/// router.state_mut().ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(3));
+///
+/// // The §3 DIP-32 header: dst || src in the locations, two FN triples.
+/// let repr = DipRepr {
+///     fns: vec![
+///         FnTriple::router(0, 32, FnKey::Match32),
+///         FnTriple::router(32, 32, FnKey::Source),
+///     ],
+///     locations: vec![10, 1, 2, 3, 192, 168, 0, 1],
+///     ..Default::default()
+/// };
+/// let mut buf = repr.to_bytes(b"payload").unwrap();
+/// let (verdict, stats) = router.process(&mut buf, /*in_port*/ 0, /*now*/ 0);
+/// assert_eq!(verdict, Verdict::Forward(vec![3]));
+/// assert_eq!(stats.fns_executed, 2);
+/// ```
+pub struct DipRouter {
+    state: RouterState,
+    registry: FnRegistry,
+    config: RouterConfig,
+}
+
+impl DipRouter {
+    /// A router with the standard registry and default config.
+    pub fn new(node_id: u64, local_secret: dip_crypto::Block) -> Self {
+        DipRouter {
+            state: RouterState::new(node_id, local_secret),
+            registry: FnRegistry::standard(),
+            config: RouterConfig::default(),
+        }
+    }
+
+    /// Replaces the registry (heterogeneous AS configurations, §2.4).
+    pub fn with_registry(mut self, registry: FnRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: RouterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Forwarding state access.
+    pub fn state(&self) -> &RouterState {
+        &self.state
+    }
+
+    /// Mutable forwarding state access (route installation etc.).
+    pub fn state_mut(&mut self) -> &mut RouterState {
+        &mut self.state
+    }
+
+    /// Registry access.
+    pub fn registry(&self) -> &FnRegistry {
+        &self.registry
+    }
+
+    /// Mutable registry access (runtime FN upgrades, §5).
+    pub fn registry_mut(&mut self) -> &mut FnRegistry {
+        &mut self.registry
+    }
+
+    /// Config access.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Mutable config access (dynamic policy, §2.4).
+    pub fn config_mut(&mut self) -> &mut RouterConfig {
+        &mut self.config
+    }
+
+    /// Processes one packet in place (tags in the FN locations area are
+    /// updated in the buffer) and returns the verdict plus accounting.
+    ///
+    /// `buf` must contain the full packet; `in_port` is the ingress.
+    pub fn process(&mut self, buf: &mut [u8], in_port: Port, now: Ticks) -> (Verdict, ProcessStats) {
+        let mut stats = ProcessStats::default();
+
+        // Lines 1–3: parse basic header, triples, locations.
+        let (triples, loc_start, header_len, parallel) = {
+            let pkt = match DipPacket::new_checked(&buf[..]) {
+                Ok(p) => p,
+                Err(_) => return (Verdict::Drop(DropReason::MalformedField), stats),
+            };
+            let hdr = match pkt.basic_header() {
+                Ok(h) => h,
+                Err(_) => return (Verdict::Drop(DropReason::MalformedField), stats),
+            };
+            let triples = match pkt.triples() {
+                Ok(t) => t,
+                Err(_) => return (Verdict::Drop(DropReason::MalformedField), stats),
+            };
+            let loc_len = usize::from(hdr.param.fn_loc_len);
+            for t in &triples {
+                if !t.fits(loc_len) {
+                    return (Verdict::Drop(DropReason::MalformedField), stats);
+                }
+            }
+            let loc_start = BASIC_HEADER_LEN + triples.len() * FN_TRIPLE_LEN;
+            (triples, loc_start, pkt.header_len(), hdr.param.parallel)
+        };
+
+        // Hop limit.
+        {
+            let mut pkt = DipPacket::new_unchecked(&mut buf[..]);
+            if pkt.decrement_hop_limit().is_none() {
+                return (Verdict::Drop(DropReason::HopLimitExceeded), stats);
+            }
+        }
+
+        // Split borrow: mutable locations + immutable payload.
+        let (head, payload) = buf.split_at_mut(header_len);
+        let locations = &mut head[loc_start..];
+        let payload: &[u8] = payload;
+        let mut ctx = PacketCtx::new(locations, payload, in_port, now);
+
+        // Plan depth (timing model input; execution stays in order).
+        let router_triples: Vec<_> = triples.iter().filter(|t| !t.host).copied().collect();
+        stats.plan_depth = if parallel && self.config.parallel_enabled {
+            plan(&router_triples, &self.registry).depth()
+        } else {
+            Plan::sequential(router_triples.len()).depth()
+        };
+
+        // Lines 4–17: the FN chain.
+        let mut meter = BudgetMeter::new();
+        let mut decision: Option<Verdict> = None;
+        for (i, triple) in triples.iter().enumerate() {
+            if triple.host {
+                stats.skipped_host += 1;
+                continue;
+            }
+            let Some(op) = self.registry.get(triple.key) else {
+                let key = triple.key.to_wire();
+                let must_participate = self.config.participation_keys.contains(&key)
+                    || self.config.unknown_fn_policy == UnknownFnPolicy::Notify;
+                if must_participate {
+                    return (
+                        Verdict::Notify(ControlMessage::FnUnsupported {
+                            key,
+                            node_id: self.state.node_id,
+                            fn_index: i as u8,
+                        }),
+                        stats,
+                    );
+                }
+                stats.skipped_unsupported += 1;
+                continue;
+            };
+            let op = std::sync::Arc::clone(op);
+            let cost = op.cost(triple.field_len);
+            if !meter.charge(&self.config.budget, cost) {
+                return (Verdict::Drop(DropReason::ProcessingBudgetExceeded), stats);
+            }
+            stats.fns_executed += 1;
+            stats.cost = meter.cost;
+            match op.execute(triple, &mut self.state, &mut ctx) {
+                Action::Continue => {}
+                Action::Forward(p) => {
+                    decision.get_or_insert(Verdict::Forward(vec![p]));
+                }
+                Action::ForwardMulti(ps) => {
+                    decision.get_or_insert(Verdict::Forward(ps));
+                }
+                Action::Deliver => {
+                    decision.get_or_insert(Verdict::Deliver);
+                }
+                Action::Consumed => {
+                    decision.get_or_insert(Verdict::Consumed);
+                }
+                Action::RespondCached(data) => {
+                    return (Verdict::RespondCached(data), stats);
+                }
+                Action::Drop(reason) => {
+                    return (Verdict::Drop(reason), stats);
+                }
+            }
+        }
+
+        // Line 18: end processing.
+        let verdict = decision.unwrap_or(match self.config.default_port {
+            Some(p) => Verdict::Forward(vec![p]),
+            None => Verdict::Deliver,
+        });
+        (verdict, stats)
+    }
+}
+
+impl std::fmt::Debug for DipRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DipRouter")
+            .field("state", &self.state)
+            .field("registry", &self.registry)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_tables::fib::NextHop;
+    use dip_wire::ipv4::Ipv4Addr;
+    use dip_wire::packet::DipRepr;
+    use dip_wire::triple::FnTriple;
+
+    fn dip32_packet(dst: [u8; 4], src: [u8; 4]) -> Vec<u8> {
+        let mut locations = dst.to_vec();
+        locations.extend_from_slice(&src);
+        DipRepr {
+            fns: vec![
+                FnTriple::router(0, 32, FnKey::Match32),
+                FnTriple::router(32, 32, FnKey::Source),
+            ],
+            locations,
+            ..Default::default()
+        }
+        .to_bytes(b"payload")
+        .unwrap()
+    }
+
+    #[test]
+    fn dip32_forwarding_end_to_end() {
+        let mut r = DipRouter::new(1, [1; 16]);
+        r.state_mut().ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(3));
+        let mut pkt = dip32_packet([10, 1, 2, 3], [192, 168, 0, 1]);
+        let (verdict, stats) = r.process(&mut pkt, 0, 0);
+        assert_eq!(verdict, Verdict::Forward(vec![3]));
+        assert_eq!(stats.fns_executed, 2);
+        // Hop limit was decremented in the buffer.
+        assert_eq!(pkt[3], 63);
+    }
+
+    #[test]
+    fn hop_limit_zero_drops() {
+        let mut r = DipRouter::new(1, [1; 16]);
+        let mut pkt = dip32_packet([10, 1, 2, 3], [0; 4]);
+        pkt[3] = 0;
+        let (verdict, _) = r.process(&mut pkt, 0, 0);
+        assert_eq!(verdict, Verdict::Drop(DropReason::HopLimitExceeded));
+    }
+
+    #[test]
+    fn truncated_packet_is_malformed() {
+        let mut r = DipRouter::new(1, [1; 16]);
+        let pkt = dip32_packet([10, 1, 2, 3], [0; 4]);
+        let mut short = pkt[..10].to_vec();
+        let (verdict, _) = r.process(&mut short, 0, 0);
+        assert_eq!(verdict, Verdict::Drop(DropReason::MalformedField));
+    }
+
+    #[test]
+    fn host_tagged_fns_are_skipped() {
+        let mut r = DipRouter::new(1, [1; 16]);
+        r.config_mut().default_port = Some(9);
+        let repr = DipRepr {
+            fns: vec![FnTriple::host(0, 544, FnKey::Ver)],
+            locations: vec![0u8; 68],
+            ..Default::default()
+        };
+        let mut pkt = repr.to_bytes(&[]).unwrap();
+        let (verdict, stats) = r.process(&mut pkt, 0, 0);
+        assert_eq!(verdict, Verdict::Forward(vec![9]));
+        assert_eq!(stats.skipped_host, 1);
+        assert_eq!(stats.fns_executed, 0);
+    }
+
+    #[test]
+    fn unsupported_participation_fn_notifies() {
+        // Router lacking the MAC module must notify, not silently skip.
+        let mut r = DipRouter::new(7, [1; 16])
+            .with_registry(FnRegistry::with_keys(&[FnKey::Match32, FnKey::Source]));
+        let repr = DipRepr {
+            fns: vec![FnTriple::router(128, 128, FnKey::Parm)],
+            locations: vec![0u8; 68],
+            ..Default::default()
+        };
+        let mut pkt = repr.to_bytes(&[]).unwrap();
+        let (verdict, _) = r.process(&mut pkt, 0, 0);
+        assert_eq!(
+            verdict,
+            Verdict::Notify(ControlMessage::FnUnsupported {
+                key: FnKey::Parm.to_wire(),
+                node_id: 7,
+                fn_index: 0
+            })
+        );
+    }
+
+    #[test]
+    fn unsupported_optional_fn_skipped() {
+        let mut r = DipRouter::new(1, [1; 16])
+            .with_registry(FnRegistry::with_keys(&[FnKey::Match32]));
+        r.config_mut().default_port = Some(2);
+        let repr = DipRepr {
+            fns: vec![FnTriple::router(0, 32, FnKey::Other(0x200))],
+            locations: vec![0u8; 4],
+            ..Default::default()
+        };
+        let mut pkt = repr.to_bytes(&[]).unwrap();
+        let (verdict, stats) = r.process(&mut pkt, 0, 0);
+        assert_eq!(verdict, Verdict::Forward(vec![2]));
+        assert_eq!(stats.skipped_unsupported, 1);
+    }
+
+    #[test]
+    fn notify_policy_rejects_any_unknown() {
+        let mut r = DipRouter::new(1, [1; 16]);
+        r.config_mut().unknown_fn_policy = UnknownFnPolicy::Notify;
+        let repr = DipRepr {
+            fns: vec![FnTriple::router(0, 32, FnKey::Other(0x200))],
+            locations: vec![0u8; 4],
+            ..Default::default()
+        };
+        let mut pkt = repr.to_bytes(&[]).unwrap();
+        let (verdict, _) = r.process(&mut pkt, 0, 0);
+        assert!(matches!(verdict, Verdict::Notify(_)));
+    }
+
+    #[test]
+    fn budget_exceeded_drops() {
+        let mut r = DipRouter::new(1, [1; 16]);
+        r.state_mut().ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(3));
+        r.config_mut().budget = ProcessingBudget { max_fns: 1, ..ProcessingBudget::unlimited() };
+        let mut pkt = dip32_packet([10, 1, 2, 3], [0; 4]);
+        let (verdict, _) = r.process(&mut pkt, 0, 0);
+        assert_eq!(verdict, Verdict::Drop(DropReason::ProcessingBudgetExceeded));
+    }
+
+    #[test]
+    fn first_decision_is_sticky() {
+        // Two match FNs pointing at different FIB entries: the first wins.
+        let mut r = DipRouter::new(1, [1; 16]);
+        r.state_mut().ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
+        r.state_mut().ipv4_fib.add_route(Ipv4Addr::new(20, 0, 0, 0), 8, NextHop::port(2));
+        let mut locations = vec![10, 0, 0, 1];
+        locations.extend_from_slice(&[20, 0, 0, 1]);
+        let repr = DipRepr {
+            fns: vec![
+                FnTriple::router(0, 32, FnKey::Match32),
+                FnTriple::router(32, 32, FnKey::Match32),
+            ],
+            locations,
+            ..Default::default()
+        };
+        let mut pkt = repr.to_bytes(&[]).unwrap();
+        let (verdict, stats) = r.process(&mut pkt, 0, 0);
+        assert_eq!(verdict, Verdict::Forward(vec![1]));
+        assert_eq!(stats.fns_executed, 2); // later ops still ran
+    }
+
+    #[test]
+    fn empty_fn_chain_uses_default() {
+        let mut r = DipRouter::new(1, [1; 16]);
+        let repr = DipRepr::default();
+        let mut pkt = repr.to_bytes(b"x").unwrap();
+        let (verdict, _) = r.process(&mut pkt, 0, 0);
+        assert_eq!(verdict, Verdict::Deliver);
+    }
+
+    #[test]
+    fn plan_depth_reported_for_parallel_packets() {
+        let mut r = DipRouter::new(1, [1; 16]);
+        r.state_mut().ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
+        let mut locations = vec![10, 0, 0, 1];
+        locations.extend_from_slice(&[1, 2, 3, 4]);
+        let mut repr = DipRepr {
+            fns: vec![
+                FnTriple::router(0, 32, FnKey::Match32),
+                FnTriple::router(32, 32, FnKey::Source),
+            ],
+            locations,
+            ..Default::default()
+        };
+        repr.parallel = true;
+        let mut pkt = repr.to_bytes(&[]).unwrap();
+        let (_, stats) = r.process(&mut pkt, 0, 0);
+        assert_eq!(stats.plan_depth, 1); // both ops in one wave
+        // Sequential packet: depth 2.
+        repr.parallel = false;
+        let mut pkt = repr.to_bytes(&[]).unwrap();
+        let (_, stats) = r.process(&mut pkt, 0, 0);
+        assert_eq!(stats.plan_depth, 2);
+    }
+}

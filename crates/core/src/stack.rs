@@ -1,0 +1,261 @@
+//! The host stack: §2.3 from the end system's point of view.
+//!
+//! "Before sending the data packets, the host needs to formulate
+//! appropriate FNs in the packet header considering both the required
+//! network services and the supported FNs."
+//!
+//! [`DipHost`] ties the pieces together: it runs the DHCP-like bootstrap to
+//! learn the access AS's FN set, tracks propagated per-AS capabilities,
+//! answers the planning question *can protocol X run (here / on this
+//! path)?* via [`requirements`], and executes host-tagged FNs on receive.
+
+use crate::bootstrap::{CapabilityMap, FnDiscover, FnOffer};
+use crate::host::{deliver, Delivery, HostContext};
+use dip_fnops::{DropReason, FnRegistry, RouterState};
+use dip_tables::Ticks;
+use dip_wire::triple::FnKey;
+use std::collections::BTreeSet;
+
+/// The paper's protocol realizations, for requirement lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolId {
+    /// IPv4 semantics over DIP.
+    Dip32,
+    /// IPv6 semantics over DIP.
+    Dip128,
+    /// NDN content retrieval.
+    Ndn,
+    /// OPT source authentication + path validation.
+    Opt,
+    /// The derived secure content delivery protocol.
+    NdnOpt,
+    /// XIA DAG routing.
+    Xia,
+}
+
+/// The router-side FN keys a protocol needs on path (§3's compositions).
+pub fn requirements(p: ProtocolId) -> &'static [FnKey] {
+    match p {
+        ProtocolId::Dip32 => &[FnKey::Match32, FnKey::Source],
+        ProtocolId::Dip128 => &[FnKey::Match128, FnKey::Source],
+        ProtocolId::Ndn => &[FnKey::Fib, FnKey::Pit],
+        ProtocolId::Opt => &[FnKey::Parm, FnKey::Mac, FnKey::Mark],
+        ProtocolId::NdnOpt => &[FnKey::Fib, FnKey::Pit, FnKey::Parm, FnKey::Mac, FnKey::Mark],
+        ProtocolId::Xia => &[FnKey::Dag, FnKey::Intent],
+    }
+}
+
+/// Errors from the bootstrap exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BootstrapError {
+    /// The offer's transaction id does not match our discover.
+    XidMismatch {
+        /// What we sent.
+        expected: u32,
+        /// What came back.
+        got: u32,
+    },
+    /// No bootstrap is in progress.
+    NotStarted,
+}
+
+/// A DIP end host.
+pub struct DipHost {
+    /// Stable identifier.
+    pub node_id: u64,
+    state: RouterState,
+    registry: FnRegistry,
+    pending_xid: Option<u32>,
+    /// FN keys offered by the access AS (None until bootstrapped).
+    learned: Option<BTreeSet<u16>>,
+    /// Propagated per-AS capabilities (§2.3's BGP-community substitute).
+    pub capabilities: CapabilityMap,
+}
+
+impl DipHost {
+    /// A host with the standard host-side registry.
+    pub fn new(node_id: u64) -> Self {
+        DipHost {
+            node_id,
+            state: RouterState::new(node_id, [0; 16]),
+            registry: FnRegistry::standard(),
+            pending_xid: None,
+            learned: None,
+            capabilities: CapabilityMap::new(),
+        }
+    }
+
+    /// Starts the DHCP-like bootstrap; send the returned message to the
+    /// access router.
+    pub fn begin_bootstrap(&mut self, xid: u32) -> FnDiscover {
+        self.pending_xid = Some(xid);
+        FnDiscover { xid }
+    }
+
+    /// Completes bootstrap with the access router's offer.
+    pub fn complete_bootstrap(&mut self, offer: &FnOffer) -> Result<(), BootstrapError> {
+        let expected = self.pending_xid.ok_or(BootstrapError::NotStarted)?;
+        if offer.xid != expected {
+            return Err(BootstrapError::XidMismatch { expected, got: offer.xid });
+        }
+        self.pending_xid = None;
+        self.learned = Some(offer.keys.iter().copied().collect());
+        self.capabilities.announce_offer(offer);
+        Ok(())
+    }
+
+    /// Whether bootstrap has completed.
+    pub fn is_bootstrapped(&self) -> bool {
+        self.learned.is_some()
+    }
+
+    /// The FN keys the access AS offers (empty before bootstrap).
+    pub fn available_fns(&self) -> Vec<FnKey> {
+        self.learned
+            .iter()
+            .flat_map(|s| s.iter().map(|&k| FnKey::from_wire(k)))
+            .collect()
+    }
+
+    /// §2.3 planning: can `protocol` run through the access AS? Returns the
+    /// missing keys on failure.
+    pub fn plan(&self, protocol: ProtocolId) -> Result<(), Vec<FnKey>> {
+        let Some(learned) = &self.learned else {
+            return Err(requirements(protocol).to_vec());
+        };
+        let missing: Vec<FnKey> = requirements(protocol)
+            .iter()
+            .copied()
+            .filter(|k| !learned.contains(&k.to_wire()))
+            .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(missing)
+        }
+    }
+
+    /// Path-wide planning: can `protocol` run across every AS of `path`
+    /// (per the propagated capability map)?
+    pub fn plan_path(&self, protocol: ProtocolId, path: &[u32]) -> Result<(), Vec<FnKey>> {
+        let missing: Vec<FnKey> = requirements(protocol)
+            .iter()
+            .copied()
+            .filter(|k| !self.capabilities.path_supports(path, *k))
+            .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(missing)
+        }
+    }
+
+    /// Receives a packet: runs host-tagged FNs (e.g. `F_ver`) with the
+    /// session material in `host_ctx`.
+    pub fn receive(
+        &mut self,
+        buf: &mut [u8],
+        host_ctx: &HostContext,
+        now: Ticks,
+    ) -> Result<Delivery, DropReason> {
+        deliver(buf, host_ctx, &mut self.state, &self.registry, now)
+    }
+
+    /// The host's own registry (hosts, too, can install custom FNs).
+    pub fn registry_mut(&mut self) -> &mut FnRegistry {
+        &mut self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_fnops::FnRegistry;
+
+    fn offer_from(keys: &[FnKey], xid: u32) -> FnOffer {
+        FnOffer { xid, as_id: 65001, keys: keys.iter().map(|k| k.to_wire()).collect() }
+    }
+
+    #[test]
+    fn bootstrap_flow() {
+        let mut h = DipHost::new(1);
+        assert!(!h.is_bootstrapped());
+        let d = h.begin_bootstrap(42);
+        assert_eq!(d.xid, 42);
+        let offer = FnOffer::from_registry(42, 65001, &FnRegistry::standard());
+        h.complete_bootstrap(&offer).unwrap();
+        assert!(h.is_bootstrapped());
+        assert_eq!(h.available_fns().len(), 12);
+    }
+
+    #[test]
+    fn xid_mismatch_rejected() {
+        let mut h = DipHost::new(1);
+        h.begin_bootstrap(1);
+        let offer = offer_from(&[FnKey::Fib], 2);
+        assert_eq!(
+            h.complete_bootstrap(&offer),
+            Err(BootstrapError::XidMismatch { expected: 1, got: 2 })
+        );
+        assert!(!h.is_bootstrapped());
+        // Unsolicited offers are also rejected.
+        let mut h2 = DipHost::new(2);
+        assert_eq!(h2.complete_bootstrap(&offer), Err(BootstrapError::NotStarted));
+    }
+
+    #[test]
+    fn planning_against_learned_fns() {
+        let mut h = DipHost::new(1);
+        h.begin_bootstrap(1);
+        h.complete_bootstrap(&offer_from(
+            &[FnKey::Match32, FnKey::Source, FnKey::Fib, FnKey::Pit],
+            1,
+        ))
+        .unwrap();
+        assert_eq!(h.plan(ProtocolId::Dip32), Ok(()));
+        assert_eq!(h.plan(ProtocolId::Ndn), Ok(()));
+        assert_eq!(
+            h.plan(ProtocolId::Opt),
+            Err(vec![FnKey::Parm, FnKey::Mac, FnKey::Mark])
+        );
+        assert_eq!(h.plan(ProtocolId::NdnOpt).unwrap_err().len(), 3);
+    }
+
+    #[test]
+    fn planning_before_bootstrap_reports_everything_missing() {
+        let h = DipHost::new(1);
+        assert_eq!(h.plan(ProtocolId::Xia).unwrap_err(), vec![FnKey::Dag, FnKey::Intent]);
+    }
+
+    #[test]
+    fn path_planning_uses_the_capability_map() {
+        let mut h = DipHost::new(1);
+        h.begin_bootstrap(1);
+        h.complete_bootstrap(&FnOffer::from_registry(1, 100, &FnRegistry::standard()))
+            .unwrap();
+        h.capabilities.announce(200, (1u16..=12).collect::<Vec<_>>());
+        h.capabilities.announce(300, [1u16, 2, 3]); // legacy-ish AS
+        assert_eq!(h.plan_path(ProtocolId::Dip32, &[100, 200, 300]), Ok(()));
+        assert_eq!(
+            h.plan_path(ProtocolId::Opt, &[100, 200, 300]),
+            Err(vec![FnKey::Parm, FnKey::Mac, FnKey::Mark])
+        );
+        assert_eq!(h.plan_path(ProtocolId::Opt, &[100, 200]), Ok(()));
+    }
+
+    #[test]
+    fn receive_runs_host_fns() {
+        use dip_wire::packet::DipRepr;
+        let mut h = DipHost::new(1);
+        let mut buf = DipRepr::default().to_bytes(b"plain").unwrap();
+        let d = h.receive(&mut buf, &HostContext::default(), 0).unwrap();
+        assert!(!d.verified);
+    }
+
+    #[test]
+    fn requirements_match_section3() {
+        assert_eq!(requirements(ProtocolId::NdnOpt).len(), 5);
+        assert!(requirements(ProtocolId::Opt).contains(&FnKey::Mac));
+        assert!(!requirements(ProtocolId::Ndn).contains(&FnKey::Mac));
+    }
+}

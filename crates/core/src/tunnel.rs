@@ -1,0 +1,103 @@
+//! DIP-in-IPv6 tunneling across DIP-agnostic domains (§2.4).
+//!
+//! "In the early stage of deployment, two DIP domains may not be directly
+//! connected. One could use tunneling technology \[6, 8\] to build end-to-end
+//! path across DIP-agnostic domains." — the standard encapsulation play:
+//! the DIP packet rides as the payload of a plain IPv6 packet between the
+//! two DIP islands' tunnel endpoints; legacy routers in between forward on
+//! the outer header only.
+
+use dip_wire::ipv6::{Ipv6Addr, Ipv6Repr, IPV6_HEADER_LEN};
+use dip_wire::{DipPacket, Result, WireError};
+
+/// Protocol number we use for DIP-in-IPv6 (from the experimental range).
+pub const DIP_IN_IPV6_PROTO: u8 = 0xFC;
+
+/// Wraps a DIP packet for transit between tunnel endpoints `src` → `dst`.
+pub fn encap(dip_packet: &[u8], src: Ipv6Addr, dst: Ipv6Addr, hop_limit: u8) -> Result<Vec<u8>> {
+    // Refuse to tunnel garbage: the far endpoint should never decapsulate
+    // something that is not a DIP packet.
+    DipPacket::new_checked(dip_packet)?;
+    Ipv6Repr { src, dst, next_header: DIP_IN_IPV6_PROTO, hop_limit, payload_len: dip_packet.len() }
+        .to_bytes(dip_packet)
+}
+
+/// Unwraps at the far tunnel endpoint, returning the inner DIP packet.
+pub fn decap(ipv6_packet: &[u8]) -> Result<Vec<u8>> {
+    let outer = Ipv6Repr::parse(ipv6_packet)?;
+    if outer.next_header != DIP_IN_IPV6_PROTO {
+        return Err(WireError::Malformed("not a DIP-in-IPv6 tunnel packet"));
+    }
+    let inner = &ipv6_packet[IPV6_HEADER_LEN..];
+    DipPacket::new_checked(inner)?;
+    Ok(inner.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_wire::packet::DipRepr;
+    use dip_wire::triple::{FnKey, FnTriple};
+
+    fn dip_pkt() -> Vec<u8> {
+        DipRepr {
+            fns: vec![FnTriple::router(0, 32, FnKey::Fib)],
+            locations: vec![1, 2, 3, 4],
+            ..Default::default()
+        }
+        .to_bytes(b"inner")
+        .unwrap()
+    }
+
+    fn a() -> Ipv6Addr {
+        Ipv6Addr::new([0xfd01, 0, 0, 0, 0, 0, 0, 1])
+    }
+
+    fn b() -> Ipv6Addr {
+        Ipv6Addr::new([0xfd02, 0, 0, 0, 0, 0, 0, 1])
+    }
+
+    #[test]
+    fn encap_decap_roundtrip() {
+        let inner = dip_pkt();
+        let outer = encap(&inner, a(), b(), 64).unwrap();
+        assert_eq!(outer.len(), IPV6_HEADER_LEN + inner.len());
+        assert_eq!(decap(&outer).unwrap(), inner);
+    }
+
+    #[test]
+    fn outer_header_is_plain_ipv6() {
+        let outer = encap(&dip_pkt(), a(), b(), 9).unwrap();
+        let repr = Ipv6Repr::parse(&outer).unwrap();
+        assert_eq!(repr.src, a());
+        assert_eq!(repr.dst, b());
+        assert_eq!(repr.hop_limit, 9);
+        assert_eq!(repr.next_header, DIP_IN_IPV6_PROTO);
+    }
+
+    #[test]
+    fn decap_rejects_non_tunnel_traffic() {
+        let plain = Ipv6Repr {
+            src: a(),
+            dst: b(),
+            next_header: 17,
+            hop_limit: 64,
+            payload_len: 0,
+        }
+        .to_bytes(b"udp")
+        .unwrap();
+        assert!(decap(&plain).is_err());
+    }
+
+    #[test]
+    fn refuses_to_tunnel_garbage() {
+        assert!(encap(&[0u8; 3], a(), b(), 64).is_err());
+    }
+
+    #[test]
+    fn decap_validates_inner_packet() {
+        let mut outer = encap(&dip_pkt(), a(), b(), 64).unwrap();
+        outer[IPV6_HEADER_LEN] = 0xf0; // corrupt inner version nibble
+        assert!(decap(&outer).is_err());
+    }
+}

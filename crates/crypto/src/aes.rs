@@ -1,0 +1,322 @@
+//! AES-128, straight from FIPS-197.
+//!
+//! Table-based, byte-oriented implementation. AES plays two roles here:
+//! it is the MAC baseline the paper compares 2EM against (§4.1: AES needs a
+//! resubmission on Tofino), and its round function — with fixed, public
+//! round keys — supplies the public permutations of the 2EM construction.
+
+use crate::Block;
+
+/// The AES S-box.
+pub(crate) const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// The inverse S-box.
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+/// Multiplication by x in GF(2^8) mod x^8 + x^4 + x^3 + x + 1.
+#[inline]
+pub(crate) const fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// General GF(2^8) multiplication (only small constants are ever used).
+#[inline]
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+#[inline]
+fn sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+// State layout: column-major as in FIPS-197 — state[r + 4c] is row r, col c,
+// i.e. the block bytes are laid down the columns. With the flat `[u8;16]`
+// representation in block order, row r of column c is byte 4c + r.
+#[inline]
+fn shift_rows(state: &mut Block) {
+    // Row 1: shift left by 1.
+    let t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    // Row 2: shift left by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: shift left by 3 (= right by 1).
+    let t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut Block) {
+    // Row 1: shift right by 1.
+    let t = state[13];
+    state[13] = state[9];
+    state[9] = state[5];
+    state[5] = state[1];
+    state[1] = t;
+    // Row 2: shift by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: shift right by 3 (= left by 1).
+    let t = state[3];
+    state[3] = state[7];
+    state[7] = state[11];
+    state[11] = state[15];
+    state[15] = t;
+}
+
+#[inline]
+fn mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let i = 4 * c;
+        let (a0, a1, a2, a3) = (state[i], state[i + 1], state[i + 2], state[i + 3]);
+        state[i] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+        state[i + 1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+        state[i + 2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+        state[i + 3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let i = 4 * c;
+        let (a0, a1, a2, a3) = (state[i], state[i + 1], state[i + 2], state[i + 3]);
+        state[i] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
+        state[i + 1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
+        state[i + 2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11);
+        state[i + 3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14);
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut Block, rk: &Block) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+/// An expanded AES-128 key (11 round keys).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [Block; 11],
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key.
+    pub fn new(key: &Block) -> Self {
+        const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one block in place.
+    pub fn encrypt_block(&self, block: &mut Block) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Decrypts one block in place.
+    pub fn decrypt_block(&self, block: &mut Block) {
+        add_round_key(block, &self.round_keys[10]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for round in (1..10).rev() {
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypts and returns a copy.
+    pub fn encrypt(&self, block: &Block) -> Block {
+        let mut b = *block;
+        self.encrypt_block(&mut b);
+        b
+    }
+}
+
+/// One unkeyed AES round (SubBytes + ShiftRows + MixColumns) — the public
+/// permutation building block used by [`crate::even_mansour`].
+pub fn aes_round(block: &mut Block) {
+    sub_bytes(block);
+    shift_rows(block);
+    mix_columns(block);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    fn block(s: &str) -> Block {
+        hex(s).try_into().unwrap()
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS-197 Appendix B.
+        let key = block("2b7e151628aed2a6abf7158809cf4f3c");
+        let pt = block("3243f6a8885a308d313198a2e0370734");
+        let ct = block("3925841d02dc09fbdc118597196a0b32");
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt(&pt), ct);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        // FIPS-197 Appendix C.1.
+        let key = block("000102030405060708090a0b0c0d0e0f");
+        let pt = block("00112233445566778899aabbccddeeff");
+        let ct = block("69c4e0d86a7b0430d8cdb78070b4c55a");
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt(&pt), ct);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt() {
+        let aes = Aes128::new(&block("000102030405060708090a0b0c0d0e0f"));
+        for seed in 0u8..16 {
+            let mut b: Block = core::array::from_fn(|i| seed.wrapping_mul(31).wrapping_add(i as u8));
+            let orig = b;
+            aes.encrypt_block(&mut b);
+            assert_ne!(b, orig);
+            aes.decrypt_block(&mut b);
+            assert_eq!(b, orig);
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = Aes128::new(&[0u8; 16]);
+        let b = Aes128::new(&[1u8; 16]);
+        let pt = [42u8; 16];
+        assert_ne!(a.encrypt(&pt), b.encrypt(&pt));
+    }
+
+    #[test]
+    fn gf_multiplication_identities() {
+        assert_eq!(gmul(0x57, 0x01), 0x57);
+        assert_eq!(gmul(0x57, 0x02), xtime(0x57));
+        // FIPS-197 §4.2 example: {57} . {13} = {fe}
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn shift_rows_inverse() {
+        let mut s: Block = core::array::from_fn(|i| i as u8);
+        let orig = s;
+        shift_rows(&mut s);
+        assert_ne!(s, orig);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn mix_columns_inverse() {
+        let mut s: Block = core::array::from_fn(|i| (i * 7 + 3) as u8);
+        let orig = s;
+        mix_columns(&mut s);
+        inv_mix_columns(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn aes_round_is_a_permutation_fragment() {
+        // Not a full test of bijectivity, but the round must be
+        // deterministic and change the input.
+        let mut a = [7u8; 16];
+        let mut b = [7u8; 16];
+        aes_round(&mut a);
+        aes_round(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, [7u8; 16]);
+    }
+}

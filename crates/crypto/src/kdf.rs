@@ -1,0 +1,77 @@
+//! Key derivation for OPT sessions.
+//!
+//! OPT's key model (following DRKey): every router `i` owns a local secret
+//! `S_i`; for a session identified by `session_id` it derives the *dynamic
+//! key* `K_i = PRF(S_i, session_id)` **on the fly** — no per-flow state.
+//! The source and destination learn every `K_i` during session setup
+//! (§3: "the router will derive a dynamic key from session ID in the packet
+//! header with its local key ... the dynamic key ... is shared with the
+//! host"), so they can predict and verify the PVF/OPV chains.
+//!
+//! `F_parm` (key 6) is exactly this derivation performed per packet.
+
+use crate::mac::{CbcMac, MacAlgorithm};
+use crate::Block;
+
+/// A PRF with 128-bit output: 2EM-CBC-MAC of `label || data` under `key`.
+///
+/// The label provides domain separation between the different uses of a
+/// router secret (session keys, source labels, bootstrap cookies, ...).
+pub fn prf(key: &Block, label: &str, data: &[u8]) -> Block {
+    let mac = CbcMac::new_2em(key);
+    let mut msg = Vec::with_capacity(1 + label.len() + data.len());
+    msg.push(label.len() as u8);
+    msg.extend_from_slice(label.as_bytes());
+    msg.extend_from_slice(data);
+    mac.mac(&msg)
+}
+
+/// Derives router `i`'s dynamic key for a session:
+/// `K_i = PRF(local_secret, "opt-session", session_id)`.
+pub fn derive_session_key(local_secret: &Block, session_id: &Block) -> Block {
+    prf(local_secret, "opt-session", session_id)
+}
+
+/// Derives the AS-level key used by `F_pass` source labels (§2.4):
+/// `K_pass = PRF(as_secret, "pass-label", source_id)`.
+pub fn derive_pass_key(as_secret: &Block, source_id: &[u8]) -> Block {
+    prf(as_secret, "pass-label", source_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prf_is_deterministic() {
+        let k = [1u8; 16];
+        assert_eq!(prf(&k, "a", b"x"), prf(&k, "a", b"x"));
+    }
+
+    #[test]
+    fn labels_are_domain_separating() {
+        let k = [1u8; 16];
+        assert_ne!(prf(&k, "a", b"x"), prf(&k, "b", b"x"));
+        // Label/data boundary matters: ("ab", "c") != ("a", "bc").
+        assert_ne!(prf(&k, "ab", b"c"), prf(&k, "a", b"bc"));
+    }
+
+    #[test]
+    fn session_keys_differ_per_router_and_session() {
+        let s1 = [1u8; 16];
+        let s2 = [2u8; 16];
+        let sid_a = [0xaau8; 16];
+        let sid_b = [0xbbu8; 16];
+        assert_ne!(derive_session_key(&s1, &sid_a), derive_session_key(&s2, &sid_a));
+        assert_ne!(derive_session_key(&s1, &sid_a), derive_session_key(&s1, &sid_b));
+        // Host-side recomputation matches (the property OPT relies on).
+        assert_eq!(derive_session_key(&s1, &sid_a), derive_session_key(&s1, &sid_a));
+    }
+
+    #[test]
+    fn pass_key_distinct_from_session_key() {
+        let secret = [3u8; 16];
+        let id = [4u8; 16];
+        assert_ne!(derive_pass_key(&secret, &id), derive_session_key(&secret, &id));
+    }
+}

@@ -1,0 +1,66 @@
+//! Hardware cost descriptors for the PISA pipeline timing model.
+//!
+//! §4.1 describes the prototype's Tofino constraints: operation modules are
+//! pre-written match-action stages selected by the operation key; field
+//! slices are preset; a loop over FNs is unrolled into an if-else chain; AES
+//! would need a *resubmission* (a second pass through the pipeline) while
+//! 2EM does not. Each [`FieldOp`](crate::FieldOp) reports its cost in these
+//! units; `dip-sim`'s Tofino model converts them to time.
+
+/// Cost of one operation invocation, in pipeline-architecture units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCost {
+    /// Match-action stages occupied.
+    pub stages: u32,
+    /// Table lookups performed (FIB/PIT/route tables).
+    pub table_lookups: u32,
+    /// 128-bit block-cipher invocations.
+    pub cipher_blocks: u32,
+    /// Extra full passes through the pipeline (packet resubmissions).
+    pub resubmits: u32,
+}
+
+impl OpCost {
+    /// A pure header-rewrite op occupying `stages` stages.
+    pub const fn stages(stages: u32) -> Self {
+        OpCost { stages, table_lookups: 0, cipher_blocks: 0, resubmits: 0 }
+    }
+
+    /// A table-lookup op.
+    pub const fn lookup(stages: u32, table_lookups: u32) -> Self {
+        OpCost { stages, table_lookups, cipher_blocks: 0, resubmits: 0 }
+    }
+
+    /// A cryptographic op.
+    pub const fn cipher(stages: u32, cipher_blocks: u32, resubmits: u32) -> Self {
+        OpCost { stages, table_lookups: 0, cipher_blocks, resubmits }
+    }
+
+}
+
+impl core::ops::Add for OpCost {
+    type Output = OpCost;
+
+    fn add(self, other: OpCost) -> OpCost {
+        OpCost {
+            stages: self.stages + other.stages,
+            table_lookups: self.table_lookups + other.table_lookups,
+            cipher_blocks: self.cipher_blocks + other.cipher_blocks,
+            resubmits: self.resubmits + other.resubmits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_add() {
+        let a = OpCost::lookup(1, 2);
+        let b = OpCost::cipher(2, 4, 1);
+        let s = a + b;
+        assert_eq!(s, OpCost { stages: 3, table_lookups: 2, cipher_blocks: 4, resubmits: 1 });
+        assert_eq!(OpCost::stages(5).stages, 5);
+    }
+}

@@ -1,0 +1,97 @@
+//! # dip-fnops — the Field Operation primitive (§2.1)
+//!
+//! > "Each FN consists of two elements: a target field and an operation to
+//! > be applied on the corresponding target field."
+//!
+//! This crate supplies the *operations*. Each operation module implements
+//! [`FieldOp`]: given the FN triple that selected it, mutable access to the
+//! packet's FN locations area, the router's forwarding state and a
+//! per-packet scratch context, it performs its calculation/match and returns
+//! an [`Action`] — continue, forward, deliver, or discard — exactly the
+//! "modify the packet field or determine the packet fate" contract of §2.1.
+//!
+//! The twelve bundled modules are the eleven of Table 1 plus `F_pass`
+//! (§2.4's source-label verification):
+//!
+//! | key | op | module |
+//! |-----|----|--------|
+//! | 1 | `F_32_match` | [`ops::match_addr::Match32Op`] |
+//! | 2 | `F_128_match` | [`ops::match_addr::Match128Op`] |
+//! | 3 | `F_source` | [`ops::source::SourceOp`] |
+//! | 4 | `F_FIB` | [`ops::fib::FibOp`] |
+//! | 5 | `F_PIT` | [`ops::pit::PitOp`] |
+//! | 6 | `F_parm` | [`ops::parm::ParmOp`] |
+//! | 7 | `F_MAC` | [`ops::mac_op::MacOp`] |
+//! | 8 | `F_mark` | [`ops::mark::MarkOp`] |
+//! | 9 | `F_ver` | [`ops::ver::VerOp`] |
+//! | 10 | `F_DAG` | [`ops::dag::DagOp`] |
+//! | 11 | `F_intent` | [`ops::intent::IntentOp`] |
+//! | 12 | `F_pass` | [`ops::pass::PassOp`] |
+//!
+//! [`registry::FnRegistry`] maps operation keys to modules (the bootstrap
+//! mechanism of §2.3 advertises its contents), and [`parallel`] implements
+//! the modular-parallelism planner behind the packet parameter's parallel
+//! flag (§2.2).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod context;
+pub mod cost;
+pub mod ops;
+pub mod parallel;
+pub mod registry;
+
+pub use context::{Action, DropReason, PacketCtx, RouterState};
+pub use cost::OpCost;
+pub use registry::FnRegistry;
+
+use dip_wire::triple::FnTriple;
+
+/// A Field Operation module: the functional half of the FN primitive.
+///
+/// Implementations must be pure with respect to everything except the
+/// explicitly passed state: the same `(triple, locations, state, ctx)`
+/// produces the same result, which is what lets the planner reorder
+/// non-conflicting operations.
+pub trait FieldOp: Send + Sync {
+    /// The operation key this module serves.
+    fn key(&self) -> dip_wire::triple::FnKey;
+
+    /// Executes the operation on the target field selected by `triple`.
+    ///
+    /// `ctx.locations` is the packet's FN locations area; the target field
+    /// is the bit range `[triple.field_loc, triple.field_loc +
+    /// triple.field_len)` within it.
+    fn execute(&self, triple: &FnTriple, state: &mut RouterState, ctx: &mut PacketCtx<'_>)
+        -> Action;
+
+    /// Hardware cost of one invocation on a field of `field_bits` bits, for
+    /// the PISA pipeline timing model (§4.1 / Figure 2).
+    fn cost(&self, field_bits: u16) -> OpCost;
+
+    /// Whether this operation, when unsupported by an AS, requires the
+    /// source to be notified rather than silently skipped (§2.4: "if this
+    /// FN requires all on-path ASes to participate ... the router should
+    /// return an FN unsupported message").
+    fn requires_participation(&self) -> bool {
+        false
+    }
+
+    /// The bit range this operation *writes* in the locations area, given
+    /// its triple, or `None` for read-only operations. Used by the parallel
+    /// planner for conflict analysis.
+    fn write_range(&self, _triple: &FnTriple) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// Whether this operation reads the per-packet dynamic-key slot.
+    fn reads_dynamic_key(&self) -> bool {
+        false
+    }
+
+    /// Whether this operation writes the per-packet dynamic-key slot.
+    fn writes_dynamic_key(&self) -> bool {
+        false
+    }
+}

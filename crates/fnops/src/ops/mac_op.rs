@@ -1,0 +1,159 @@
+//! `F_MAC` (key 7): keyed MAC over the target field.
+//!
+//! §3 (OPT): the triple `(loc: 0, len: 416, key: 7)` instructs the router to
+//! "recalculate and update the tags". The op computes a CBC-MAC (over 2EM
+//! by default, §4.1; AES as the resubmission-costing baseline) of the
+//! target field under the dynamic key from `F_parm` and deposits the
+//! 128-bit tag **immediately after the target field** — for OPT's layout
+//! that is exactly the OPV slot.
+
+use crate::context::{Action, DropReason, PacketCtx, RouterState};
+use crate::context::MacChoice;
+use crate::cost::OpCost;
+use crate::FieldOp;
+use dip_crypto::mac::cbc_mac_blocks;
+use dip_crypto::{Block, CbcMac, MacAlgorithm};
+use dip_wire::triple::{FnKey, FnTriple};
+
+/// Computes a MAC under the router's configured cipher choice.
+pub(crate) fn mac_bytes(choice: MacChoice, key: &Block, data: &[u8]) -> Block {
+    match choice {
+        MacChoice::TwoRoundEm => CbcMac::new_2em(key).mac(data),
+        MacChoice::Aes => CbcMac::new_aes(key).mac(data),
+    }
+}
+
+/// Tag-computation op.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MacOp;
+
+/// Width of the deposited tag, in bits.
+pub const TAG_BITS: u16 = 128;
+
+impl FieldOp for MacOp {
+    fn key(&self) -> FnKey {
+        FnKey::Mac
+    }
+
+    fn execute(
+        &self,
+        triple: &FnTriple,
+        state: &mut RouterState,
+        ctx: &mut PacketCtx<'_>,
+    ) -> Action {
+        let Some(key) = ctx.dynamic_key else {
+            return Action::Drop(DropReason::MissingDynamicKey);
+        };
+        let Ok(coverage) = ctx.read_field(triple) else {
+            return Action::Drop(DropReason::MalformedField);
+        };
+        let tag = mac_bytes(state.mac_choice, &key, &coverage);
+        // Deposit after the covered field.
+        let tag_triple = FnTriple::router(
+            triple.field_loc.saturating_add(triple.field_len),
+            TAG_BITS,
+            FnKey::Mac,
+        );
+        if usize::from(tag_triple.field_loc) + usize::from(TAG_BITS) > ctx.locations.len() * 8 {
+            return Action::Drop(DropReason::MalformedField);
+        }
+        match ctx.write_field(&tag_triple, &tag) {
+            Ok(()) => Action::Continue,
+            Err(_) => Action::Drop(DropReason::MalformedField),
+        }
+    }
+
+    fn cost(&self, field_bits: u16) -> OpCost {
+        let blocks = cbc_mac_blocks(usize::from(field_bits) / 8) as u32;
+        // Resubmission cost is applied by the pipeline model per the
+        // router's cipher choice; report blocks here.
+        OpCost::cipher(2, blocks, 0)
+    }
+
+    fn requires_participation(&self) -> bool {
+        true
+    }
+
+    fn write_range(&self, triple: &FnTriple) -> Option<(usize, usize)> {
+        let start = usize::from(triple.field_loc) + usize::from(triple.field_len);
+        Some((start, start + usize::from(TAG_BITS)))
+    }
+
+    fn reads_dynamic_key(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{ctx, state};
+    use dip_wire::opt::{field, triple_bits};
+
+    #[test]
+    fn writes_tag_into_opv_slot() {
+        let mut st = state();
+        let mut locs = vec![0u8; 68];
+        locs[..52].iter_mut().enumerate().for_each(|(i, b)| *b = i as u8);
+        let coverage: Vec<u8> = locs[..52].to_vec();
+        let mut c = ctx(&mut locs, &[]);
+        let key = [7u8; 16];
+        c.dynamic_key = Some(key);
+        let t = FnTriple::router(triple_bits::MAC.0, triple_bits::MAC.1, FnKey::Mac);
+        assert_eq!(MacOp.execute(&t, &mut st, &mut c), Action::Continue);
+        let expected = mac_bytes(MacChoice::TwoRoundEm, &key, &coverage);
+        assert_eq!(&c.locations[field::OPV], &expected);
+        // Coverage bytes untouched.
+        assert_eq!(&c.locations[..52], &coverage[..]);
+    }
+
+    #[test]
+    fn missing_key_is_an_error() {
+        let mut st = state();
+        let mut locs = vec![0u8; 68];
+        let mut c = ctx(&mut locs, &[]);
+        let t = FnTriple::router(0, 416, FnKey::Mac);
+        assert_eq!(MacOp.execute(&t, &mut st, &mut c), Action::Drop(DropReason::MissingDynamicKey));
+    }
+
+    #[test]
+    fn tag_slot_must_fit() {
+        let mut st = state();
+        let mut locs = vec![0u8; 52]; // no room for the tag
+        let mut c = ctx(&mut locs, &[]);
+        c.dynamic_key = Some([1; 16]);
+        let t = FnTriple::router(0, 416, FnKey::Mac);
+        assert_eq!(MacOp.execute(&t, &mut st, &mut c), Action::Drop(DropReason::MalformedField));
+    }
+
+    #[test]
+    fn aes_choice_changes_tag() {
+        let mut st = state();
+        let key = [7u8; 16];
+        let run = |st: &mut crate::RouterState| {
+            let mut locs = vec![0u8; 68];
+            let mut c = ctx(&mut locs, &[]);
+            c.dynamic_key = Some(key);
+            let t = FnTriple::router(0, 416, FnKey::Mac);
+            MacOp.execute(&t, st, &mut c);
+            locs[52..68].to_vec()
+        };
+        let em = run(&mut st);
+        st.mac_choice = MacChoice::Aes;
+        let aes = run(&mut st);
+        assert_ne!(em, aes);
+    }
+
+    #[test]
+    fn write_range_is_after_field() {
+        let t = FnTriple::router(32, 416, FnKey::Mac);
+        assert_eq!(MacOp.write_range(&t), Some((448, 576)));
+    }
+
+    #[test]
+    fn cost_scales_with_coverage() {
+        let small = MacOp.cost(128);
+        let large = MacOp.cost(416);
+        assert!(large.cipher_blocks > small.cipher_blocks);
+    }
+}

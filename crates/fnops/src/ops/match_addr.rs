@@ -1,0 +1,159 @@
+//! `F_32_match` (key 1) and `F_128_match` (key 2): address matching and
+//! forwarding.
+//!
+//! §3, IP forwarding: "we use F_128_match and F_32_match to instruct the
+//! router to perform 128-bit/32-bit address matching and forwarding". The
+//! target field is the destination address; the op performs a
+//! longest-prefix match in the corresponding FIB and decides the egress.
+
+use crate::context::{Action, DropReason, PacketCtx, RouterState};
+use crate::cost::OpCost;
+use crate::FieldOp;
+use dip_wire::ipv4::Ipv4Addr;
+use dip_wire::ipv6::Ipv6Addr;
+use dip_wire::triple::{FnKey, FnTriple};
+
+/// 32-bit destination address match.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Match32Op;
+
+impl FieldOp for Match32Op {
+    fn key(&self) -> FnKey {
+        FnKey::Match32
+    }
+
+    fn execute(
+        &self,
+        triple: &FnTriple,
+        state: &mut RouterState,
+        ctx: &mut PacketCtx<'_>,
+    ) -> Action {
+        if triple.field_len != 32 {
+            return Action::Drop(DropReason::MalformedField);
+        }
+        let Ok(bytes) = ctx.read_field(triple) else {
+            return Action::Drop(DropReason::MalformedField);
+        };
+        let addr = Ipv4Addr([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        match state.ipv4_fib.lookup(addr) {
+            Some(nh) => Action::Forward(nh.port),
+            None => Action::Drop(DropReason::NoRoute),
+        }
+    }
+
+    fn cost(&self, _field_bits: u16) -> OpCost {
+        OpCost::lookup(1, 1)
+    }
+}
+
+/// 128-bit destination address match.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Match128Op;
+
+impl FieldOp for Match128Op {
+    fn key(&self) -> FnKey {
+        FnKey::Match128
+    }
+
+    fn execute(
+        &self,
+        triple: &FnTriple,
+        state: &mut RouterState,
+        ctx: &mut PacketCtx<'_>,
+    ) -> Action {
+        if triple.field_len != 128 {
+            return Action::Drop(DropReason::MalformedField);
+        }
+        let Ok(bytes) = ctx.read_field(triple) else {
+            return Action::Drop(DropReason::MalformedField);
+        };
+        let mut a = [0u8; 16];
+        a.copy_from_slice(&bytes);
+        match state.ipv6_fib.lookup(Ipv6Addr(a)) {
+            Some(nh) => Action::Forward(nh.port),
+            None => Action::Drop(DropReason::NoRoute),
+        }
+    }
+
+    fn cost(&self, _field_bits: u16) -> OpCost {
+        // Wider key: costs an extra stage on PISA (two 64-bit slices).
+        OpCost::lookup(2, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{ctx, state};
+    use dip_tables::fib::NextHop;
+
+    #[test]
+    fn match32_forwards_on_lpm_hit() {
+        let mut st = state();
+        st.ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(4));
+        let mut locs = vec![10, 1, 2, 3, 0, 0, 0, 0];
+        let mut c = ctx(&mut locs, &[]);
+        let t = FnTriple::router(0, 32, FnKey::Match32);
+        assert_eq!(Match32Op.execute(&t, &mut st, &mut c), Action::Forward(4));
+    }
+
+    #[test]
+    fn match32_drops_on_miss() {
+        let mut st = state();
+        let mut locs = vec![10, 1, 2, 3];
+        let mut c = ctx(&mut locs, &[]);
+        let t = FnTriple::router(0, 32, FnKey::Match32);
+        assert_eq!(Match32Op.execute(&t, &mut st, &mut c), Action::Drop(DropReason::NoRoute));
+    }
+
+    #[test]
+    fn match32_rejects_wrong_width() {
+        let mut st = state();
+        let mut locs = vec![0u8; 16];
+        let mut c = ctx(&mut locs, &[]);
+        let t = FnTriple::router(0, 64, FnKey::Match32);
+        assert_eq!(
+            Match32Op.execute(&t, &mut st, &mut c),
+            Action::Drop(DropReason::MalformedField)
+        );
+    }
+
+    #[test]
+    fn match32_rejects_field_past_end() {
+        let mut st = state();
+        let mut locs = vec![0u8; 2];
+        let mut c = ctx(&mut locs, &[]);
+        let t = FnTriple::router(0, 32, FnKey::Match32);
+        assert_eq!(
+            Match32Op.execute(&t, &mut st, &mut c),
+            Action::Drop(DropReason::MalformedField)
+        );
+    }
+
+    #[test]
+    fn match128_forwards() {
+        let mut st = state();
+        let dst = Ipv6Addr::new([0xfdaa, 0, 0, 0, 0, 0, 0, 0x100]);
+        st.ipv6_fib.add_route(Ipv6Addr::new([0xfdaa, 0, 0, 0, 0, 0, 0, 0]), 16, NextHop::port(9));
+        let mut locs = dst.0.to_vec();
+        locs.extend_from_slice(&[0u8; 16]);
+        let mut c = ctx(&mut locs, &[]);
+        let t = FnTriple::router(0, 128, FnKey::Match128);
+        assert_eq!(Match128Op.execute(&t, &mut st, &mut c), Action::Forward(9));
+    }
+
+    #[test]
+    fn paper_triples_for_ip_forwarding() {
+        // §3: DIP-32 = (loc:0,len:32,key F_32_match) with dst in the low 32
+        // bits of the locations; DIP-128 = (loc:0,len:128,key F_128_match).
+        let mut st = state();
+        st.ipv4_fib.add_route(Ipv4Addr::new(192, 168, 69, 0), 24, NextHop::port(2));
+        // locations = dst(4B) || src(4B)
+        let mut locs = vec![192, 168, 69, 100, 10, 0, 0, 1];
+        let mut c = ctx(&mut locs, &[]);
+        assert_eq!(
+            Match32Op.execute(&FnTriple::router(0, 32, FnKey::Match32), &mut st, &mut c),
+            Action::Forward(2)
+        );
+    }
+}

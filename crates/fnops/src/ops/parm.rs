@@ -1,0 +1,97 @@
+//! `F_parm` (key 6): load parameters / derive the dynamic key.
+//!
+//! §3 (OPT): "the router will derive a dynamic key from session ID in the
+//! packet header with its local key" — the DRKey-style stateless derivation
+//! `K_i = PRF(S_i, session_id)`. The key is deposited in the packet context
+//! for `F_MAC` and `F_mark` to consume; no per-flow state is created.
+
+use crate::context::{Action, DropReason, PacketCtx, RouterState};
+use crate::cost::OpCost;
+use crate::FieldOp;
+use dip_crypto::derive_session_key;
+use dip_wire::triple::{FnKey, FnTriple};
+
+/// Parameter-loading / key-derivation op.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ParmOp;
+
+impl FieldOp for ParmOp {
+    fn key(&self) -> FnKey {
+        FnKey::Parm
+    }
+
+    fn execute(
+        &self,
+        triple: &FnTriple,
+        state: &mut RouterState,
+        ctx: &mut PacketCtx<'_>,
+    ) -> Action {
+        if triple.field_len != 128 {
+            return Action::Drop(DropReason::MalformedField);
+        }
+        let Ok(bytes) = ctx.read_field(triple) else {
+            return Action::Drop(DropReason::MalformedField);
+        };
+        let mut session_id = [0u8; 16];
+        session_id.copy_from_slice(&bytes);
+        ctx.dynamic_key = Some(derive_session_key(&state.local_secret, &session_id));
+        Action::Continue
+    }
+
+    fn cost(&self, _field_bits: u16) -> OpCost {
+        // One PRF = one short CBC-MAC: ~3 cipher blocks.
+        OpCost::cipher(1, 3, 0)
+    }
+
+    fn requires_participation(&self) -> bool {
+        true // path authentication needs every on-path AS (§2.4)
+    }
+
+    fn writes_dynamic_key(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{ctx, state};
+    use dip_wire::opt::triple_bits;
+
+    #[test]
+    fn derives_key_matching_host_computation() {
+        let mut st = state();
+        let mut locs = vec![0u8; 68];
+        locs[16..32].copy_from_slice(&[0xaa; 16]); // SessionID field
+        let mut c = ctx(&mut locs, &[]);
+        let t = FnTriple::router(triple_bits::PARM.0, triple_bits::PARM.1, FnKey::Parm);
+        assert_eq!(ParmOp.execute(&t, &mut st, &mut c), Action::Continue);
+        let expected = derive_session_key(&st.local_secret, &[0xaa; 16]);
+        assert_eq!(c.dynamic_key, Some(expected));
+    }
+
+    #[test]
+    fn different_sessions_different_keys() {
+        let mut st = state();
+        let t = FnTriple::router(128, 128, FnKey::Parm);
+        let mut locs_a = vec![0u8; 68];
+        locs_a[16..32].fill(0xaa);
+        let mut ca = ctx(&mut locs_a, &[]);
+        ParmOp.execute(&t, &mut st, &mut ca);
+        let ka = ca.dynamic_key;
+        let mut locs_b = vec![0u8; 68];
+        locs_b[16..32].fill(0xbb);
+        let mut cb = ctx(&mut locs_b, &[]);
+        ParmOp.execute(&t, &mut st, &mut cb);
+        assert_ne!(ka, cb.dynamic_key);
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let mut st = state();
+        let mut locs = vec![0u8; 68];
+        let mut c = ctx(&mut locs, &[]);
+        let t = FnTriple::router(128, 64, FnKey::Parm);
+        assert_eq!(ParmOp.execute(&t, &mut st, &mut c), Action::Drop(DropReason::MalformedField));
+    }
+}

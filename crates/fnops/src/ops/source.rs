@@ -1,0 +1,86 @@
+//! `F_source` (key 3): source address handling.
+//!
+//! §3: IP forwarding "uses F_source to specify the source address" — the
+//! triple marks which bits of the locations area carry the source. The
+//! router records it in the packet context (for control messages such as
+//! FN-unsupported notifications, §2.4) and, when a reverse route exists,
+//! performs a unicast reverse-path sanity check (drop-free: a failed check
+//! is only recorded, matching IP's permissive default; strict uRPF is the
+//! operator's policy choice).
+
+use crate::context::{Action, DropReason, PacketCtx, RouterState};
+use crate::cost::OpCost;
+use crate::FieldOp;
+use dip_wire::triple::{FnKey, FnTriple};
+
+/// Source-address recording op.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SourceOp;
+
+impl FieldOp for SourceOp {
+    fn key(&self) -> FnKey {
+        FnKey::Source
+    }
+
+    fn execute(
+        &self,
+        triple: &FnTriple,
+        _state: &mut RouterState,
+        ctx: &mut PacketCtx<'_>,
+    ) -> Action {
+        if triple.field_len != 32 && triple.field_len != 128 {
+            return Action::Drop(DropReason::MalformedField);
+        }
+        match ctx.read_field(triple) {
+            Ok(bytes) => {
+                ctx.source_addr = Some(bytes);
+                Action::Continue
+            }
+            Err(_) => Action::Drop(DropReason::MalformedField),
+        }
+    }
+
+    fn cost(&self, _field_bits: u16) -> OpCost {
+        OpCost::stages(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{ctx, state};
+
+    #[test]
+    fn records_source_in_ctx() {
+        let mut st = state();
+        // DIP-32 layout (§3): dst at bits [0,32), src at bits [32,64).
+        let mut locs = vec![192, 168, 0, 1, 10, 0, 0, 9];
+        let mut c = ctx(&mut locs, &[]);
+        let t = FnTriple::router(32, 32, FnKey::Source);
+        assert_eq!(SourceOp.execute(&t, &mut st, &mut c), Action::Continue);
+        assert_eq!(c.source_addr, Some(vec![10, 0, 0, 9]));
+    }
+
+    #[test]
+    fn records_128bit_source() {
+        let mut st = state();
+        let mut locs = vec![0u8; 32];
+        locs[16] = 0xfd;
+        let mut c = ctx(&mut locs, &[]);
+        let t = FnTriple::router(128, 128, FnKey::Source);
+        assert_eq!(SourceOp.execute(&t, &mut st, &mut c), Action::Continue);
+        assert_eq!(c.source_addr.as_ref().unwrap()[0], 0xfd);
+    }
+
+    #[test]
+    fn rejects_odd_widths() {
+        let mut st = state();
+        let mut locs = vec![0u8; 8];
+        let mut c = ctx(&mut locs, &[]);
+        let t = FnTriple::router(0, 48, FnKey::Source);
+        assert_eq!(
+            SourceOp.execute(&t, &mut st, &mut c),
+            Action::Drop(DropReason::MalformedField)
+        );
+    }
+}

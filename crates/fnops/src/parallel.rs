@@ -1,0 +1,217 @@
+//! The modular-parallelism planner (§2.2).
+//!
+//! The lowest bit of the packet parameter "indicates whether the operation
+//! modules can be executed in parallel ... to improve packet processing
+//! speed when the modular parallelism technique \[31, 32\] is used". This
+//! module computes *which* operations may overlap: it partitions the FN
+//! chain into sequential **waves** such that within a wave no two
+//! operations conflict. Two operations conflict when
+//!
+//! * one writes a bit range the other reads or writes (the read range is
+//!   the triple's target field, write ranges come from
+//!   [`crate::FieldOp::write_range`]); or
+//! * one writes the per-packet dynamic key and the other reads or writes
+//!   it (the `F_parm` → `F_MAC`/`F_mark` dependency of §3).
+//!
+//! Program order is preserved across conflicting pairs, so executing the
+//! waves in order is observably equivalent to sequential execution. The
+//! PISA timing model charges a wave the *maximum* of its members' costs
+//! instead of the sum (experiment E5).
+
+use crate::registry::FnRegistry;
+use dip_wire::triple::FnTriple;
+
+/// Read/write footprint of one FN in the chain.
+#[derive(Debug, Clone, Copy)]
+struct Footprint {
+    read: (usize, usize),
+    write: Option<(usize, usize)>,
+    reads_key: bool,
+    writes_key: bool,
+}
+
+fn ranges_overlap(a: (usize, usize), b: (usize, usize)) -> bool {
+    a.0 < b.1 && b.0 < a.1 && a.0 != a.1 && b.0 != b.1
+}
+
+fn conflicts(a: &Footprint, b: &Footprint) -> bool {
+    // Field-level: write/read, read/write, write/write.
+    if let Some(wa) = a.write {
+        if ranges_overlap(wa, b.read) {
+            return true;
+        }
+        if let Some(wb) = b.write {
+            if ranges_overlap(wa, wb) {
+                return true;
+            }
+        }
+    }
+    if let Some(wb) = b.write {
+        if ranges_overlap(wb, a.read) {
+            return true;
+        }
+    }
+    // Dynamic-key dependency.
+    if a.writes_key && (b.reads_key || b.writes_key) {
+        return true;
+    }
+    if b.writes_key && a.reads_key {
+        return true;
+    }
+    false
+}
+
+/// An execution plan: triple indices grouped into sequential waves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Waves, each a list of indices into the original triple slice; all
+    /// members of a wave may execute concurrently.
+    pub waves: Vec<Vec<usize>>,
+}
+
+impl Plan {
+    /// A fully sequential plan (one wave per op) — what routers run when
+    /// the parallel flag is clear.
+    pub fn sequential(n: usize) -> Plan {
+        Plan { waves: (0..n).map(|i| vec![i]).collect() }
+    }
+
+    /// Number of sequential steps.
+    pub fn depth(&self) -> usize {
+        self.waves.len()
+    }
+}
+
+/// Computes the parallel execution plan for a chain of router-executed
+/// triples. Host-tagged triples should be filtered out by the caller (the
+/// router skips them anyway). Unknown keys are treated as full-barrier
+/// operations (conservatively conflicting with everything).
+pub fn plan(triples: &[FnTriple], registry: &FnRegistry) -> Plan {
+    let feet: Vec<Option<Footprint>> = triples
+        .iter()
+        .map(|t| {
+            registry.get(t.key).map(|op| Footprint {
+                read: (usize::from(t.field_loc), t.field_end()),
+                write: op.write_range(t),
+                reads_key: op.reads_dynamic_key(),
+                writes_key: op.writes_dynamic_key(),
+            })
+        })
+        .collect();
+
+    // Greedy list scheduling: place each op in the earliest wave after all
+    // conflicting predecessors.
+    let mut wave_of: Vec<usize> = Vec::with_capacity(triples.len());
+    for i in 0..triples.len() {
+        let mut earliest = 0;
+        for j in 0..i {
+            let conflict = match (&feet[i], &feet[j]) {
+                (Some(a), Some(b)) => conflicts(b, a),
+                // Unknown op: total barrier.
+                _ => true,
+            };
+            if conflict {
+                earliest = earliest.max(wave_of[j] + 1);
+            }
+        }
+        wave_of.push(earliest);
+    }
+    let depth = wave_of.iter().map(|w| w + 1).max().unwrap_or(0);
+    let mut waves = vec![Vec::new(); depth];
+    for (i, w) in wave_of.iter().enumerate() {
+        waves[*w].push(i);
+    }
+    Plan { waves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_wire::opt::triple_bits;
+    use dip_wire::triple::FnKey;
+
+    fn registry() -> FnRegistry {
+        FnRegistry::standard()
+    }
+
+    fn opt_chain() -> Vec<FnTriple> {
+        vec![
+            FnTriple::router(triple_bits::PARM.0, triple_bits::PARM.1, FnKey::Parm),
+            FnTriple::router(triple_bits::MAC.0, triple_bits::MAC.1, FnKey::Mac),
+            FnTriple::router(triple_bits::MARK.0, triple_bits::MARK.1, FnKey::Mark),
+        ]
+    }
+
+    #[test]
+    fn opt_auth_chain_is_mostly_sequential() {
+        // parm -> mac (key dep), parm -> mark (key dep),
+        // mark writes PVF ⊂ mac's read range -> mac/mark conflict too.
+        let p = plan(&opt_chain(), &registry());
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn ndn_opt_lets_pit_run_with_parm() {
+        // NDN+OPT data chain: PIT reads the name at [0,32); parm reads the
+        // session id; neither writes fields others touch except the
+        // key-dependency chain — so PIT joins the first wave.
+        let triples = vec![
+            FnTriple::router(0, 32, FnKey::Pit),
+            FnTriple::router(32 + 128, 128, FnKey::Parm),
+            FnTriple::router(32, 416, FnKey::Mac),
+            FnTriple::router(32 + 288, 128, FnKey::Mark),
+        ];
+        let p = plan(&triples, &registry());
+        assert_eq!(p.waves[0], vec![0, 1], "PIT and parm should share wave 0");
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn disjoint_reads_share_a_wave() {
+        let triples = vec![
+            FnTriple::router(0, 32, FnKey::Match32),
+            FnTriple::router(32, 32, FnKey::Source),
+        ];
+        let p = plan(&triples, &registry());
+        assert_eq!(p.depth(), 1);
+        assert_eq!(p.waves[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn unknown_key_is_a_barrier() {
+        let triples = vec![
+            FnTriple::router(0, 32, FnKey::Match32),
+            FnTriple::router(64, 32, FnKey::Other(0x300)),
+            FnTriple::router(32, 32, FnKey::Source),
+        ];
+        let p = plan(&triples, &registry());
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn sequential_plan_helper() {
+        let p = Plan::sequential(3);
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.waves, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn empty_chain() {
+        let p = plan(&[], &registry());
+        assert_eq!(p.depth(), 0);
+    }
+
+    #[test]
+    fn waves_preserve_program_order_for_conflicts() {
+        // Two marks on the same field must stay ordered.
+        let triples = vec![
+            FnTriple::router(0, 128, FnKey::Mark),
+            FnTriple::router(0, 128, FnKey::Mark),
+        ];
+        // Give them a key so they'd otherwise be runnable.
+        let p = plan(&triples, &registry());
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.waves[0], vec![0]);
+        assert_eq!(p.waves[1], vec![1]);
+    }
+}

@@ -1,0 +1,81 @@
+//! # dip-protocols — L3 protocol realizations on DIP (§3)
+//!
+//! Each module builds the DIP header for one of the paper's five protocols
+//! by "properly constructing DIP headers" out of FN triples:
+//!
+//! * [`ip`] — canonical IPv4/IPv6 forwarding (`F_32_match`/`F_128_match` +
+//!   `F_source`); DIP-32 is 26 bytes, DIP-128 is 50 bytes on the wire;
+//! * [`ndn`] — NDN interest (`F_FIB`) and data (`F_PIT`) packets with the
+//!   prototype's 32-bit compact content name (16-byte headers) or full
+//!   TLV names;
+//! * [`opt`] — OPT source authentication + path validation
+//!   (`F_parm`/`F_MAC`/`F_mark`/`F_ver`, 98-byte header) including the
+//!   session/key-negotiation layer;
+//! * [`ndn_opt`] — the derived secure content delivery protocol combining
+//!   both (108-byte data header), the paper's flagship composition;
+//! * [`xia`] — XIA DAG routing (`F_DAG` + `F_intent`).
+//!
+//! Every builder returns a [`dip_wire::packet::DipRepr`], so protocols can
+//! be inspected, mutated (for attack experiments), serialized with
+//! `to_bytes`, or padded to the Figure-2 sizes with `to_bytes_padded`.
+//!
+//! Beyond the paper's five, three *extension* protocols demonstrate the
+//! runtime-upgradable FN story of §5 — each is a custom [`dip_fnops::FieldOp`]
+//! registered under an experimental key, with private state in
+//! `RouterState::ext`, touching no core crate:
+//!
+//! * [`netfence`] — NetFence-style AIMD congestion policing (`F_cong`);
+//! * [`epic`] — EPIC-style per-hop dataplane verification (`F_epic`):
+//!   bogus traffic drops at the first honest router instead of the
+//!   destination;
+//! * [`scion_path`] — SCION-style stateless hop-field forwarding
+//!   (`F_hopfield`, the §5 "stateless guaranteed services" primitive);
+//! * [`telemetry`] — in-band network telemetry (`F_tele`, §5's "efficient
+//!   network telemetry").
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod epic;
+pub mod ip;
+pub mod ndn;
+pub mod ndn_opt;
+pub mod netfence;
+pub mod opt;
+pub mod scion_path;
+pub mod telemetry;
+pub mod xia;
+
+/// Header sizes reproduced from Table 2 of the paper, in bytes.
+pub mod header_sizes {
+    /// IPv6 forwarding (native baseline).
+    pub const IPV6: usize = 40;
+    /// IPv4 forwarding (native baseline).
+    pub const IPV4: usize = 20;
+    /// DIP-128 forwarding.
+    pub const DIP_128: usize = 50;
+    /// DIP-32 forwarding.
+    pub const DIP_32: usize = 26;
+    /// NDN forwarding (interest or data; one FN + 32-bit name).
+    pub const NDN: usize = 16;
+    /// OPT forwarding.
+    pub const OPT: usize = 98;
+    /// NDN+OPT forwarding (data packet).
+    pub const NDN_OPT: usize = 108;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::header_sizes as hs;
+
+    #[test]
+    fn table2_constants_are_the_paper_numbers() {
+        assert_eq!(hs::IPV6, 40);
+        assert_eq!(hs::IPV4, 20);
+        assert_eq!(hs::DIP_128, 50);
+        assert_eq!(hs::DIP_32, 26);
+        assert_eq!(hs::NDN, 16);
+        assert_eq!(hs::OPT, 98);
+        assert_eq!(hs::NDN_OPT, 108);
+    }
+}

@@ -1,0 +1,231 @@
+//! A multi-core software dataplane driver.
+//!
+//! Real software routers scale by RSS: a NIC hashes each flow to one of N
+//! cores and every core runs an independent copy of the pipeline.
+//! [`ShardedRouter`] reproduces that pattern for the DIP dataplane — N
+//! worker threads, each owning its own [`DipRouter`] (FIBs are built per
+//! shard by the caller's factory; PIT/limiter state is naturally
+//! flow-partitioned because dispatch is by flow hash), fed over bounded
+//! crossbeam channels.
+//!
+//! This is the substrate for the throughput benchmark (how the software
+//! dataplane scales with cores) and a worked answer to "how would you
+//! deploy the Algorithm-1 pipeline on a multi-core box".
+
+use dip_core::{DipRouter, Verdict};
+use dip_tables::{Port, Ticks};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One packet handed to the dataplane.
+#[derive(Debug)]
+pub struct Job {
+    /// The full packet bytes (owned; the shard mutates tags in place).
+    pub packet: Vec<u8>,
+    /// Ingress port.
+    pub in_port: Port,
+    /// Virtual arrival time.
+    pub now: Ticks,
+}
+
+/// Aggregate counters across all shards.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Packets that produced a `Forward` verdict.
+    pub forwarded: u64,
+    /// Packets delivered/consumed/answered locally.
+    pub local: u64,
+    /// Packets dropped (any reason).
+    pub dropped: u64,
+    /// Control notifications generated.
+    pub notified: u64,
+}
+
+impl DriverStats {
+    /// Total packets processed.
+    pub fn total(&self) -> u64 {
+        self.forwarded + self.local + self.dropped + self.notified
+    }
+}
+
+/// An RSS-style sharded software router.
+pub struct ShardedRouter {
+    senders: Vec<crossbeam::channel::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Arc<Mutex<DriverStats>>,
+}
+
+impl ShardedRouter {
+    /// Starts `shards` worker threads; `factory(i)` builds shard `i`'s
+    /// router (typically: identical FIBs, per-shard secrets as desired).
+    pub fn start(shards: usize, factory: impl Fn(usize) -> DipRouter) -> Self {
+        assert!(shards >= 1);
+        let stats = Arc::new(Mutex::new(DriverStats::default()));
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = crossbeam::channel::bounded::<Job>(1024);
+            let mut router = factory(i);
+            let stats = Arc::clone(&stats);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dip-shard-{i}"))
+                    .spawn(move || {
+                        let mut local = DriverStats::default();
+                        for mut job in rx.iter() {
+                            let (verdict, _) =
+                                router.process(&mut job.packet, job.in_port, job.now);
+                            match verdict {
+                                Verdict::Forward(_) => local.forwarded += 1,
+                                Verdict::Deliver
+                                | Verdict::Consumed
+                                | Verdict::RespondCached(_) => local.local += 1,
+                                Verdict::Notify(_) => local.notified += 1,
+                                Verdict::Drop(_) => local.dropped += 1,
+                            }
+                        }
+                        let mut s = stats.lock();
+                        s.forwarded += local.forwarded;
+                        s.local += local.local;
+                        s.dropped += local.dropped;
+                        s.notified += local.notified;
+                    })
+                    .expect("spawn shard"),
+            );
+            senders.push(tx);
+        }
+        ShardedRouter { senders, handles, stats }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// RSS dispatch: hash the FN locations (the flow-identifying bytes) to
+    /// pick a shard, so one flow's state never splits across shards.
+    pub fn shard_for(&self, packet: &[u8]) -> usize {
+        let key = dip_wire::DipPacket::new_checked(packet)
+            .map(|p| {
+                let locs = p.locations();
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for &b in locs.iter().take(64) {
+                    h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h
+            })
+            .unwrap_or(0);
+        (key % self.senders.len() as u64) as usize
+    }
+
+    /// Submits a packet, blocking if the owning shard's queue is full.
+    pub fn submit(&self, job: Job) {
+        let shard = self.shard_for(&job.packet);
+        self.senders[shard].send(job).expect("shard alive");
+    }
+
+    /// Submits to an explicit shard (for tests / custom steering).
+    pub fn submit_to(&self, shard: usize, job: Job) {
+        self.senders[shard].send(job).expect("shard alive");
+    }
+
+    /// Drains the queues, stops the workers, and returns the totals.
+    pub fn shutdown(self) -> DriverStats {
+        drop(self.senders);
+        for h in self.handles {
+            h.join().expect("shard thread");
+        }
+        let s = self.stats.lock();
+        *s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_protocols::ip;
+    use dip_tables::fib::NextHop;
+    use dip_wire::ipv4::Ipv4Addr;
+
+    fn routed_factory(i: usize) -> DipRouter {
+        let mut r = DipRouter::new(i as u64, [i as u8 + 1; 16]);
+        r.state_mut().ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
+        r
+    }
+
+    fn dip32(dst_low: u8) -> Vec<u8> {
+        ip::dip32_packet(Ipv4Addr::new(10, 0, 0, dst_low), Ipv4Addr::new(1, 1, 1, 1), 64)
+            .to_bytes(&[0u8; 32])
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_add_up_across_shards() {
+        let driver = ShardedRouter::start(4, routed_factory);
+        for i in 0..400u32 {
+            driver.submit(Job { packet: dip32(i as u8), in_port: 0, now: u64::from(i) });
+        }
+        // 100 unroutable packets.
+        for i in 0..100u32 {
+            let pkt = ip::dip32_packet(
+                Ipv4Addr::new(99, 0, 0, i as u8),
+                Ipv4Addr::new(1, 1, 1, 1),
+                64,
+            )
+            .to_bytes(&[])
+            .unwrap();
+            driver.submit(Job { packet: pkt, in_port: 0, now: 0 });
+        }
+        let stats = driver.shutdown();
+        assert_eq!(stats.forwarded, 400);
+        assert_eq!(stats.dropped, 100);
+        assert_eq!(stats.total(), 500);
+    }
+
+    #[test]
+    fn flow_affinity_is_stable() {
+        let driver = ShardedRouter::start(8, routed_factory);
+        let pkt = dip32(7);
+        let shard = driver.shard_for(&pkt);
+        for _ in 0..100 {
+            assert_eq!(driver.shard_for(&pkt), shard);
+        }
+        // Different flows spread across shards.
+        let shards: std::collections::HashSet<usize> =
+            (0..64).map(|i| driver.shard_for(&dip32(i))).collect();
+        assert!(shards.len() > 1, "dispatch degenerated to one shard");
+        driver.shutdown();
+    }
+
+    #[test]
+    fn ndn_flow_state_stays_consistent_per_shard() {
+        use dip_wire::ndn::Name;
+        let name = Name::parse("/sharded");
+        let factory = |i: usize| {
+            let mut r = DipRouter::new(i as u64, [1; 16]);
+            r.state_mut().name_fib.add_route(&name, NextHop::port(1));
+            r
+        };
+        let driver = ShardedRouter::start(4, factory);
+        // Interest then data for the same name: same locations bytes ->
+        // same shard -> the PIT entry is found.
+        let interest = dip_protocols::ndn::interest(&name, 64).to_bytes(b"rq").unwrap();
+        driver.submit(Job { packet: interest, in_port: 3, now: 0 });
+        // Give the interest time to be processed before the data arrives.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let data = dip_protocols::ndn::data(&name, 64).to_bytes(b"content").unwrap();
+        driver.submit(Job { packet: data, in_port: 1, now: 10 });
+        let stats = driver.shutdown();
+        assert_eq!(stats.forwarded, 2, "interest and data both forwarded: {stats:?}");
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn single_shard_works() {
+        let driver = ShardedRouter::start(1, routed_factory);
+        driver.submit(Job { packet: dip32(1), in_port: 0, now: 0 });
+        let stats = driver.shutdown();
+        assert_eq!(stats.forwarded, 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-link fault injection (drop / corrupt), in the style of smoltcp's
+//! example harness — used to demonstrate protocol behaviour under adverse
+//! conditions and to drive the security experiments.
+
+use rand::Rng;
+
+/// Fault configuration for one link direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability in `[0,1]` that a packet is silently dropped.
+    pub drop_chance: f64,
+    /// Probability in `[0,1]` that one random byte is flipped.
+    pub corrupt_chance: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { drop_chance: 0.0, corrupt_chance: 0.0 }
+    }
+}
+
+impl FaultConfig {
+    /// A perfectly reliable link.
+    pub fn reliable() -> Self {
+        FaultConfig::default()
+    }
+
+    /// A lossy link dropping `pct` percent of packets.
+    pub fn lossy(pct: f64) -> Self {
+        FaultConfig { drop_chance: pct / 100.0, corrupt_chance: 0.0 }
+    }
+
+    /// Applies faults to a packet in flight. Returns `false` when the
+    /// packet is dropped; may flip one byte in place.
+    pub fn apply<R: Rng>(&self, rng: &mut R, packet: &mut [u8]) -> bool {
+        if self.drop_chance > 0.0 && rng.gen_bool(self.drop_chance.clamp(0.0, 1.0)) {
+            return false;
+        }
+        if self.corrupt_chance > 0.0
+            && !packet.is_empty()
+            && rng.gen_bool(self.corrupt_chance.clamp(0.0, 1.0))
+        {
+            let idx = rng.gen_range(0..packet.len());
+            let bit = 1u8 << rng.gen_range(0..8);
+            packet[idx] ^= bit;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reliable_never_touches_packets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = FaultConfig::reliable();
+        let mut pkt = vec![1, 2, 3];
+        for _ in 0..100 {
+            assert!(cfg.apply(&mut rng, &mut pkt));
+        }
+        assert_eq!(pkt, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn full_drop_drops_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = FaultConfig { drop_chance: 1.0, corrupt_chance: 0.0 };
+        let mut pkt = vec![0u8; 4];
+        assert!(!cfg.apply(&mut rng, &mut pkt));
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = FaultConfig { drop_chance: 0.0, corrupt_chance: 1.0 };
+        let mut pkt = vec![0u8; 16];
+        assert!(cfg.apply(&mut rng, &mut pkt));
+        let flipped: u32 = pkt.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = FaultConfig::lossy(15.0);
+        let mut dropped = 0;
+        for _ in 0..10_000 {
+            let mut pkt = vec![0u8; 4];
+            if !cfg.apply(&mut rng, &mut pkt) {
+                dropped += 1;
+            }
+        }
+        assert!((1200..1800).contains(&dropped), "dropped {dropped} of 10000");
+    }
+}

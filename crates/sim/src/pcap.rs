@@ -1,0 +1,141 @@
+//! libpcap trace export.
+//!
+//! The smoltcp examples ship a `--pcap` flag that writes "a view of every
+//! packet" for Wireshark; this module gives the DIP simulator the same
+//! facility. Packets are written in the classic libpcap format with the
+//! `DLT_USER0` link type (147) — Wireshark will show raw bytes, and a
+//! custom dissector can be attached to DLT_USER0 for DIP decoding.
+
+use crate::SimTime;
+use std::io::{self, Write};
+
+/// libpcap magic (microsecond timestamps, little-endian writer).
+const PCAP_MAGIC: u32 = 0xa1b2_c3d4;
+/// DLT_USER0: reserved for private use — no false decoding in tools.
+const LINKTYPE_USER0: u32 = 147;
+/// Per-packet snapshot limit.
+const SNAPLEN: u32 = 65_535;
+
+/// Writes a libpcap stream.
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates a writer and emits the global header.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        sink.write_all(&PCAP_MAGIC.to_le_bytes())?;
+        sink.write_all(&2u16.to_le_bytes())?; // version major
+        sink.write_all(&4u16.to_le_bytes())?; // version minor
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&SNAPLEN.to_le_bytes())?;
+        sink.write_all(&LINKTYPE_USER0.to_le_bytes())?;
+        Ok(PcapWriter { sink, packets: 0 })
+    }
+
+    /// Appends one packet captured at virtual time `at` (nanoseconds).
+    pub fn write_packet(&mut self, at: SimTime, data: &[u8]) -> io::Result<()> {
+        let secs = (at / 1_000_000_000) as u32;
+        let micros = ((at % 1_000_000_000) / 1_000) as u32;
+        let caplen = (data.len() as u32).min(SNAPLEN);
+        self.sink.write_all(&secs.to_le_bytes())?;
+        self.sink.write_all(&micros.to_le_bytes())?;
+        self.sink.write_all(&caplen.to_le_bytes())?;
+        self.sink.write_all(&(data.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&data[..caplen as usize])?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Number of packets written so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flushes and returns the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Parses a pcap byte stream back into `(time_ns, packet)` pairs — used by
+/// tests and by tooling that post-processes simulator captures.
+pub fn parse(bytes: &[u8]) -> Option<Vec<(SimTime, Vec<u8>)>> {
+    if bytes.len() < 24 {
+        return None;
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    if magic != PCAP_MAGIC {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut off = 24;
+    while off < bytes.len() {
+        if bytes.len() < off + 16 {
+            return None;
+        }
+        let secs = u32::from_le_bytes(bytes[off..off + 4].try_into().ok()?);
+        let micros = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().ok()?);
+        let caplen = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().ok()?) as usize;
+        off += 16;
+        if bytes.len() < off + caplen {
+            return None;
+        }
+        let at = u64::from(secs) * 1_000_000_000 + u64::from(micros) * 1_000;
+        out.push((at, bytes[off..off + caplen].to_vec()));
+        off += caplen;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_packet(1_500_000, b"first").unwrap();
+        w.write_packet(3_000_000_000, b"second packet").unwrap();
+        assert_eq!(w.packets(), 2);
+        let bytes = w.finish().unwrap();
+        let parsed = parse(&bytes).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, 1_500_000);
+        assert_eq!(parsed[0].1, b"first");
+        assert_eq!(parsed[1].0, 3_000_000_000);
+        assert_eq!(parsed[1].1, b"second packet");
+    }
+
+    #[test]
+    fn header_fields() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), PCAP_MAGIC);
+        assert_eq!(u32::from_le_bytes(bytes[20..24].try_into().unwrap()), LINKTYPE_USER0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(b"short").is_none());
+        assert!(parse(&[0u8; 40]).is_none());
+        // Truncated packet record.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_packet(0, b"data").unwrap();
+        let bytes = w.finish().unwrap();
+        assert!(parse(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn timestamp_precision_is_microseconds() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_packet(1_234, b"x").unwrap(); // 1.234 µs -> truncates to 1 µs
+        let bytes = w.finish().unwrap();
+        let parsed = parse(&bytes).unwrap();
+        assert_eq!(parsed[0].0, 1_000);
+    }
+}

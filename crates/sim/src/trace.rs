@@ -1,0 +1,134 @@
+//! Simulation trace: a queryable record of everything that happened.
+
+use crate::SimTime;
+use dip_fnops::DropReason;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet was sent from a node's port.
+    Sent {
+        /// Sending node.
+        node: usize,
+        /// Egress port.
+        port: u32,
+        /// Packet length.
+        len: usize,
+    },
+    /// A packet was dropped in flight by fault injection.
+    LinkDropped {
+        /// Sending node.
+        node: usize,
+        /// Egress port.
+        port: u32,
+    },
+    /// A router/host dropped a packet with a reason.
+    Dropped {
+        /// Node that dropped it.
+        node: usize,
+        /// Why.
+        reason: DropReason,
+    },
+    /// A host delivered a packet to its application.
+    Delivered {
+        /// Receiving node.
+        node: usize,
+        /// Whether host verification (`F_ver`) ran and succeeded.
+        verified: bool,
+        /// Payload length.
+        len: usize,
+    },
+    /// A router answered an interest from its content store.
+    CacheHit {
+        /// The caching node.
+        node: usize,
+    },
+    /// A control notification was generated (§2.4).
+    Notified {
+        /// Node that generated the notification.
+        node: usize,
+        /// Unsupported key.
+        key: u16,
+    },
+}
+
+/// A time-ordered list of [`TraceEvent`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    events: Vec<(SimTime, TraceEvent)>,
+}
+
+impl Trace {
+    /// Records an event.
+    pub fn push(&mut self, time: SimTime, event: TraceEvent) {
+        self.events.push((time, event));
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Number of delivered packets (optionally only verified ones).
+    pub fn delivered(&self, verified_only: bool) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| match e {
+                TraceEvent::Delivered { verified, .. } => *verified || !verified_only,
+                _ => false,
+            })
+            .count()
+    }
+
+    /// Number of node drops with a given reason.
+    pub fn drops_with(&self, reason: DropReason) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::Dropped { reason: r, .. } if *r == reason))
+            .count()
+    }
+
+    /// Total node drops.
+    pub fn drops(&self) -> usize {
+        self.events.iter().filter(|(_, e)| matches!(e, TraceEvent::Dropped { .. })).count()
+    }
+
+    /// Number of in-flight (link) drops.
+    pub fn link_drops(&self) -> usize {
+        self.events.iter().filter(|(_, e)| matches!(e, TraceEvent::LinkDropped { .. })).count()
+    }
+
+    /// Number of content-store hits.
+    pub fn cache_hits(&self) -> usize {
+        self.events.iter().filter(|(_, e)| matches!(e, TraceEvent::CacheHit { .. })).count()
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_queries() {
+        let mut t = Trace::default();
+        t.push(1, TraceEvent::Delivered { node: 1, verified: true, len: 10 });
+        t.push(2, TraceEvent::Delivered { node: 1, verified: false, len: 10 });
+        t.push(3, TraceEvent::Dropped { node: 2, reason: DropReason::PitMiss });
+        t.push(4, TraceEvent::Dropped { node: 2, reason: DropReason::NoRoute });
+        t.push(5, TraceEvent::LinkDropped { node: 0, port: 1 });
+        t.push(6, TraceEvent::CacheHit { node: 3 });
+        assert_eq!(t.delivered(false), 2);
+        assert_eq!(t.delivered(true), 1);
+        assert_eq!(t.drops(), 2);
+        assert_eq!(t.drops_with(DropReason::PitMiss), 1);
+        assert_eq!(t.link_drops(), 1);
+        assert_eq!(t.cache_hits(), 1);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

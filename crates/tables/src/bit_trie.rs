@@ -1,0 +1,301 @@
+//! A binary trie for longest-prefix matching over fixed-width bit strings.
+//!
+//! Backs the 32-bit and 128-bit address FIBs (`F_32_match`,
+//! `F_128_match`). Keys are stored left-aligned in a `u128` with an explicit
+//! width so the same structure serves IPv4, IPv6, and the 32-bit compact
+//! content names of the DIP prototype.
+
+/// A prefix: the top `len` bits of `bits` (which is left-aligned within
+/// `width` total bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prefix {
+    /// The key bits, left-aligned: bit 0 of the prefix is the MSB of the
+    /// `width`-bit value.
+    pub bits: u128,
+    /// Prefix length in bits (`0..=width`).
+    pub len: u8,
+    /// Address family width in bits (32 or 128 here, any `1..=128` works).
+    pub width: u8,
+}
+
+impl Prefix {
+    /// A prefix over 32-bit keys (e.g. `Prefix::v4(0x0a000000, 8)` =
+    /// `10.0.0.0/8`).
+    pub fn v4(addr: u32, len: u8) -> Self {
+        debug_assert!(len <= 32);
+        Prefix { bits: (u128::from(addr)) << 96, len, width: 32 }
+    }
+
+    /// A prefix over 128-bit keys.
+    pub fn v6(addr: u128, len: u8) -> Self {
+        debug_assert!(len <= 128);
+        Prefix { bits: addr, len, width: 128 }
+    }
+
+    /// The full-length key for a 32-bit address (a /32 host route).
+    pub fn v4_host(addr: u32) -> Self {
+        Prefix::v4(addr, 32)
+    }
+
+    /// The full-length key for a 128-bit address.
+    pub fn v6_host(addr: u128) -> Self {
+        Prefix::v6(addr, 128)
+    }
+
+    /// Bit `i` (0 = most significant of the key). `bits` is stored
+    /// left-aligned in the u128 (v4 stores `addr << 96`), so bit 0 of any
+    /// family is u128 bit 127.
+    #[inline]
+    fn bit(&self, i: u8) -> bool {
+        debug_assert!(i < self.width);
+        (self.bits >> (127 - u32::from(i))) & 1 == 1
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node { value: None, children: [None, None] }
+    }
+}
+
+/// Binary trie with longest-prefix-match lookup.
+#[derive(Debug, Clone)]
+pub struct BitTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for BitTrie<V> {
+    fn default() -> Self {
+        BitTrie { root: Node::default(), len: 0 }
+    }
+}
+
+impl<V> BitTrie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        BitTrie::default()
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len {
+            let b = usize::from(prefix.bit(i));
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes the value at exactly `prefix`.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len {
+            let b = usize::from(prefix.bit(i));
+            node = node.children[b].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match of a full-width `key`, returning the matched
+    /// prefix length and value.
+    pub fn lookup(&self, key: Prefix) -> Option<(u8, &V)> {
+        let mut best: Option<(u8, &V)> = self.root.value.as_ref().map(|v| (0, v));
+        let mut node = &self.root;
+        for i in 0..key.width {
+            let b = usize::from(key.bit(i));
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Collects every stored `(prefix, value)` pair, in depth-first order.
+    /// `width` is the address family width used to build the returned
+    /// [`Prefix`]es (32 or 128).
+    pub fn entries(&self, width: u8) -> Vec<(Prefix, &V)> {
+        fn walk<'a, V>(
+            node: &'a Node<V>,
+            bits: u128,
+            depth: u8,
+            width: u8,
+            out: &mut Vec<(Prefix, &'a V)>,
+        ) {
+            if let Some(v) = node.value.as_ref() {
+                out.push((Prefix { bits, len: depth, width }, v));
+            }
+            if depth == 128 {
+                return;
+            }
+            for (b, child) in node.children.iter().enumerate() {
+                if let Some(child) = child {
+                    let bit = (b as u128) << (127 - u32::from(depth));
+                    walk(child, bits | bit, depth + 1, width, out);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        walk(&self.root, 0, 0, width, &mut out);
+        out
+    }
+
+    /// Exact-match lookup at `prefix`.
+    pub fn get(&self, prefix: Prefix) -> Option<&V> {
+        let mut node = &self.root;
+        for i in 0..prefix.len {
+            let b = usize::from(prefix.bit(i));
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_bit_indexing_v4() {
+        let p = Prefix::v4(0x8000_0001, 32);
+        assert!(p.bit(0));
+        assert!(!p.bit(1));
+        assert!(!p.bit(30));
+        assert!(p.bit(31));
+    }
+
+    #[test]
+    fn prefix_bit_indexing_v6() {
+        let p = Prefix::v6(1u128 << 127 | 1, 128);
+        assert!(p.bit(0));
+        assert!(!p.bit(64));
+        assert!(p.bit(127));
+    }
+
+    #[test]
+    fn lpm_prefers_longest() {
+        let mut t = BitTrie::new();
+        t.insert(Prefix::v4(0x0a00_0000, 8), "ten/8");
+        t.insert(Prefix::v4(0x0a01_0000, 16), "ten-one/16");
+        t.insert(Prefix::v4(0x0a01_0100, 24), "ten-one-one/24");
+        assert_eq!(t.lookup(Prefix::v4_host(0x0a01_0105)), Some((24, &"ten-one-one/24")));
+        assert_eq!(t.lookup(Prefix::v4_host(0x0a01_0505)), Some((16, &"ten-one/16")));
+        assert_eq!(t.lookup(Prefix::v4_host(0x0a05_0505)), Some((8, &"ten/8")));
+        assert_eq!(t.lookup(Prefix::v4_host(0x0b00_0000)), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = BitTrie::new();
+        t.insert(Prefix::v4(0, 0), "default");
+        assert_eq!(t.lookup(Prefix::v4_host(0xffff_ffff)), Some((0, &"default")));
+        t.insert(Prefix::v4(0xffff_ff00, 24), "specific");
+        assert_eq!(t.lookup(Prefix::v4_host(0xffff_ffff)), Some((24, &"specific")));
+    }
+
+    #[test]
+    fn insert_replaces_and_remove_deletes() {
+        let mut t = BitTrie::new();
+        assert_eq!(t.insert(Prefix::v4(0x0a00_0000, 8), 1), None);
+        assert_eq!(t.insert(Prefix::v4(0x0a00_0000, 8), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(Prefix::v4(0x0a00_0000, 8)), Some(2));
+        assert!(t.is_empty());
+        assert_eq!(t.remove(Prefix::v4(0x0a00_0000, 8)), None);
+        assert_eq!(t.lookup(Prefix::v4_host(0x0a01_0101)), None);
+    }
+
+    #[test]
+    fn get_is_exact() {
+        let mut t = BitTrie::new();
+        t.insert(Prefix::v4(0x0a00_0000, 8), 1);
+        assert_eq!(t.get(Prefix::v4(0x0a00_0000, 8)), Some(&1));
+        assert_eq!(t.get(Prefix::v4(0x0a00_0000, 16)), None);
+        assert_eq!(t.get(Prefix::v4(0x0a00_0000, 7)), None);
+    }
+
+    #[test]
+    fn v6_lpm() {
+        let mut t = BitTrie::new();
+        let fdaa = 0xfdaa_u128 << 112;
+        t.insert(Prefix::v6(fdaa, 16), "site");
+        t.insert(Prefix::v6(fdaa | (1 << 64), 64), "subnet");
+        assert_eq!(t.lookup(Prefix::v6_host(fdaa | (1 << 64) | 5)), Some((64, &"subnet")));
+        assert_eq!(t.lookup(Prefix::v6_host(fdaa | 5)), Some((16, &"site")));
+    }
+
+    #[test]
+    fn distinguishes_sibling_branches() {
+        let mut t = BitTrie::new();
+        t.insert(Prefix::v4(0x0000_0000, 1), "low");
+        t.insert(Prefix::v4(0x8000_0000, 1), "high");
+        assert_eq!(t.lookup(Prefix::v4_host(0x7fff_ffff)), Some((1, &"low")));
+        assert_eq!(t.lookup(Prefix::v4_host(0x8000_0000)), Some((1, &"high")));
+    }
+
+    #[test]
+    fn entries_enumerates_all_prefixes() {
+        let mut t = BitTrie::new();
+        t.insert(Prefix::v4(0x0a00_0000, 8), 1);
+        t.insert(Prefix::v4(0x0a01_0000, 16), 2);
+        t.insert(Prefix::v4(0, 0), 0);
+        let entries = t.entries(32);
+        assert_eq!(entries.len(), 3);
+        // Every entry resolves back through get().
+        for (p, v) in &entries {
+            assert_eq!(t.get(*p), Some(*v));
+        }
+        // The /8 is present with its exact bits.
+        assert!(entries.iter().any(|(p, v)| p.len == 8 && p.bits == (0x0a00_0000u128) << 96 && **v == 1));
+    }
+
+    #[test]
+    fn many_random_host_routes() {
+        use std::collections::HashMap;
+        let mut t = BitTrie::new();
+        let mut model = HashMap::new();
+        let mut x: u32 = 0x1234_5678;
+        for _ in 0..2000 {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            t.insert(Prefix::v4_host(x), x);
+            model.insert(x, x);
+        }
+        assert_eq!(t.len(), model.len());
+        for (&k, &v) in &model {
+            assert_eq!(t.lookup(Prefix::v4_host(k)), Some((32, &v)));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The NDN content store — an LRU cache of named data.
+//!
+//! The paper's prototype router "has no cached data, so there is no matching
+//! content store", but footnote 2 notes the FIB module "can be slightly
+//! modified to first match the local content store and then match the FIB".
+//! This store provides that option, and is the attack surface exercised by
+//! the §2.4 content-poisoning experiment (E6): without `F_pass`, a malicious
+//! data packet can pollute it.
+
+use crate::Ticks;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct CsEntry<V> {
+    value: V,
+    last_used: u64,
+    inserted_at: Ticks,
+}
+
+/// An LRU content store keyed by `K` with a capacity bound.
+#[derive(Debug, Clone)]
+pub struct ContentStore<K: std::hash::Hash + Eq + Clone, V> {
+    entries: HashMap<K, CsEntry<V>>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> ContentStore<K, V> {
+    /// Creates a store holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        ContentStore { entries: HashMap::new(), capacity, clock: 0 }
+    }
+
+    /// Number of cached items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts (or refreshes) a cached item, evicting the least recently
+    /// used item when full. Returns the evicted key, if any.
+    pub fn insert(&mut self, key: K, value: V, now: Ticks) -> Option<K> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.clock += 1;
+        let mut evicted = None;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+                evicted = Some(lru);
+            }
+        }
+        self.entries
+            .insert(key, CsEntry { value, last_used: self.clock, inserted_at: now });
+        evicted
+    }
+
+    /// Looks up a cached item, refreshing its recency.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = clock;
+            &e.value
+        })
+    }
+
+    /// Non-refreshing peek (for inspection in tests/experiments).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.entries.get(key).map(|e| &e.value)
+    }
+
+    /// Removes an item (e.g. after detecting poisoning).
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.entries.remove(key).map(|e| e.value)
+    }
+
+    /// Purges every item inserted at or after `since` — the operator
+    /// response to a detected poisoning attack (E6). Returns how many items
+    /// were purged.
+    pub fn purge_since(&mut self, since: Ticks) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.inserted_at < since);
+        before - self.entries.len()
+    }
+
+    /// Clears the store.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut cs: ContentStore<u32, &str> = ContentStore::new(4);
+        cs.insert(1, "one", 0);
+        assert_eq!(cs.get(&1), Some(&"one"));
+        assert_eq!(cs.get(&2), None);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut cs: ContentStore<u32, u32> = ContentStore::new(2);
+        cs.insert(1, 10, 0);
+        cs.insert(2, 20, 0);
+        cs.get(&1); // 2 is now LRU
+        let evicted = cs.insert(3, 30, 0);
+        assert_eq!(evicted, Some(2));
+        assert!(cs.peek(&1).is_some());
+        assert!(cs.peek(&3).is_some());
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut cs: ContentStore<u32, u32> = ContentStore::new(2);
+        cs.insert(1, 10, 0);
+        cs.insert(2, 20, 0);
+        assert_eq!(cs.insert(1, 11, 5), None); // update, no eviction
+        assert_eq!(cs.peek(&1), Some(&11));
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn purge_since_removes_recent_insertions() {
+        let mut cs: ContentStore<u32, u32> = ContentStore::new(8);
+        cs.insert(1, 10, 0);
+        cs.insert(2, 20, 100);
+        cs.insert(3, 30, 200);
+        assert_eq!(cs.purge_since(100), 2);
+        assert!(cs.peek(&1).is_some());
+        assert!(cs.peek(&2).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut cs: ContentStore<u32, u32> = ContentStore::new(0);
+        assert_eq!(cs.insert(1, 10, 0), None);
+        assert!(cs.is_empty());
+        assert_eq!(cs.get(&1), None);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut cs: ContentStore<u32, u32> = ContentStore::new(4);
+        cs.insert(1, 10, 0);
+        assert_eq!(cs.remove(&1), Some(10));
+        cs.insert(2, 20, 0);
+        cs.clear();
+        assert!(cs.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # dip-tables — forwarding state for DIP routers
+//!
+//! The operation modules of Table 1 consult per-router state:
+//!
+//! * `F_32_match` / `F_128_match` — longest-prefix match over 32/128-bit
+//!   addresses ([`fib::Ipv4Fib`], [`fib::Ipv6Fib`], built on
+//!   [`bit_trie::BitTrie`]);
+//! * `F_FIB` — name-based FIB, longest-prefix match over hierarchical NDN
+//!   names ([`fib::NameFib`] on [`name_trie::NameTrie`]) with a compact
+//!   32-bit fast path matching the DIP prototype (§4.1);
+//! * `F_PIT` — the pending interest table ([`pit::Pit`]) with per-entry
+//!   faces, nonces and expiry, plus the state budget of §2.4;
+//! * the optional NDN content store ([`content_store::ContentStore`],
+//!   footnote 2 of the paper);
+//! * `F_DAG` / `F_intent` — per-principal XIA routing tables
+//!   ([`xia_table::XiaRouteTable`]).
+//!
+//! All time is *virtual*: methods that expire state take a `now` tick so the
+//! tables work identically under the discrete-event simulator and in
+//! benchmarks (no wall-clock reads on the datapath).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod bit_trie;
+pub mod content_store;
+pub mod fib;
+pub mod name_trie;
+pub mod pit;
+pub mod xia_table;
+
+pub use bit_trie::{BitTrie, Prefix};
+pub use content_store::ContentStore;
+pub use fib::{Ipv4Fib, Ipv6Fib, NameFib};
+pub use name_trie::NameTrie;
+pub use pit::{Pit, PitError, PitOutcome};
+pub use xia_table::{XiaNextHop, XiaRouteTable};
+
+/// A router port / face identifier.
+pub type Port = u32;
+
+/// Virtual time in nanoseconds, as driven by the simulator or benchmarks.
+pub type Ticks = u64;

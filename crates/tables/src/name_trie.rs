@@ -1,0 +1,199 @@
+//! A component-wise trie over hierarchical NDN names.
+//!
+//! `F_FIB` performs "the longest prefix match with the content name" (§2.3);
+//! for full hierarchical names that means component-granular LPM: the FIB
+//! entry `/hotnets` covers `/hotnets/org/paper`, and `/hotnets/org` wins
+//! over it.
+
+use dip_wire::ndn::Name;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: HashMap<Vec<u8>, Node<V>>,
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node { value: None, children: HashMap::new() }
+    }
+}
+
+/// Trie keyed by name components with longest-prefix lookup.
+#[derive(Debug, Clone)]
+pub struct NameTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for NameTrie<V> {
+    fn default() -> Self {
+        NameTrie { root: Node::default(), len: 0 }
+    }
+}
+
+impl<V> NameTrie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        NameTrie::default()
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value.
+    pub fn insert(&mut self, prefix: &Name, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for c in prefix.components() {
+            node = node.children.entry(c.clone()).or_default();
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes the value stored at exactly `prefix`.
+    pub fn remove(&mut self, prefix: &Name) -> Option<V> {
+        let mut node = &mut self.root;
+        for c in prefix.components() {
+            node = node.children.get_mut(c)?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match: the deepest stored prefix of `name`, returning
+    /// the matched depth (number of components) and value.
+    pub fn lookup(&self, name: &Name) -> Option<(usize, &V)> {
+        let mut best = self.root.value.as_ref().map(|v| (0, v));
+        let mut node = &self.root;
+        for (depth, c) in name.components().iter().enumerate() {
+            match node.children.get(c) {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((depth + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Collects every stored `(name, value)` pair, in depth-first order.
+    pub fn entries(&self) -> Vec<(Name, &V)> {
+        fn walk<'a, V>(node: &'a Node<V>, path: &mut Vec<Vec<u8>>, out: &mut Vec<(Name, &'a V)>) {
+            if let Some(v) = node.value.as_ref() {
+                out.push((Name::from_components(path.clone()), v));
+            }
+            let mut keys: Vec<&Vec<u8>> = node.children.keys().collect();
+            keys.sort();
+            for k in keys {
+                path.push(k.clone());
+                walk(&node.children[k], path, out);
+                path.pop();
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        walk(&self.root, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Name) -> Option<&V> {
+        let mut node = &self.root;
+        for c in prefix.components() {
+            node = node.children.get(c)?;
+        }
+        node.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s)
+    }
+
+    #[test]
+    fn lpm_by_component() {
+        let mut t = NameTrie::new();
+        t.insert(&n("/hotnets"), 1);
+        t.insert(&n("/hotnets/org"), 2);
+        assert_eq!(t.lookup(&n("/hotnets/org/paper")), Some((2, &2)));
+        assert_eq!(t.lookup(&n("/hotnets/com")), Some((1, &1)));
+        assert_eq!(t.lookup(&n("/sigcomm")), None);
+    }
+
+    #[test]
+    fn component_boundaries_matter() {
+        let mut t = NameTrie::new();
+        t.insert(&n("/hot"), 1);
+        // "/hotnets" is NOT covered by "/hot" — components are atoms.
+        assert_eq!(t.lookup(&n("/hotnets")), None);
+        assert_eq!(t.lookup(&n("/hot/nets")), Some((1, &1)));
+    }
+
+    #[test]
+    fn root_entry_is_default_route() {
+        let mut t = NameTrie::new();
+        t.insert(&Name::root(), 0);
+        assert_eq!(t.lookup(&n("/anything/at/all")), Some((0, &0)));
+    }
+
+    #[test]
+    fn insert_replace_remove() {
+        let mut t = NameTrie::new();
+        assert_eq!(t.insert(&n("/a"), 1), None);
+        assert_eq!(t.insert(&n("/a"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(&n("/a")), Some(2));
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(&n("/a/b")), None);
+    }
+
+    #[test]
+    fn exact_get() {
+        let mut t = NameTrie::new();
+        t.insert(&n("/a/b"), 9);
+        assert_eq!(t.get(&n("/a/b")), Some(&9));
+        assert_eq!(t.get(&n("/a")), None);
+        assert_eq!(t.get(&n("/a/b/c")), None);
+    }
+
+    #[test]
+    fn entries_lists_stored_names_in_order() {
+        let mut t = NameTrie::new();
+        t.insert(&n("/b"), 2);
+        t.insert(&n("/a/x"), 1);
+        t.insert(&n("/a"), 0);
+        let entries = t.entries();
+        let names: Vec<String> = entries.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["/a", "/a/x", "/b"]);
+        assert_eq!(*entries[0].1, 0);
+    }
+
+    #[test]
+    fn binary_components() {
+        let mut t = NameTrie::new();
+        let name = Name::from_components(vec![vec![0, 255], vec![128]]);
+        t.insert(&name, "bin");
+        assert_eq!(t.lookup(&name.child(b"x")), Some((2, &"bin")));
+    }
+}

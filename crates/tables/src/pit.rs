@@ -1,0 +1,232 @@
+//! The Pending Interest Table (`F_PIT`).
+//!
+//! NDN routers "record the receiving port in the PIT" when forwarding an
+//! interest, and on a data packet "look up the content name in the PIT and
+//! forward it to the recorded request port (match hit) or discard the
+//! packet (match miss)" (§3).
+//!
+//! This PIT implements the behaviours a real deployment needs and the §2.4
+//! security discussion requires:
+//!
+//! * **aggregation** — multiple faces waiting on the same name share one
+//!   entry and all receive the data;
+//! * **nonce-based loop suppression** — a re-seen (name, nonce) pair is
+//!   reported as a duplicate;
+//! * **expiry** — entries lapse after a TTL of virtual ticks;
+//! * **a hard capacity** — the per-packet/router state budget that §2.4
+//!   prescribes against state-exhaustion attacks (experiment E9).
+
+use crate::{Port, Ticks};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// Result of recording an interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PitOutcome {
+    /// First interest for this name: the router must forward it upstream.
+    Forward,
+    /// An entry already existed; the face was merely added (aggregated) and
+    /// the interest must *not* be forwarded again.
+    Aggregated,
+    /// Duplicate (name, nonce): a looping or replayed interest; drop it.
+    DuplicateNonce,
+}
+
+/// Why an interest could not be recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PitError {
+    /// The table is at capacity (§2.4 state budget).
+    CapacityExhausted,
+}
+
+#[derive(Debug, Clone)]
+struct PitEntry {
+    faces: Vec<Port>,
+    nonces: HashSet<u64>,
+    expires_at: Ticks,
+}
+
+/// A pending interest table keyed by `K` (full [`dip_wire::ndn::Name`]s in
+/// the library API, compact `u32` names on the prototype dataplane).
+#[derive(Debug, Clone)]
+pub struct Pit<K: std::hash::Hash + Eq + Clone> {
+    entries: HashMap<K, PitEntry>,
+    capacity: usize,
+    ttl: Ticks,
+}
+
+impl<K: std::hash::Hash + Eq + Clone> Pit<K> {
+    /// Creates a PIT with a capacity bound and per-entry TTL (virtual
+    /// ticks).
+    pub fn new(capacity: usize, ttl: Ticks) -> Self {
+        Pit { entries: HashMap::new(), capacity, ttl }
+    }
+
+    /// Number of live entries (including any not yet garbage-collected).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the PIT is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records an interest for `name` arriving on `face` with `nonce` at
+    /// virtual time `now`.
+    pub fn record_interest(
+        &mut self,
+        name: K,
+        face: Port,
+        nonce: u64,
+        now: Ticks,
+    ) -> Result<PitOutcome, PitError> {
+        let len = self.entries.len();
+        match self.entries.entry(name) {
+            Entry::Occupied(mut e) => {
+                let entry = e.get_mut();
+                if entry.expires_at <= now {
+                    // Stale entry: treat as fresh.
+                    *entry = PitEntry {
+                        faces: vec![face],
+                        nonces: HashSet::from([nonce]),
+                        expires_at: now + self.ttl,
+                    };
+                    return Ok(PitOutcome::Forward);
+                }
+                if !entry.nonces.insert(nonce) {
+                    return Ok(PitOutcome::DuplicateNonce);
+                }
+                entry.expires_at = now + self.ttl;
+                if !entry.faces.contains(&face) {
+                    entry.faces.push(face);
+                }
+                Ok(PitOutcome::Aggregated)
+            }
+            Entry::Vacant(v) => {
+                if len >= self.capacity {
+                    return Err(PitError::CapacityExhausted);
+                }
+                v.insert(PitEntry {
+                    faces: vec![face],
+                    nonces: HashSet::from([nonce]),
+                    expires_at: now + self.ttl,
+                });
+                Ok(PitOutcome::Forward)
+            }
+        }
+    }
+
+    /// Consumes the entry for `name` on a data packet, returning the faces
+    /// to forward the data to, or `None` on a PIT miss (drop the data, §3).
+    pub fn consume(&mut self, name: &K, now: Ticks) -> Option<Vec<Port>> {
+        match self.entries.remove(name) {
+            Some(e) if e.expires_at > now => Some(e.faces),
+            Some(_) => None, // expired: a miss
+            None => None,
+        }
+    }
+
+    /// Whether a live entry exists (non-consuming peek).
+    pub fn contains(&self, name: &K, now: Ticks) -> bool {
+        self.entries.get(name).is_some_and(|e| e.expires_at > now)
+    }
+
+    /// Garbage-collects expired entries; returns how many were removed.
+    pub fn expire(&mut self, now: Ticks) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.expires_at > now);
+        before - self.entries.len()
+    }
+}
+
+// The capacity check intentionally counts stale-but-uncollected entries:
+// an attacker cannot bypass the budget by racing the garbage collector.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pit() -> Pit<u32> {
+        Pit::new(4, 100)
+    }
+
+    #[test]
+    fn interest_then_data_roundtrip() {
+        let mut p = pit();
+        assert_eq!(p.record_interest(42, 3, 1, 0), Ok(PitOutcome::Forward));
+        assert_eq!(p.consume(&42, 50), Some(vec![3]));
+        // Consumed: a second data packet misses.
+        assert_eq!(p.consume(&42, 51), None);
+    }
+
+    #[test]
+    fn aggregation_collects_faces() {
+        let mut p = pit();
+        assert_eq!(p.record_interest(42, 3, 1, 0), Ok(PitOutcome::Forward));
+        assert_eq!(p.record_interest(42, 7, 2, 10), Ok(PitOutcome::Aggregated));
+        // Same face, new nonce: aggregated but face not duplicated.
+        assert_eq!(p.record_interest(42, 3, 3, 20), Ok(PitOutcome::Aggregated));
+        assert_eq!(p.consume(&42, 50), Some(vec![3, 7]));
+    }
+
+    #[test]
+    fn duplicate_nonce_detected() {
+        let mut p = pit();
+        p.record_interest(42, 3, 99, 0).unwrap();
+        assert_eq!(p.record_interest(42, 5, 99, 1), Ok(PitOutcome::DuplicateNonce));
+        // The duplicate must not have added the face.
+        assert_eq!(p.consume(&42, 50), Some(vec![3]));
+    }
+
+    #[test]
+    fn expiry_makes_miss() {
+        let mut p = pit();
+        p.record_interest(42, 3, 1, 0).unwrap();
+        assert!(p.contains(&42, 99));
+        assert!(!p.contains(&42, 100));
+        assert_eq!(p.consume(&42, 100), None);
+    }
+
+    #[test]
+    fn fresh_interest_revives_expired_entry() {
+        let mut p = pit();
+        p.record_interest(42, 3, 1, 0).unwrap();
+        // After expiry, the same nonce is acceptable again (fresh round).
+        assert_eq!(p.record_interest(42, 9, 1, 200), Ok(PitOutcome::Forward));
+        assert_eq!(p.consume(&42, 250), Some(vec![9]));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut p = pit();
+        for name in 0..4 {
+            assert_eq!(p.record_interest(name, 1, 1, 0), Ok(PitOutcome::Forward));
+        }
+        assert_eq!(p.record_interest(99, 1, 1, 0), Err(PitError::CapacityExhausted));
+        // Aggregation on an existing entry still works at capacity.
+        assert_eq!(p.record_interest(0, 2, 2, 1), Ok(PitOutcome::Aggregated));
+        // Expiry frees room.
+        p.expire(1000);
+        assert_eq!(p.record_interest(99, 1, 1, 1000), Ok(PitOutcome::Forward));
+    }
+
+    #[test]
+    fn expire_counts_removals() {
+        let mut p = pit();
+        p.record_interest(1, 1, 1, 0).unwrap();
+        p.record_interest(2, 1, 1, 50).unwrap();
+        assert_eq!(p.expire(120), 1);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(&2, 120));
+    }
+
+    #[test]
+    fn works_with_name_keys() {
+        use dip_wire::ndn::Name;
+        let mut p: Pit<Name> = Pit::new(16, 100);
+        let n = Name::parse("/hotnets/org");
+        p.record_interest(n.clone(), 4, 7, 0).unwrap();
+        assert_eq!(p.consume(&n, 10), Some(vec![4]));
+    }
+}

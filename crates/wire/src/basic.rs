@@ -1,0 +1,219 @@
+//! The 6-byte DIP basic header (§2.2, the grey part of Figure 1).
+//!
+//! ```text
+//!  0                   1                   2                   3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +-------+-------+---------------+---------------+---------------+
+//! |version| rsvd  |  next header  |   FN number   |   hop limit   |
+//! +-------+-------+---------------+---------------+---------------+
+//! |        packet parameter       |  (FN triples follow ...)
+//! +-------------------------------+
+//! ```
+//!
+//! The 16-bit packet parameter is, per §2.2: lowest bit = *parallel* flag
+//! (operation modules may execute in parallel), next ten bits = length of the
+//! FN locations area in bytes, remaining five bits reserved.
+
+use crate::error::{ensure_len, Result, WireError};
+
+/// Length of the basic header in bytes.
+pub const BASIC_HEADER_LEN: usize = 6;
+
+/// The DIP version implemented by this crate.
+pub const DIP_VERSION: u8 = 1;
+
+/// Byte/bit offsets of the basic header fields.
+mod field {
+    pub const VERSION: usize = 0; // high nibble of byte 0
+    pub const NEXT_HEADER: usize = 1;
+    pub const FN_NUM: usize = 2;
+    pub const HOP_LIMIT: usize = 3;
+    pub const PARAM: core::ops::Range<usize> = 4..6;
+}
+
+/// Decoded packet parameter field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketParameter {
+    /// Whether the operation modules of this packet may execute in parallel
+    /// (modular-parallelism flag, §2.2).
+    pub parallel: bool,
+    /// Length of the FN locations area, in bytes (10 bits on the wire).
+    pub fn_loc_len: u16,
+    /// The five reserved bits, kept verbatim for forward compatibility.
+    pub reserved: u8,
+}
+
+impl PacketParameter {
+    /// Encodes into the 16-bit wire value.
+    ///
+    /// Layout (bit 0 = least significant): bit 0 parallel, bits 1..=10
+    /// fn_loc_len, bits 11..=15 reserved.
+    pub fn to_wire(self) -> Result<u16> {
+        if self.fn_loc_len > 0x3ff {
+            return Err(WireError::FieldOverflow("fn_loc_len"));
+        }
+        if self.reserved > 0x1f {
+            return Err(WireError::FieldOverflow("packet parameter reserved bits"));
+        }
+        Ok(u16::from(self.parallel)
+            | (self.fn_loc_len << 1)
+            | (u16::from(self.reserved) << 11))
+    }
+
+    /// Decodes from the 16-bit wire value.
+    pub fn from_wire(raw: u16) -> Self {
+        PacketParameter {
+            parallel: raw & 1 == 1,
+            fn_loc_len: (raw >> 1) & 0x3ff,
+            reserved: (raw >> 11) as u8,
+        }
+    }
+}
+
+/// Owned representation of the basic header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicHeader {
+    /// DIP protocol version; this implementation speaks [`DIP_VERSION`].
+    pub version: u8,
+    /// Identifies the payload following the DIP header (IANA-style protocol
+    /// number; e.g. 17 = UDP). `0` means "no next header".
+    pub next_header: u8,
+    /// Number of FN triples carried in this packet.
+    pub fn_num: u8,
+    /// Remaining hops; routers decrement it and drop at zero.
+    pub hop_limit: u8,
+    /// The packet parameter bits.
+    pub param: PacketParameter,
+}
+
+impl Default for BasicHeader {
+    fn default() -> Self {
+        BasicHeader {
+            version: DIP_VERSION,
+            next_header: 0,
+            fn_num: 0,
+            hop_limit: 64,
+            param: PacketParameter::default(),
+        }
+    }
+}
+
+impl BasicHeader {
+    /// Parses a basic header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        ensure_len(buf, BASIC_HEADER_LEN)?;
+        let version = buf[field::VERSION] >> 4;
+        if version != DIP_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let raw_param = u16::from_be_bytes([buf[field::PARAM.start], buf[field::PARAM.start + 1]]);
+        Ok(BasicHeader {
+            version,
+            next_header: buf[field::NEXT_HEADER],
+            fn_num: buf[field::FN_NUM],
+            hop_limit: buf[field::HOP_LIMIT],
+            param: PacketParameter::from_wire(raw_param),
+        })
+    }
+
+    /// Emits this header into the front of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        ensure_len(buf, BASIC_HEADER_LEN)?;
+        if self.version > 0x0f {
+            return Err(WireError::FieldOverflow("version"));
+        }
+        buf[field::VERSION] = self.version << 4;
+        buf[field::NEXT_HEADER] = self.next_header;
+        buf[field::FN_NUM] = self.fn_num;
+        buf[field::HOP_LIMIT] = self.hop_limit;
+        let raw = self.param.to_wire()?;
+        buf[field::PARAM].copy_from_slice(&raw.to_be_bytes());
+        Ok(())
+    }
+
+    /// Total DIP header length implied by this basic header: basic header +
+    /// FN triples + FN locations (§2.2: "we can use the FN number and the FN
+    /// locations length to derive the DIP header length").
+    pub fn header_len(&self) -> usize {
+        BASIC_HEADER_LEN
+            + usize::from(self.fn_num) * crate::triple::FN_TRIPLE_LEN
+            + usize::from(self.param.fn_loc_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let hdr = BasicHeader {
+            version: DIP_VERSION,
+            next_header: 17,
+            fn_num: 5,
+            hop_limit: 63,
+            param: PacketParameter { parallel: true, fn_loc_len: 72, reserved: 0 },
+        };
+        let mut buf = [0u8; BASIC_HEADER_LEN];
+        hdr.emit(&mut buf).unwrap();
+        assert_eq!(BasicHeader::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn header_len_matches_table2_rows() {
+        // DIP-32: 2 FNs, 8 bytes of locations -> 26 bytes.
+        let dip32 = BasicHeader {
+            fn_num: 2,
+            param: PacketParameter { fn_loc_len: 8, ..Default::default() },
+            ..Default::default()
+        };
+        assert_eq!(dip32.header_len(), 26);
+        // OPT: 4 FNs, 68 bytes -> 98 bytes.
+        let opt = BasicHeader {
+            fn_num: 4,
+            param: PacketParameter { fn_loc_len: 68, ..Default::default() },
+            ..Default::default()
+        };
+        assert_eq!(opt.header_len(), 98);
+        // NDN interest: 1 FN, 4 bytes -> 16 bytes.
+        let ndn = BasicHeader {
+            fn_num: 1,
+            param: PacketParameter { fn_loc_len: 4, ..Default::default() },
+            ..Default::default()
+        };
+        assert_eq!(ndn.header_len(), 16);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = [0u8; BASIC_HEADER_LEN];
+        BasicHeader::default().emit(&mut buf).unwrap();
+        buf[0] = 0x20; // version 2
+        assert_eq!(BasicHeader::parse(&buf), Err(WireError::BadVersion(2)));
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert!(matches!(
+            BasicHeader::parse(&[0u8; 5]),
+            Err(WireError::Truncated { needed: 6, available: 5 })
+        ));
+    }
+
+    #[test]
+    fn param_wire_layout() {
+        let p = PacketParameter { parallel: true, fn_loc_len: 0x3ff, reserved: 0x1f };
+        let w = p.to_wire().unwrap();
+        assert_eq!(w, 0xffff);
+        assert_eq!(PacketParameter::from_wire(w), p);
+
+        let p = PacketParameter { parallel: false, fn_loc_len: 1, reserved: 0 };
+        assert_eq!(p.to_wire().unwrap(), 0b10);
+    }
+
+    #[test]
+    fn param_overflow_rejected() {
+        let p = PacketParameter { parallel: false, fn_loc_len: 1024, reserved: 0 };
+        assert_eq!(p.to_wire(), Err(WireError::FieldOverflow("fn_loc_len")));
+    }
+}

@@ -1,0 +1,268 @@
+//! Bit-granular field access.
+//!
+//! FN triples address target fields by *bit* offset and *bit* length into the
+//! FN locations area. All the fields used by the paper's five protocols are
+//! byte-aligned, so the byte-aligned fast path is the hot one, but the wire
+//! format permits arbitrary alignment and the operation modules must handle
+//! it; these helpers are the single shared implementation.
+//!
+//! Convention: extracted fields are **left-aligned** — the first bit of the
+//! field becomes the most significant bit of the first output byte, and any
+//! trailing pad bits in the last byte are zero. [`write_bits`] is the exact
+//! inverse and ignores the pad bits of its input.
+
+use crate::error::{Result, WireError};
+
+/// Number of bytes needed to hold `bit_len` bits.
+#[inline]
+pub const fn byte_len(bit_len: usize) -> usize {
+    bit_len.div_ceil(8)
+}
+
+/// Returns `true` when a `(bit_off, bit_len)` field lies on byte boundaries.
+#[inline]
+pub const fn is_byte_aligned(bit_off: usize, bit_len: usize) -> bool {
+    bit_off.is_multiple_of(8) && bit_len.is_multiple_of(8)
+}
+
+/// Validates that the field `[bit_off, bit_off + bit_len)` lies inside a
+/// buffer of `buf_len` bytes.
+#[inline]
+pub fn check_range(buf_len: usize, bit_off: usize, bit_len: usize) -> Result<()> {
+    let end = bit_off
+        .checked_add(bit_len)
+        .ok_or(WireError::Malformed("bit range overflows"))?;
+    if end > buf_len * 8 {
+        return Err(WireError::OutOfBounds { end, limit: buf_len * 8 });
+    }
+    Ok(())
+}
+
+/// Reads a single bit (0 or 1). `bit_off` counts from the MSB of byte 0.
+#[inline]
+pub fn get_bit(buf: &[u8], bit_off: usize) -> Result<bool> {
+    check_range(buf.len(), bit_off, 1)?;
+    let byte = buf[bit_off / 8];
+    Ok((byte >> (7 - bit_off % 8)) & 1 == 1)
+}
+
+/// Sets a single bit.
+#[inline]
+pub fn set_bit(buf: &mut [u8], bit_off: usize, value: bool) -> Result<()> {
+    check_range(buf.len(), bit_off, 1)?;
+    let mask = 1u8 << (7 - bit_off % 8);
+    if value {
+        buf[bit_off / 8] |= mask;
+    } else {
+        buf[bit_off / 8] &= !mask;
+    }
+    Ok(())
+}
+
+/// Copies the bit field `[bit_off, bit_off + bit_len)` of `src` into `dst`,
+/// left-aligned. `dst` must hold at least [`byte_len`]`(bit_len)` bytes; any
+/// extra bytes are untouched, pad bits of the last written byte are zeroed.
+///
+/// Returns the number of bytes written.
+pub fn read_bits_into(src: &[u8], bit_off: usize, bit_len: usize, dst: &mut [u8]) -> Result<usize> {
+    check_range(src.len(), bit_off, bit_len)?;
+    let out_len = byte_len(bit_len);
+    if dst.len() < out_len {
+        return Err(WireError::Truncated { needed: out_len, available: dst.len() });
+    }
+    if bit_len == 0 {
+        return Ok(0);
+    }
+    if is_byte_aligned(bit_off, bit_len) {
+        let start = bit_off / 8;
+        dst[..out_len].copy_from_slice(&src[start..start + out_len]);
+        return Ok(out_len);
+    }
+    let shift = bit_off % 8;
+    let first = bit_off / 8;
+    for (i, d) in dst.iter_mut().take(out_len).enumerate() {
+        let hi = src[first + i] << shift;
+        let lo = if shift > 0 && first + i + 1 < src.len() {
+            src[first + i + 1] >> (8 - shift)
+        } else {
+            0
+        };
+        *d = hi | lo;
+    }
+    // Zero the pad bits of the final byte.
+    let pad = out_len * 8 - bit_len;
+    if pad > 0 {
+        dst[out_len - 1] &= 0xffu8 << pad;
+    }
+    Ok(out_len)
+}
+
+/// Allocating convenience wrapper around [`read_bits_into`].
+pub fn read_bits(src: &[u8], bit_off: usize, bit_len: usize) -> Result<Vec<u8>> {
+    let mut out = vec![0u8; byte_len(bit_len)];
+    read_bits_into(src, bit_off, bit_len, &mut out)?;
+    Ok(out)
+}
+
+/// Writes a left-aligned bit field `value` into `[bit_off, bit_off+bit_len)`
+/// of `dst`. Bits of `dst` outside the field are preserved. `value` must hold
+/// at least [`byte_len`]`(bit_len)` bytes; its pad bits are ignored.
+pub fn write_bits(dst: &mut [u8], bit_off: usize, bit_len: usize, value: &[u8]) -> Result<()> {
+    check_range(dst.len(), bit_off, bit_len)?;
+    let in_len = byte_len(bit_len);
+    if value.len() < in_len {
+        return Err(WireError::Truncated { needed: in_len, available: value.len() });
+    }
+    if bit_len == 0 {
+        return Ok(());
+    }
+    if is_byte_aligned(bit_off, bit_len) {
+        let start = bit_off / 8;
+        dst[start..start + in_len].copy_from_slice(&value[..in_len]);
+        return Ok(());
+    }
+    // Slow path: bit by bit. Field writes off the byte-aligned path are rare
+    // (none of the paper's protocols need them), so clarity wins here.
+    for i in 0..bit_len {
+        let bit = (value[i / 8] >> (7 - i % 8)) & 1 == 1;
+        set_bit(dst, bit_off + i, bit)?;
+    }
+    Ok(())
+}
+
+/// Reads a big-endian unsigned integer of up to 64 bits from a bit field.
+pub fn read_uint(src: &[u8], bit_off: usize, bit_len: usize) -> Result<u64> {
+    if bit_len > 64 {
+        return Err(WireError::Malformed("uint field wider than 64 bits"));
+    }
+    let bytes = read_bits(src, bit_off, bit_len)?;
+    let mut v: u64 = 0;
+    for b in &bytes {
+        v = (v << 8) | u64::from(*b);
+    }
+    // The field is left-aligned in `bytes`; shift right to right-align.
+    let pad = byte_len(bit_len) * 8 - bit_len;
+    Ok(v >> pad)
+}
+
+/// Writes a big-endian unsigned integer of up to 64 bits into a bit field.
+pub fn write_uint(dst: &mut [u8], bit_off: usize, bit_len: usize, value: u64) -> Result<()> {
+    if bit_len > 64 {
+        return Err(WireError::Malformed("uint field wider than 64 bits"));
+    }
+    if bit_len < 64 && value >= 1u64 << bit_len {
+        return Err(WireError::FieldOverflow("uint"));
+    }
+    let pad = byte_len(bit_len) * 8 - bit_len;
+    let shifted = value << pad;
+    let mut bytes = [0u8; 8];
+    let n = byte_len(bit_len);
+    for (i, b) in bytes.iter_mut().enumerate().take(n) {
+        *b = (shifted >> ((n - 1 - i) * 8)) as u8;
+    }
+    write_bits(dst, bit_off, bit_len, &bytes[..n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_len_rounds_up() {
+        assert_eq!(byte_len(0), 0);
+        assert_eq!(byte_len(1), 1);
+        assert_eq!(byte_len(8), 1);
+        assert_eq!(byte_len(9), 2);
+        assert_eq!(byte_len(544), 68);
+    }
+
+    #[test]
+    fn aligned_read_is_a_slice_copy() {
+        let src = [0xde, 0xad, 0xbe, 0xef];
+        assert_eq!(read_bits(&src, 8, 16).unwrap(), vec![0xad, 0xbe]);
+        assert_eq!(read_bits(&src, 0, 32).unwrap(), src.to_vec());
+    }
+
+    #[test]
+    fn unaligned_read_shifts_left() {
+        // src = 1101_1110 1010_1101
+        let src = [0b1101_1110, 0b1010_1101];
+        // 4 bits at offset 4 -> 1110 -> left aligned 1110_0000
+        assert_eq!(read_bits(&src, 4, 4).unwrap(), vec![0b1110_0000]);
+        // 8 bits at offset 4 -> 1110_1010
+        assert_eq!(read_bits(&src, 4, 8).unwrap(), vec![0b1110_1010]);
+        // 6 bits at offset 3 -> 11110 1 -> 1_1110_1 -> left aligned 111101_00
+        assert_eq!(read_bits(&src, 3, 6).unwrap(), vec![0b1111_0100]);
+    }
+
+    #[test]
+    fn read_rejects_out_of_bounds() {
+        let src = [0u8; 4];
+        assert!(matches!(read_bits(&src, 24, 16), Err(WireError::OutOfBounds { .. })));
+        assert!(read_bits(&src, 24, 8).is_ok());
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_aligned() {
+        let mut buf = [0u8; 8];
+        write_bits(&mut buf, 16, 24, &[1, 2, 3]).unwrap();
+        assert_eq!(read_bits(&buf, 16, 24).unwrap(), vec![1, 2, 3]);
+        assert_eq!(buf[0], 0);
+        assert_eq!(buf[5], 0);
+    }
+
+    #[test]
+    fn write_preserves_surrounding_bits() {
+        let mut buf = [0xff; 2];
+        write_bits(&mut buf, 4, 8, &[0x00]).unwrap();
+        assert_eq!(buf, [0xf0, 0x0f]);
+    }
+
+    #[test]
+    fn uint_roundtrip() {
+        let mut buf = [0u8; 4];
+        write_uint(&mut buf, 6, 10, 0x2ab).unwrap();
+        assert_eq!(read_uint(&buf, 6, 10).unwrap(), 0x2ab);
+        // Field overflow is rejected.
+        assert_eq!(
+            write_uint(&mut buf, 0, 4, 16),
+            Err(WireError::FieldOverflow("uint"))
+        );
+    }
+
+    #[test]
+    fn uint_full_width() {
+        let mut buf = [0u8; 8];
+        write_uint(&mut buf, 0, 64, u64::MAX).unwrap();
+        assert_eq!(read_uint(&buf, 0, 64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn single_bits() {
+        let mut buf = [0u8; 1];
+        set_bit(&mut buf, 0, true).unwrap();
+        set_bit(&mut buf, 7, true).unwrap();
+        assert_eq!(buf[0], 0b1000_0001);
+        assert!(get_bit(&buf, 0).unwrap());
+        assert!(!get_bit(&buf, 1).unwrap());
+        assert!(get_bit(&buf, 7).unwrap());
+        set_bit(&mut buf, 0, false).unwrap();
+        assert_eq!(buf[0], 0b0000_0001);
+    }
+
+    #[test]
+    fn zero_length_field_is_noop() {
+        let mut buf = [0xaa; 2];
+        assert_eq!(read_bits(&buf, 3, 0).unwrap(), Vec::<u8>::new());
+        write_bits(&mut buf, 3, 0, &[]).unwrap();
+        assert_eq!(buf, [0xaa, 0xaa]);
+    }
+
+    #[test]
+    fn unaligned_write_roundtrip() {
+        let mut buf = [0u8; 4];
+        let val = [0b1011_0110, 0b1100_0000]; // 10 bits: 1011011011
+        write_bits(&mut buf, 5, 10, &val).unwrap();
+        assert_eq!(read_bits(&buf, 5, 10).unwrap(), vec![0b1011_0110, 0b1100_0000]);
+    }
+}

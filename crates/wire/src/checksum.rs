@@ -1,0 +1,63 @@
+//! The Internet checksum (RFC 1071), used by the IPv4 baseline header.
+
+/// Computes the 16-bit one's-complement sum of `data` (the "Internet
+/// checksum"), returning the value ready to be stored in a checksum field.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data)
+}
+
+/// One's-complement sum of 16-bit big-endian words, folding carries.
+fn ones_complement_sum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Verifies a buffer whose checksum field is already populated: the folded
+/// sum over the whole buffer must be `0xffff`.
+pub fn verify(data: &[u8]) -> bool {
+    ones_complement_sum(data) == 0xffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&data), 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(ones_complement_sum(&[0xab]), 0xab00);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        let mut pkt = vec![0x45, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        pkt.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
+        let ck = internet_checksum(&pkt);
+        pkt[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&pkt));
+        pkt[0] ^= 0x01;
+        assert!(!verify(&pkt));
+    }
+
+    #[test]
+    fn all_zero_checksum() {
+        assert_eq!(internet_checksum(&[]), 0xffff);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared by every codec in this crate.
+
+use core::fmt;
+
+/// Errors that can occur while parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the format requires.
+    Truncated {
+        /// Bytes needed to continue decoding.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A length or offset field points outside the buffer.
+    OutOfBounds {
+        /// First bit (or byte, context-dependent) past the valid region.
+        end: usize,
+        /// Size of the valid region.
+        limit: usize,
+    },
+    /// A version field holds a value this implementation does not speak.
+    BadVersion(u8),
+    /// A field holds a value that is structurally invalid (bad enum
+    /// discriminant, zero where non-zero is required, ...).
+    Malformed(&'static str),
+    /// A checksum did not verify.
+    BadChecksum,
+    /// A value does not fit in the wire field that should carry it.
+    FieldOverflow(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated packet: need {needed} bytes, have {available}")
+            }
+            WireError::OutOfBounds { end, limit } => {
+                write!(f, "field extends to {end} past limit {limit}")
+            }
+            WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::Malformed(what) => write!(f, "malformed field: {what}"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::FieldOverflow(what) => write!(f, "value too large for field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, WireError>;
+
+/// Checks that `buf` holds at least `needed` bytes.
+pub fn ensure_len(buf: &[u8], needed: usize) -> Result<()> {
+    if buf.len() < needed {
+        Err(WireError::Truncated { needed, available: buf.len() })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = WireError::Truncated { needed: 6, available: 2 };
+        assert_eq!(e.to_string(), "truncated packet: need 6 bytes, have 2");
+        assert_eq!(WireError::BadVersion(9).to_string(), "unsupported version 9");
+        assert_eq!(WireError::BadChecksum.to_string(), "checksum mismatch");
+        assert_eq!(
+            WireError::OutOfBounds { end: 600, limit: 544 }.to_string(),
+            "field extends to 600 past limit 544"
+        );
+    }
+
+    #[test]
+    fn ensure_len_accepts_exact_and_longer() {
+        assert!(ensure_len(&[0u8; 6], 6).is_ok());
+        assert!(ensure_len(&[0u8; 7], 6).is_ok());
+        assert_eq!(
+            ensure_len(&[0u8; 5], 6),
+            Err(WireError::Truncated { needed: 6, available: 5 })
+        );
+    }
+}

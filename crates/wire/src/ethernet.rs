@@ -1,0 +1,191 @@
+//! Ethernet II framing — the link layer under DIP.
+//!
+//! The narrow-waist story needs a floor: DIP packets ride in Ethernet
+//! frames with a dedicated EtherType (we use `0x88B5`, the IEEE
+//! experimental/local value, as real prototypes do), next to legacy
+//! `0x0800`/`0x86DD` traffic. The border router scenarios (§2.4) switch
+//! between these EtherTypes without touching the L2 header.
+
+use crate::error::{ensure_len, Result, WireError};
+
+/// Length of an Ethernet II header.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// EtherType carrying DIP packets (IEEE experimental/local 1).
+pub const ETHERTYPE_DIP: u16 = 0x88B5;
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// EtherType for IPv6.
+pub const ETHERTYPE_IPV6: u16 = 0x86DD;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct EthernetAddr(pub [u8; 6]);
+
+impl EthernetAddr {
+    /// The broadcast address.
+    pub const BROADCAST: EthernetAddr = EthernetAddr([0xff; 6]);
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Whether this is a multicast (group) address.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Whether this is a locally administered address.
+    pub fn is_local(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+}
+
+impl core::fmt::Display for EthernetAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// Owned representation of an Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetRepr {
+    /// Destination MAC.
+    pub dst: EthernetAddr,
+    /// Source MAC.
+    pub src: EthernetAddr,
+    /// Payload EtherType.
+    pub ethertype: u16,
+}
+
+impl EthernetRepr {
+    /// Parses a frame header.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        ensure_len(buf, ETHERNET_HEADER_LEN)?;
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = u16::from_be_bytes([buf[12], buf[13]]);
+        if ethertype < 0x0600 {
+            return Err(WireError::Malformed("802.3 length field, not an EtherType"));
+        }
+        Ok(EthernetRepr { dst: EthernetAddr(dst), src: EthernetAddr(src), ethertype })
+    }
+
+    /// Emits the header into the front of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        ensure_len(buf, ETHERNET_HEADER_LEN)?;
+        buf[0..6].copy_from_slice(&self.dst.0);
+        buf[6..12].copy_from_slice(&self.src.0);
+        buf[12..14].copy_from_slice(&self.ethertype.to_be_bytes());
+        Ok(())
+    }
+
+    /// Serializes header + payload.
+    pub fn to_bytes(&self, payload: &[u8]) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; ETHERNET_HEADER_LEN + payload.len()];
+        self.emit(&mut out)?;
+        out[ETHERNET_HEADER_LEN..].copy_from_slice(payload);
+        Ok(out)
+    }
+}
+
+/// Frames a DIP packet for transmission on an Ethernet segment.
+pub fn frame_dip(dst: EthernetAddr, src: EthernetAddr, dip_packet: &[u8]) -> Result<Vec<u8>> {
+    crate::DipPacket::new_checked(dip_packet)?;
+    EthernetRepr { dst, src, ethertype: ETHERTYPE_DIP }.to_bytes(dip_packet)
+}
+
+/// Unframes a received Ethernet frame, returning the inner DIP packet when
+/// the EtherType says DIP (validated), or `None` for other protocols.
+pub fn unframe_dip(frame: &[u8]) -> Result<Option<Vec<u8>>> {
+    let hdr = EthernetRepr::parse(frame)?;
+    if hdr.ethertype != ETHERTYPE_DIP {
+        return Ok(None);
+    }
+    let inner = &frame[ETHERNET_HEADER_LEN..];
+    crate::DipPacket::new_checked(inner)?;
+    Ok(Some(inner.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::DipRepr;
+    use crate::triple::{FnKey, FnTriple};
+
+    fn mac(tail: u8) -> EthernetAddr {
+        EthernetAddr([0x02, 0, 0, 0, 0, tail])
+    }
+
+    fn dip_pkt() -> Vec<u8> {
+        DipRepr {
+            fns: vec![FnTriple::router(0, 32, FnKey::Match32)],
+            locations: vec![10, 0, 0, 1],
+            ..Default::default()
+        }
+        .to_bytes(b"x")
+        .unwrap()
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let hdr = EthernetRepr { dst: mac(2), src: mac(1), ethertype: ETHERTYPE_DIP };
+        let bytes = hdr.to_bytes(b"payload").unwrap();
+        assert_eq!(bytes.len(), 14 + 7);
+        assert_eq!(EthernetRepr::parse(&bytes).unwrap(), hdr);
+    }
+
+    #[test]
+    fn frame_unframe_dip() {
+        let inner = dip_pkt();
+        let frame = frame_dip(mac(2), mac(1), &inner).unwrap();
+        assert_eq!(unframe_dip(&frame).unwrap(), Some(inner));
+    }
+
+    #[test]
+    fn non_dip_ethertype_passes_through_as_none() {
+        let frame = EthernetRepr { dst: mac(2), src: mac(1), ethertype: ETHERTYPE_IPV4 }
+            .to_bytes(&[0x45, 0, 0, 20])
+            .unwrap();
+        assert_eq!(unframe_dip(&frame).unwrap(), None);
+    }
+
+    #[test]
+    fn dip_ethertype_with_garbage_inner_errors() {
+        let frame = EthernetRepr { dst: mac(2), src: mac(1), ethertype: ETHERTYPE_DIP }
+            .to_bytes(&[0xff; 4])
+            .unwrap();
+        assert!(unframe_dip(&frame).is_err());
+    }
+
+    #[test]
+    fn rejects_8023_length_field() {
+        let mut frame = EthernetRepr { dst: mac(2), src: mac(1), ethertype: ETHERTYPE_DIP }
+            .to_bytes(&[])
+            .unwrap();
+        frame[12..14].copy_from_slice(&100u16.to_be_bytes());
+        assert!(EthernetRepr::parse(&frame).is_err());
+    }
+
+    #[test]
+    fn address_classification() {
+        assert!(EthernetAddr::BROADCAST.is_broadcast());
+        assert!(EthernetAddr::BROADCAST.is_multicast());
+        assert!(EthernetAddr([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+        assert!(!mac(1).is_multicast());
+        assert!(mac(1).is_local());
+        assert_eq!(mac(1).to_string(), "02:00:00:00:00:01");
+    }
+
+    #[test]
+    fn frame_refuses_invalid_dip() {
+        assert!(frame_dip(mac(2), mac(1), &[0u8; 3]).is_err());
+    }
+}

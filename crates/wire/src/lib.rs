@@ -1,0 +1,56 @@
+//! # dip-wire — wire formats for the DIP protocol family
+//!
+//! This crate implements the byte-level representation of everything that
+//! travels on the wire in the DIP reproduction:
+//!
+//! * the **DIP header** of Figure 1 of the paper — a 6-byte basic header,
+//!   an array of 6-byte *FN triples* (field location, field length,
+//!   operation key), and a variable-length *FN locations* area
+//!   ([`DipPacket`], [`DipRepr`], [`FnTriple`]);
+//! * the **legacy headers** used as baselines and for border-router
+//!   encapsulation ([`ipv4::Ipv4Repr`], [`ipv6::Ipv6Repr`]);
+//! * the **protocol field layouts** that protocols place *inside* the FN
+//!   locations area: NDN names ([`ndn`]), the 544-bit OPT authentication
+//!   block ([`opt`]) and XIA DAG addresses ([`xia`]).
+//!
+//! The design follows the `smoltcp` idiom: a zero-copy `Packet<T:
+//! AsRef<[u8]>>` view over a buffer with getters/setters, plus an owned
+//! `Repr` that can be parsed from and emitted into such a view. No heap
+//! allocation happens on the parse path for byte-aligned fields.
+//!
+//! ## Bit addressing
+//!
+//! FN triples address fields by **bit** offset and **bit** length into the FN
+//! locations area (the paper's examples are all byte-aligned, e.g. `(loc: 288,
+//! len: 128, key: 8)`, but the format permits arbitrary bit fields). The
+//! [`bits`] module provides the shared bit-granular read/write primitives
+//! with a fast path for byte-aligned access.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod basic;
+pub mod bits;
+pub mod checksum;
+pub mod error;
+pub mod ethernet;
+pub mod ipv4;
+pub mod ipv6;
+pub mod ndn;
+pub mod opt;
+pub mod packet;
+pub mod pretty;
+pub mod triple;
+pub mod xia;
+
+pub use basic::{BasicHeader, PacketParameter, BASIC_HEADER_LEN, DIP_VERSION};
+pub use error::{Result, WireError};
+pub use packet::{DipPacket, DipRepr};
+pub use triple::{FnKey, FnTriple, FN_TRIPLE_LEN};
+
+/// Maximum length, in bytes, of the FN locations area (10-bit length field in
+/// the packet parameter, §2.2).
+pub const MAX_FN_LOC_LEN: usize = 1023;
+
+/// Maximum number of FN triples in one packet (8-bit FN number field).
+pub const MAX_FN_NUM: usize = 255;

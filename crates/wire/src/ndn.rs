@@ -1,0 +1,257 @@
+//! NDN content names.
+//!
+//! The DIP prototype forwards NDN packets on a **32-bit content name**
+//! (§4.1: "we take the 32-bit content name for the packet forwarding with
+//! F_FIB and F_PIT"); the general library additionally supports full
+//! hierarchical names with a TLV encoding (NDN packet spec style) so the
+//! name-prefix FIB can do real longest-prefix matching.
+
+use crate::error::{Result, WireError};
+
+/// A hierarchical NDN name: an ordered list of byte-string components,
+/// conventionally written `/a/b/c`.
+///
+/// ```
+/// use dip_wire::ndn::Name;
+/// let name = Name::parse("/hotnets/org/dip");
+/// assert!(Name::parse("/hotnets").is_prefix_of(&name));
+/// assert_eq!(name.to_string(), "/hotnets/org/dip");
+/// // The 32-bit compact form used on the prototype dataplane:
+/// let compact: u32 = name.compact32();
+/// assert_eq!(compact, Name::parse("/hotnets/org/dip").compact32());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Name {
+    components: Vec<Vec<u8>>,
+}
+
+/// TLV type for a name (matches the NDN packet format).
+const TLV_NAME: u8 = 0x07;
+/// TLV type for a generic name component.
+const TLV_COMPONENT: u8 = 0x08;
+
+impl Name {
+    /// The empty (root) name `/`.
+    pub fn root() -> Self {
+        Name::default()
+    }
+
+    /// Parses a URI-style name: `/hotnets/org/papers`. A string without
+    /// slashes (the paper's example is the single-component name
+    /// `hotnets.org`) becomes a one-component name.
+    pub fn parse(uri: &str) -> Self {
+        let components = uri
+            .split('/')
+            .filter(|c| !c.is_empty())
+            .map(|c| c.as_bytes().to_vec())
+            .collect();
+        Name { components }
+    }
+
+    /// Builds a name from raw components.
+    pub fn from_components(components: Vec<Vec<u8>>) -> Self {
+        Name { components }
+    }
+
+    /// The components of this name.
+    pub fn components(&self) -> &[Vec<u8>] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether this is the root name.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Appends a component, returning the extended name.
+    pub fn child(&self, component: &[u8]) -> Name {
+        let mut c = self.components.clone();
+        c.push(component.to_vec());
+        Name { components: c }
+    }
+
+    /// The prefix of the first `n` components.
+    pub fn prefix(&self, n: usize) -> Name {
+        Name { components: self.components[..n.min(self.components.len())].to_vec() }
+    }
+
+    /// Whether `self` is a prefix of `other` (every component equal in
+    /// order); `/a/b` is a prefix of `/a/b/c` and of itself.
+    pub fn is_prefix_of(&self, other: &Name) -> bool {
+        self.components.len() <= other.components.len()
+            && self.components.iter().zip(&other.components).all(|(a, b)| a == b)
+    }
+
+    /// The 32-bit compact content name used on the wire by the DIP
+    /// prototype: an FNV-1a hash over the TLV encoding. Stable across runs
+    /// and platforms.
+    pub fn compact32(&self) -> u32 {
+        let mut h: u32 = 0x811c_9dc5;
+        for c in &self.components {
+            // Hash a length-prefixed form so component boundaries matter:
+            // /ab + /c hashes differently from /a + /bc.
+            for b in (c.len() as u32).to_be_bytes() {
+                h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+            }
+            for &b in c {
+                h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+            }
+        }
+        h
+    }
+
+    /// TLV-encodes the name (outer NAME TLV wrapping COMPONENT TLVs).
+    /// Component lengths are limited to 255 bytes in this implementation.
+    pub fn encode_tlv(&self) -> Result<Vec<u8>> {
+        let mut inner = Vec::new();
+        for c in &self.components {
+            if c.len() > 255 {
+                return Err(WireError::FieldOverflow("name component"));
+            }
+            inner.push(TLV_COMPONENT);
+            inner.push(c.len() as u8);
+            inner.extend_from_slice(c);
+        }
+        if inner.len() > 255 {
+            return Err(WireError::FieldOverflow("name"));
+        }
+        let mut out = Vec::with_capacity(inner.len() + 2);
+        out.push(TLV_NAME);
+        out.push(inner.len() as u8);
+        out.extend_from_slice(&inner);
+        Ok(out)
+    }
+
+    /// Decodes a TLV name from the front of `buf`, returning the name and
+    /// the number of bytes consumed.
+    pub fn decode_tlv(buf: &[u8]) -> Result<(Name, usize)> {
+        if buf.len() < 2 {
+            return Err(WireError::Truncated { needed: 2, available: buf.len() });
+        }
+        if buf[0] != TLV_NAME {
+            return Err(WireError::Malformed("expected NAME TLV"));
+        }
+        let total = usize::from(buf[1]);
+        if buf.len() < 2 + total {
+            return Err(WireError::Truncated { needed: 2 + total, available: buf.len() });
+        }
+        let mut components = Vec::new();
+        let mut off = 2;
+        let end = 2 + total;
+        while off < end {
+            if end - off < 2 {
+                return Err(WireError::Malformed("dangling component header"));
+            }
+            if buf[off] != TLV_COMPONENT {
+                return Err(WireError::Malformed("expected COMPONENT TLV"));
+            }
+            let clen = usize::from(buf[off + 1]);
+            if off + 2 + clen > end {
+                return Err(WireError::Malformed("component overruns name"));
+            }
+            components.push(buf[off + 2..off + 2 + clen].to_vec());
+            off += 2 + clen;
+        }
+        Ok((Name { components }, end))
+    }
+}
+
+impl core::fmt::Display for Name {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.components.is_empty() {
+            return write!(f, "/");
+        }
+        for c in &self.components {
+            write!(f, "/")?;
+            for &b in c {
+                if b.is_ascii_graphic() {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "%{b:02x}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n = Name::parse("/hotnets/org/papers");
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.to_string(), "/hotnets/org/papers");
+        assert_eq!(Name::parse("hotnets.org").len(), 1);
+        assert_eq!(Name::parse("").to_string(), "/");
+        // Redundant slashes collapse.
+        assert_eq!(Name::parse("//a///b/"), Name::parse("/a/b"));
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = Name::parse("/a/b");
+        let b = Name::parse("/a/b/c");
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        assert!(Name::root().is_prefix_of(&a));
+        assert!(!Name::parse("/a/x").is_prefix_of(&b));
+    }
+
+    #[test]
+    fn compact32_is_stable_and_boundary_sensitive() {
+        let n = Name::parse("hotnets.org");
+        assert_eq!(n.compact32(), Name::parse("hotnets.org").compact32());
+        assert_ne!(Name::parse("/ab/c").compact32(), Name::parse("/a/bc").compact32());
+        assert_ne!(Name::parse("/a").compact32(), Name::parse("/a/").child(b"").compact32());
+    }
+
+    #[test]
+    fn tlv_roundtrip() {
+        let n = Name::parse("/hotnets/org");
+        let enc = n.encode_tlv().unwrap();
+        assert_eq!(enc[0], TLV_NAME);
+        let (dec, used) = Name::decode_tlv(&enc).unwrap();
+        assert_eq!(dec, n);
+        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn tlv_roundtrip_with_binary_components() {
+        let n = Name::from_components(vec![vec![0, 1, 255], vec![]]);
+        let enc = n.encode_tlv().unwrap();
+        let (dec, _) = Name::decode_tlv(&enc).unwrap();
+        assert_eq!(dec, n);
+    }
+
+    #[test]
+    fn tlv_rejects_garbage() {
+        assert!(Name::decode_tlv(&[0x09, 0]).is_err());
+        assert!(Name::decode_tlv(&[0x07]).is_err());
+        assert!(Name::decode_tlv(&[0x07, 4, 0x08, 9, 1, 2]).is_err());
+        // Wrong inner type.
+        assert!(Name::decode_tlv(&[0x07, 3, 0x09, 1, 0]).is_err());
+    }
+
+    #[test]
+    fn child_and_prefix() {
+        let n = Name::parse("/a").child(b"b");
+        assert_eq!(n, Name::parse("/a/b"));
+        assert_eq!(n.prefix(1), Name::parse("/a"));
+        assert_eq!(n.prefix(9), n);
+    }
+
+    #[test]
+    fn display_escapes_non_graphic() {
+        let n = Name::from_components(vec![vec![0x00, b'a']]);
+        assert_eq!(n.to_string(), "/%00a");
+    }
+}

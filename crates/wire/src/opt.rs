@@ -1,0 +1,248 @@
+//! The OPT authentication block carried in the DIP FN locations area.
+//!
+//! OPT \[16\] gives a destination *source authentication* (the packet really
+//! came from the claimed source) and *path validation* (it traversed the
+//! intended routers, in order). The DIP realization (§3) places a 544-bit
+//! block in the FN locations:
+//!
+//! ```text
+//! bits:   0        128       256      288       416       544
+//!         +---------+---------+--------+---------+---------+
+//!         | DataHash| Session | Times- |   PVF   |   OPV   |
+//!         | (128)   | ID (128)| tamp 32| (128)   | (128)   |
+//!         +---------+---------+--------+---------+---------+
+//! ```
+//!
+//! which makes the paper's four FN triples line up exactly:
+//! `F_parm (128,128)` reads the SessionID, `F_MAC (0,416)` covers everything
+//! before the OPV and deposits its result in the 128 bits *after* its target
+//! field (the OPV), `F_mark (288,128)` chains the PVF in place, and
+//! `F_ver (0,544)` lets the destination check the whole block.
+//!
+//! The paper evaluates one-hop paths, so a single OPV field suffices; the
+//! session layer in `dip-protocols` handles multi-hop chains by folding every
+//! hop into the PVF chain (exactly the PVF definition in the OPT paper).
+
+use crate::error::{ensure_len, Result, WireError};
+
+/// Size of the OPT block in bytes (544 bits).
+pub const OPT_BLOCK_LEN: usize = 68;
+/// Size of the OPT block in bits.
+pub const OPT_BLOCK_BITS: u16 = 544;
+
+/// Byte ranges of the block's fields.
+pub mod field {
+    use core::ops::Range;
+    /// 128-bit hash of the packet payload.
+    pub const DATA_HASH: Range<usize> = 0..16;
+    /// 128-bit session identifier (flow tag from OPT key negotiation).
+    pub const SESSION_ID: Range<usize> = 16..32;
+    /// 32-bit timestamp (freshness).
+    pub const TIMESTAMP: Range<usize> = 32..36;
+    /// 128-bit Path Verification Field, MAC-chained by every hop.
+    pub const PVF: Range<usize> = 36..52;
+    /// 128-bit Origin/Path Validation field (per-hop MAC over [0,416)).
+    pub const OPV: Range<usize> = 52..68;
+}
+
+/// Bit-level constants for the §3 FN triples.
+pub mod triple_bits {
+    /// `F_parm` target: the SessionID — `(loc: 128, len: 128, key: 6)`.
+    pub const PARM: (u16, u16) = (128, 128);
+    /// `F_MAC` target: DataHash‖SessionID‖Timestamp‖PVF — `(loc: 0, len: 416, key: 7)`.
+    pub const MAC: (u16, u16) = (0, 416);
+    /// `F_mark` target: the PVF — `(loc: 288, len: 128, key: 8)`.
+    pub const MARK: (u16, u16) = (288, 128);
+    /// `F_ver` target: the whole block — `(loc: 0, len: 544, key: 9)`.
+    pub const VER: (u16, u16) = (0, 544);
+}
+
+/// Zero-copy view over a 68-byte OPT block (e.g. a slice of the FN
+/// locations area).
+#[derive(Debug)]
+pub struct OptBlock<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> OptBlock<T> {
+    /// Wraps a buffer, validating its length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        ensure_len(buffer.as_ref(), OPT_BLOCK_LEN)?;
+        Ok(OptBlock { buffer })
+    }
+
+    fn get16(&self, r: core::ops::Range<usize>) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&self.buffer.as_ref()[r]);
+        out
+    }
+
+    /// The payload hash field.
+    pub fn data_hash(&self) -> [u8; 16] {
+        self.get16(field::DATA_HASH)
+    }
+
+    /// The session identifier.
+    pub fn session_id(&self) -> [u8; 16] {
+        self.get16(field::SESSION_ID)
+    }
+
+    /// The timestamp.
+    pub fn timestamp(&self) -> u32 {
+        let b = &self.buffer.as_ref()[field::TIMESTAMP];
+        u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// The path verification field.
+    pub fn pvf(&self) -> [u8; 16] {
+        self.get16(field::PVF)
+    }
+
+    /// The origin/path validation field.
+    pub fn opv(&self) -> [u8; 16] {
+        self.get16(field::OPV)
+    }
+
+    /// The 52 bytes covered by `F_MAC` (everything before the OPV).
+    pub fn mac_coverage(&self) -> &[u8] {
+        &self.buffer.as_ref()[0..52]
+    }
+
+    /// The raw 68 bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buffer.as_ref()[..OPT_BLOCK_LEN]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> OptBlock<T> {
+    /// Sets the payload hash.
+    pub fn set_data_hash(&mut self, v: &[u8; 16]) {
+        self.buffer.as_mut()[field::DATA_HASH].copy_from_slice(v);
+    }
+
+    /// Sets the session identifier.
+    pub fn set_session_id(&mut self, v: &[u8; 16]) {
+        self.buffer.as_mut()[field::SESSION_ID].copy_from_slice(v);
+    }
+
+    /// Sets the timestamp.
+    pub fn set_timestamp(&mut self, v: u32) {
+        self.buffer.as_mut()[field::TIMESTAMP].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the path verification field.
+    pub fn set_pvf(&mut self, v: &[u8; 16]) {
+        self.buffer.as_mut()[field::PVF].copy_from_slice(v);
+    }
+
+    /// Sets the origin/path validation field.
+    pub fn set_opv(&mut self, v: &[u8; 16]) {
+        self.buffer.as_mut()[field::OPV].copy_from_slice(v);
+    }
+}
+
+/// Owned OPT block contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptRepr {
+    /// 128-bit hash of the packet payload.
+    pub data_hash: [u8; 16],
+    /// Session identifier negotiated out of band.
+    pub session_id: [u8; 16],
+    /// Freshness timestamp.
+    pub timestamp: u32,
+    /// Path verification field (initialized by the source).
+    pub pvf: [u8; 16],
+    /// Origin/path validation field (written by `F_MAC` on path).
+    pub opv: [u8; 16],
+}
+
+impl OptRepr {
+    /// Parses from a 68-byte buffer.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        let v = OptBlock::new_checked(buf)?;
+        Ok(OptRepr {
+            data_hash: v.data_hash(),
+            session_id: v.session_id(),
+            timestamp: v.timestamp(),
+            pvf: v.pvf(),
+            opv: v.opv(),
+        })
+    }
+
+    /// Emits into the front of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < OPT_BLOCK_LEN {
+            return Err(WireError::Truncated { needed: OPT_BLOCK_LEN, available: buf.len() });
+        }
+        let mut v = OptBlock { buffer: buf };
+        v.set_data_hash(&self.data_hash);
+        v.set_session_id(&self.session_id);
+        v.set_timestamp(self.timestamp);
+        v.set_pvf(&self.pvf);
+        v.set_opv(&self.opv);
+        Ok(())
+    }
+
+    /// Serializes to a fresh 68-byte array.
+    pub fn to_bytes(&self) -> [u8; OPT_BLOCK_LEN] {
+        let mut out = [0u8; OPT_BLOCK_LEN];
+        self.emit(&mut out).expect("array is exactly OPT_BLOCK_LEN");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_544_bits() {
+        assert_eq!(OPT_BLOCK_LEN * 8, usize::from(OPT_BLOCK_BITS));
+        assert_eq!(field::OPV.end, OPT_BLOCK_LEN);
+        // Fields tile the block with no gaps or overlap.
+        assert_eq!(field::DATA_HASH.end, field::SESSION_ID.start);
+        assert_eq!(field::SESSION_ID.end, field::TIMESTAMP.start);
+        assert_eq!(field::TIMESTAMP.end, field::PVF.start);
+        assert_eq!(field::PVF.end, field::OPV.start);
+    }
+
+    #[test]
+    fn triple_bits_match_paper_section3() {
+        assert_eq!(triple_bits::PARM, (128, 128));
+        assert_eq!(triple_bits::MAC, (0, 416));
+        assert_eq!(triple_bits::MARK, (288, 128));
+        assert_eq!(triple_bits::VER, (0, 544));
+        // And agree with the byte layout.
+        assert_eq!(usize::from(triple_bits::PARM.0) / 8, field::SESSION_ID.start);
+        assert_eq!(usize::from(triple_bits::MARK.0) / 8, field::PVF.start);
+        assert_eq!(usize::from(triple_bits::MAC.1) / 8, field::OPV.start);
+    }
+
+    #[test]
+    fn repr_roundtrip() {
+        let r = OptRepr {
+            data_hash: [1; 16],
+            session_id: [2; 16],
+            timestamp: 0xdead_beef,
+            pvf: [3; 16],
+            opv: [4; 16],
+        };
+        let bytes = r.to_bytes();
+        assert_eq!(OptRepr::parse(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn view_mac_coverage_excludes_opv() {
+        let r = OptRepr { opv: [9; 16], ..Default::default() };
+        let bytes = r.to_bytes();
+        let v = OptBlock::new_checked(&bytes[..]).unwrap();
+        assert_eq!(v.mac_coverage().len(), 52);
+        assert!(v.mac_coverage().iter().all(|&b| b != 9));
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(OptBlock::new_checked(&[0u8; 67][..]).is_err());
+        assert!(OptRepr::parse(&[0u8; 10]).is_err());
+    }
+}

@@ -1,0 +1,504 @@
+//! Zero-copy view and owned representation of a full DIP packet.
+//!
+//! A DIP packet is laid out as (Figure 1):
+//!
+//! ```text
+//! | basic header (6B) | FN triples (6B x fn_num) | FN locations | payload |
+//! ```
+//!
+//! [`DipPacket`] wraps any `AsRef<[u8]>` buffer and provides field accessors
+//! without copying; [`DipRepr`] is the owned, validated form used by hosts to
+//! construct packets and by tests to state expectations.
+
+use crate::basic::{BasicHeader, PacketParameter, BASIC_HEADER_LEN};
+use crate::bits;
+use crate::error::{ensure_len, Result, WireError};
+use crate::triple::{FnTriple, FN_TRIPLE_LEN};
+use crate::{MAX_FN_LOC_LEN, MAX_FN_NUM};
+
+/// Zero-copy read (and, for mutable buffers, write) access to a DIP packet.
+#[derive(Debug, Clone)]
+pub struct DipPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> DipPacket<T> {
+    /// Wraps a buffer without validation. Accessors may panic on short
+    /// buffers; use [`DipPacket::new_checked`] for untrusted input.
+    pub fn new_unchecked(buffer: T) -> Self {
+        DipPacket { buffer }
+    }
+
+    /// Wraps a buffer, validating that the full header (basic + triples +
+    /// locations) is present and the version is supported.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let pkt = DipPacket { buffer };
+        pkt.check()?;
+        Ok(pkt)
+    }
+
+    fn check(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        let hdr = BasicHeader::parse(data)?;
+        ensure_len(data, hdr.header_len())?;
+        Ok(())
+    }
+
+    /// Releases the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// The parsed basic header.
+    pub fn basic_header(&self) -> Result<BasicHeader> {
+        BasicHeader::parse(self.buffer.as_ref())
+    }
+
+    /// Number of FN triples.
+    pub fn fn_num(&self) -> u8 {
+        self.buffer.as_ref()[2]
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.buffer.as_ref()[3]
+    }
+
+    /// Decoded packet parameter.
+    pub fn param(&self) -> PacketParameter {
+        let d = self.buffer.as_ref();
+        PacketParameter::from_wire(u16::from_be_bytes([d[4], d[5]]))
+    }
+
+    /// Length of the FN locations area in bytes.
+    pub fn fn_loc_len(&self) -> usize {
+        usize::from(self.param().fn_loc_len)
+    }
+
+    /// Total header length (basic + triples + locations).
+    pub fn header_len(&self) -> usize {
+        BASIC_HEADER_LEN + usize::from(self.fn_num()) * FN_TRIPLE_LEN + self.fn_loc_len()
+    }
+
+    /// Parses triple `i` (0-based).
+    pub fn triple(&self, i: usize) -> Result<FnTriple> {
+        if i >= usize::from(self.fn_num()) {
+            return Err(WireError::Malformed("triple index past FN number"));
+        }
+        let off = BASIC_HEADER_LEN + i * FN_TRIPLE_LEN;
+        FnTriple::parse(&self.buffer.as_ref()[off..])
+    }
+
+    /// Parses all triples, in header order (Algorithm 1 line 2).
+    pub fn triples(&self) -> Result<Vec<FnTriple>> {
+        (0..usize::from(self.fn_num())).map(|i| self.triple(i)).collect()
+    }
+
+    /// The FN locations area (Algorithm 1 line 3).
+    pub fn locations(&self) -> &[u8] {
+        let start = BASIC_HEADER_LEN + usize::from(self.fn_num()) * FN_TRIPLE_LEN;
+        &self.buffer.as_ref()[start..start + self.fn_loc_len()]
+    }
+
+    /// The payload following the DIP header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Reads the target field of `triple` out of the locations area
+    /// (left-aligned bytes; Algorithm 1 line 9).
+    pub fn target_field(&self, triple: &FnTriple) -> Result<Vec<u8>> {
+        bits::read_bits(
+            self.locations(),
+            usize::from(triple.field_loc),
+            usize::from(triple.field_len),
+        )
+    }
+
+    /// Total packet length in bytes.
+    pub fn total_len(&self) -> usize {
+        self.buffer.as_ref().len()
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> DipPacket<T> {
+    /// Sets the hop limit.
+    pub fn set_hop_limit(&mut self, v: u8) {
+        self.buffer.as_mut()[3] = v;
+    }
+
+    /// Decrements the hop limit, returning the new value, or `None` when the
+    /// hop limit was already zero (the packet must be dropped).
+    pub fn decrement_hop_limit(&mut self) -> Option<u8> {
+        let d = self.buffer.as_mut();
+        if d[3] == 0 {
+            return None;
+        }
+        d[3] -= 1;
+        Some(d[3])
+    }
+
+    /// Mutable access to the FN locations area.
+    pub fn locations_mut(&mut self) -> &mut [u8] {
+        let start = BASIC_HEADER_LEN + usize::from(self.fn_num()) * FN_TRIPLE_LEN;
+        let len = self.fn_loc_len();
+        &mut self.buffer.as_mut()[start..start + len]
+    }
+
+    /// Overwrites the target field of `triple` in the locations area.
+    pub fn set_target_field(&mut self, triple: &FnTriple, value: &[u8]) -> Result<()> {
+        bits::write_bits(
+            self.locations_mut(),
+            usize::from(triple.field_loc),
+            usize::from(triple.field_len),
+            value,
+        )
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let start = self.header_len();
+        &mut self.buffer.as_mut()[start..]
+    }
+}
+
+impl<T: AsRef<[u8]>> AsRef<[u8]> for DipPacket<T> {
+    fn as_ref(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+}
+
+/// Owned, validated representation of a DIP header.
+///
+/// This is what hosts build (§2.3 "Host Constructions") before serializing,
+/// and what `new_checked` + `parse` recovers from the wire.
+///
+/// ```
+/// use dip_wire::packet::{DipPacket, DipRepr};
+/// use dip_wire::triple::{FnKey, FnTriple};
+///
+/// // An NDN interest: one FN triple over a 32-bit compact name.
+/// let repr = DipRepr {
+///     fns: vec![FnTriple::router(0, 32, FnKey::Fib)],
+///     locations: 0xDEADBEEFu32.to_be_bytes().to_vec(),
+///     ..Default::default()
+/// };
+/// assert_eq!(repr.header_len(), 16); // Table 2's NDN row
+///
+/// let bytes = repr.to_bytes(b"payload").unwrap();
+/// let parsed = DipRepr::parse(&DipPacket::new_checked(&bytes[..]).unwrap()).unwrap();
+/// assert_eq!(parsed, repr);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DipRepr {
+    /// Payload protocol identifier.
+    pub next_header: u8,
+    /// Initial hop limit.
+    pub hop_limit: u8,
+    /// Modular-parallelism flag.
+    pub parallel: bool,
+    /// FN triples in execution order.
+    pub fns: Vec<FnTriple>,
+    /// The FN locations area contents.
+    pub locations: Vec<u8>,
+}
+
+impl Default for DipRepr {
+    fn default() -> Self {
+        DipRepr {
+            next_header: 0,
+            hop_limit: 64,
+            parallel: false,
+            fns: Vec::new(),
+            locations: Vec::new(),
+        }
+    }
+}
+
+impl DipRepr {
+    /// Parses a packet view into an owned representation, validating that
+    /// every triple's target field lies inside the locations area.
+    pub fn parse<T: AsRef<[u8]>>(packet: &DipPacket<T>) -> Result<Self> {
+        let hdr = packet.basic_header()?;
+        ensure_len(packet.as_ref(), hdr.header_len())?;
+        let fns = packet.triples()?;
+        let loc_len = usize::from(hdr.param.fn_loc_len);
+        for t in &fns {
+            if !t.fits(loc_len) {
+                return Err(WireError::OutOfBounds { end: t.field_end(), limit: loc_len * 8 });
+            }
+        }
+        Ok(DipRepr {
+            next_header: hdr.next_header,
+            hop_limit: hdr.hop_limit,
+            parallel: hdr.param.parallel,
+            fns,
+            locations: packet.locations().to_vec(),
+        })
+    }
+
+    /// Header length this representation will occupy on the wire.
+    pub fn header_len(&self) -> usize {
+        BASIC_HEADER_LEN + self.fns.len() * FN_TRIPLE_LEN + self.locations.len()
+    }
+
+    /// Validates structural invariants: FN count and locations length fit
+    /// their wire fields, every field is in bounds.
+    pub fn validate(&self) -> Result<()> {
+        if self.fns.len() > MAX_FN_NUM {
+            return Err(WireError::FieldOverflow("FN number"));
+        }
+        if self.locations.len() > MAX_FN_LOC_LEN {
+            return Err(WireError::FieldOverflow("fn_loc_len"));
+        }
+        for t in &self.fns {
+            if !t.fits(self.locations.len()) {
+                return Err(WireError::OutOfBounds {
+                    end: t.field_end(),
+                    limit: self.locations.len() * 8,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits header into the front of `buf` (which must hold at least
+    /// [`DipRepr::header_len`] bytes). The payload is not touched.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        self.validate()?;
+        ensure_len(buf, self.header_len())?;
+        let hdr = BasicHeader {
+            version: crate::DIP_VERSION,
+            next_header: self.next_header,
+            fn_num: self.fns.len() as u8,
+            hop_limit: self.hop_limit,
+            param: PacketParameter {
+                parallel: self.parallel,
+                fn_loc_len: self.locations.len() as u16,
+                reserved: 0,
+            },
+        };
+        hdr.emit(buf)?;
+        let mut off = BASIC_HEADER_LEN;
+        for t in &self.fns {
+            t.emit(&mut buf[off..])?;
+            off += FN_TRIPLE_LEN;
+        }
+        buf[off..off + self.locations.len()].copy_from_slice(&self.locations);
+        Ok(())
+    }
+
+    /// Serializes header + `payload` into a fresh buffer.
+    pub fn to_bytes(&self, payload: &[u8]) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; self.header_len() + payload.len()];
+        self.emit(&mut out)?;
+        out[self.header_len()..].copy_from_slice(payload);
+        Ok(out)
+    }
+
+    /// Builds a packet padded (with zero payload bytes) or filled to an exact
+    /// total size — the Figure 2 experiment sends 128/768/1500-byte packets.
+    pub fn to_bytes_padded(&self, total_len: usize) -> Result<Vec<u8>> {
+        let hl = self.header_len();
+        if total_len < hl {
+            return Err(WireError::Truncated { needed: hl, available: total_len });
+        }
+        let mut out = vec![0u8; total_len];
+        self.emit(&mut out)?;
+        Ok(out)
+    }
+}
+
+/// Fluent builder for [`DipRepr`] used by the host construction code.
+#[derive(Debug, Default, Clone)]
+pub struct DipBuilder {
+    repr: DipRepr,
+}
+
+impl DipBuilder {
+    /// Starts an empty builder (hop limit 64, no FNs).
+    pub fn new() -> Self {
+        DipBuilder::default()
+    }
+
+    /// Sets the next-header protocol number.
+    pub fn next_header(mut self, nh: u8) -> Self {
+        self.repr.next_header = nh;
+        self
+    }
+
+    /// Sets the initial hop limit.
+    pub fn hop_limit(mut self, hl: u8) -> Self {
+        self.repr.hop_limit = hl;
+        self
+    }
+
+    /// Sets the modular-parallelism flag.
+    pub fn parallel(mut self, p: bool) -> Self {
+        self.repr.parallel = p;
+        self
+    }
+
+    /// Appends an FN triple.
+    pub fn push_fn(mut self, t: FnTriple) -> Self {
+        self.repr.fns.push(t);
+        self
+    }
+
+    /// Replaces the FN locations area wholesale.
+    pub fn locations(mut self, bytes: Vec<u8>) -> Self {
+        self.repr.locations = bytes;
+        self
+    }
+
+    /// Appends `bytes` to the locations area and returns the **bit** offset
+    /// at which they were placed — convenient for building triples that point
+    /// at the data just appended.
+    pub fn append_location(&mut self, bytes: &[u8]) -> u16 {
+        let off = (self.repr.locations.len() * 8) as u16;
+        self.repr.locations.extend_from_slice(bytes);
+        off
+    }
+
+    /// Finishes the build, validating the representation.
+    pub fn build(self) -> Result<DipRepr> {
+        self.repr.validate()?;
+        Ok(self.repr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::FnKey;
+
+    fn opt_repr() -> DipRepr {
+        DipRepr {
+            next_header: 0,
+            hop_limit: 64,
+            parallel: false,
+            fns: vec![
+                FnTriple::router(128, 128, FnKey::Parm),
+                FnTriple::router(0, 416, FnKey::Mac),
+                FnTriple::router(288, 128, FnKey::Mark),
+                FnTriple::host(0, 544, FnKey::Ver),
+            ],
+            locations: vec![0u8; 68],
+        }
+    }
+
+    #[test]
+    fn repr_roundtrip() {
+        let repr = opt_repr();
+        let bytes = repr.to_bytes(b"payload").unwrap();
+        assert_eq!(bytes.len(), 98 + 7);
+        let pkt = DipPacket::new_checked(&bytes[..]).unwrap();
+        assert_eq!(pkt.header_len(), 98);
+        assert_eq!(pkt.payload(), b"payload");
+        let parsed = DipRepr::parse(&pkt).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn opt_header_is_98_bytes() {
+        assert_eq!(opt_repr().header_len(), 98);
+    }
+
+    #[test]
+    fn checked_rejects_truncated_header() {
+        let repr = opt_repr();
+        let bytes = repr.to_bytes(&[]).unwrap();
+        // Chop inside the locations area.
+        assert!(DipPacket::new_checked(&bytes[..50]).is_err());
+        // Chop inside the triples.
+        assert!(DipPacket::new_checked(&bytes[..10]).is_err());
+        assert!(DipPacket::new_checked(&bytes[..]).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_field_past_locations() {
+        let repr = DipRepr {
+            fns: vec![FnTriple::router(0, 128, FnKey::Match128)],
+            locations: vec![0u8; 8], // 64 bits, field wants 128
+            ..Default::default()
+        };
+        assert!(repr.validate().is_err());
+        assert!(repr.to_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn target_field_read_write() {
+        let repr = opt_repr();
+        let mut bytes = repr.to_bytes(&[]).unwrap();
+        let mut pkt = DipPacket::new_unchecked(&mut bytes[..]);
+        let mark = FnTriple::router(288, 128, FnKey::Mark);
+        let pvf = [0xabu8; 16];
+        pkt.set_target_field(&mark, &pvf).unwrap();
+        assert_eq!(pkt.target_field(&mark).unwrap(), pvf.to_vec());
+        // Bytes 36..52 of the locations area hold the PVF.
+        assert_eq!(&pkt.locations()[36..52], &pvf);
+        // And the session id field is untouched.
+        let parm = FnTriple::router(128, 128, FnKey::Parm);
+        assert_eq!(pkt.target_field(&parm).unwrap(), vec![0u8; 16]);
+    }
+
+    #[test]
+    fn hop_limit_decrement() {
+        let mut bytes = opt_repr().to_bytes(&[]).unwrap();
+        let mut pkt = DipPacket::new_unchecked(&mut bytes[..]);
+        assert_eq!(pkt.decrement_hop_limit(), Some(63));
+        pkt.set_hop_limit(0);
+        assert_eq!(pkt.decrement_hop_limit(), None);
+    }
+
+    #[test]
+    fn builder_append_location_returns_bit_offsets() {
+        let mut b = DipBuilder::new().next_header(17).hop_limit(32);
+        let name_off = b.append_location(&[1, 2, 3, 4]);
+        let opt_off = b.append_location(&[0u8; 68]);
+        assert_eq!(name_off, 0);
+        assert_eq!(opt_off, 32);
+        let repr = b
+            .push_fn(FnTriple::router(name_off, 32, FnKey::Pit))
+            .push_fn(FnTriple::router(opt_off + 128, 128, FnKey::Parm))
+            .build()
+            .unwrap();
+        assert_eq!(repr.locations.len(), 72);
+        assert_eq!(repr.header_len(), 6 + 12 + 72);
+    }
+
+    #[test]
+    fn padded_serialization() {
+        let repr = opt_repr();
+        let bytes = repr.to_bytes_padded(1500).unwrap();
+        assert_eq!(bytes.len(), 1500);
+        let pkt = DipPacket::new_checked(&bytes[..]).unwrap();
+        assert_eq!(pkt.payload().len(), 1500 - 98);
+        // Asking for less than the header is an error.
+        assert!(repr.to_bytes_padded(97).is_err());
+    }
+
+    #[test]
+    fn triple_index_bounds() {
+        let bytes = opt_repr().to_bytes(&[]).unwrap();
+        let pkt = DipPacket::new_checked(&bytes[..]).unwrap();
+        assert!(pkt.triple(3).is_ok());
+        assert!(pkt.triple(4).is_err());
+        assert_eq!(pkt.triples().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn too_many_fns_rejected() {
+        let repr = DipRepr {
+            fns: vec![FnTriple::router(0, 0, FnKey::Parm); 256],
+            ..Default::default()
+        };
+        assert_eq!(repr.validate(), Err(WireError::FieldOverflow("FN number")));
+    }
+
+    #[test]
+    fn oversized_locations_rejected() {
+        let repr = DipRepr { locations: vec![0u8; 1024], ..Default::default() };
+        assert_eq!(repr.validate(), Err(WireError::FieldOverflow("fn_loc_len")));
+    }
+}

@@ -1,0 +1,207 @@
+//! Human-readable packet dissection (the `dipdump` backend).
+//!
+//! Renders a DIP packet the way tcpdump renders IP: one summary line plus
+//! per-FN detail, decoding known location layouts (addresses, compact
+//! names, the OPT block, XIA DAGs) where the FN chain identifies them.
+
+use crate::packet::DipPacket;
+use crate::triple::{FnKey, FnTriple};
+use crate::{opt, xia};
+use std::fmt::Write;
+
+/// Dissects a packet into a multi-line description. Never fails: malformed
+/// packets produce a diagnostic line instead.
+pub fn dissect(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    let pkt = match DipPacket::new_checked(bytes) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = writeln!(out, "malformed DIP packet ({e}); {} raw bytes", bytes.len());
+            return out;
+        }
+    };
+    let hdr = match pkt.basic_header() {
+        Ok(h) => h,
+        Err(e) => {
+            let _ = writeln!(out, "bad basic header ({e})");
+            return out;
+        }
+    };
+    let _ = writeln!(
+        out,
+        "DIP v{} len {} (hdr {} + payload {}) hop_limit {} next_header {}{}",
+        hdr.version,
+        pkt.total_len(),
+        pkt.header_len(),
+        pkt.payload().len(),
+        hdr.hop_limit,
+        hdr.next_header,
+        if hdr.param.parallel { " [parallel]" } else { "" },
+    );
+    let triples = pkt.triples().unwrap_or_default();
+    for (i, t) in triples.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  FN[{i}] {}{} loc {} len {} — {}",
+            t.key.notation(),
+            if t.host { " (host)" } else { "" },
+            t.field_loc,
+            t.field_len,
+            describe_field(&pkt, t),
+        );
+    }
+    out
+}
+
+fn describe_field<T: AsRef<[u8]>>(pkt: &DipPacket<T>, t: &FnTriple) -> String {
+    let Ok(field) = pkt.target_field(t) else {
+        return "field out of bounds".into();
+    };
+    match (t.key, t.field_len) {
+        (FnKey::Match32 | FnKey::Source, 32) => {
+            format!("addr {}.{}.{}.{}", field[0], field[1], field[2], field[3])
+        }
+        (FnKey::Match128 | FnKey::Source, 128) => {
+            let mut s = String::from("addr ");
+            for (i, pair) in field.chunks(2).enumerate() {
+                if i > 0 {
+                    s.push(':');
+                }
+                let _ = write!(s, "{:x}", u16::from_be_bytes([pair[0], pair[1]]));
+            }
+            s
+        }
+        (FnKey::Fib | FnKey::Pit, 32) => {
+            format!("compact name {:#010x}", u32::from_be_bytes([field[0], field[1], field[2], field[3]]))
+        }
+        (FnKey::Fib | FnKey::Pit, _) => match crate::ndn::Name::decode_tlv(&field) {
+            Ok((name, _)) => format!("name {name}"),
+            Err(_) => "undecodable name".into(),
+        },
+        (FnKey::Ver, opt::OPT_BLOCK_BITS) => match opt::OptRepr::parse(&field) {
+            Ok(block) => format!(
+                "OPT block: session {:02x}{:02x}.. ts {} pvf {:02x}{:02x}.. opv {:02x}{:02x}..",
+                block.session_id[0],
+                block.session_id[1],
+                block.timestamp,
+                block.pvf[0],
+                block.pvf[1],
+                block.opv[0],
+                block.opv[1],
+            ),
+            Err(_) => "undecodable OPT block".into(),
+        },
+        (FnKey::Parm, 128) => {
+            format!("session id {:02x}{:02x}{:02x}{:02x}..", field[0], field[1], field[2], field[3])
+        }
+        (FnKey::Mac, _) => format!("coverage {} bits", t.field_len),
+        (FnKey::Mark, 128) => format!("tag {:02x}{:02x}{:02x}{:02x}..", field[0], field[1], field[2], field[3]),
+        (FnKey::Dag | FnKey::Intent, _) => match xia::Dag::decode(&field) {
+            Ok((dag, _)) => {
+                let intent = dag
+                    .intent()
+                    .map(|n| format!("{} {}", n.ty.name(), n.xid))
+                    .unwrap_or_else(|| "?".into());
+                format!("DAG {} nodes, last_visited {}, intent {}", dag.nodes.len(), dag.last_visited, intent)
+            }
+            Err(_) => "undecodable DAG".into(),
+        },
+        (FnKey::Pass, 256) => format!(
+            "source {:02x}{:02x}.. label {:02x}{:02x}..",
+            field[0], field[1], field[16], field[17]
+        ),
+        (FnKey::Other(k), _) => format!("custom op {k:#x}, {} bits", t.field_len),
+        _ => format!("{} bits", t.field_len),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::DipRepr;
+
+    #[test]
+    fn dissects_a_dip32_packet() {
+        let repr = DipRepr {
+            fns: vec![
+                FnTriple::router(0, 32, FnKey::Match32),
+                FnTriple::router(32, 32, FnKey::Source),
+            ],
+            locations: vec![10, 0, 0, 1, 192, 168, 1, 2],
+            ..Default::default()
+        };
+        let s = dissect(&repr.to_bytes(b"pp").unwrap());
+        assert!(s.contains("DIP v1"), "{s}");
+        assert!(s.contains("F_32_match"), "{s}");
+        assert!(s.contains("addr 10.0.0.1"), "{s}");
+        assert!(s.contains("addr 192.168.1.2"), "{s}");
+        assert!(s.contains("payload 2"), "{s}");
+    }
+
+    #[test]
+    fn dissects_opt_and_marks_host_fns() {
+        let repr = DipRepr {
+            fns: vec![
+                FnTriple::router(128, 128, FnKey::Parm),
+                FnTriple::router(0, 416, FnKey::Mac),
+                FnTriple::router(288, 128, FnKey::Mark),
+                FnTriple::host(0, 544, FnKey::Ver),
+            ],
+            locations: vec![0xab; 68],
+            ..Default::default()
+        };
+        let s = dissect(&repr.to_bytes(&[]).unwrap());
+        assert!(s.contains("F_ver (host)"), "{s}");
+        assert!(s.contains("OPT block"), "{s}");
+        assert!(s.contains("coverage 416 bits"), "{s}");
+    }
+
+    #[test]
+    fn dissects_names_and_dags() {
+        use crate::ndn::Name;
+        let name = Name::parse("/a/b");
+        let tlv = name.encode_tlv().unwrap();
+        let bits = (tlv.len() * 8) as u16;
+        let repr = DipRepr {
+            fns: vec![FnTriple::router(0, bits, FnKey::Fib)],
+            locations: tlv,
+            ..Default::default()
+        };
+        let s = dissect(&repr.to_bytes(&[]).unwrap());
+        assert!(s.contains("name /a/b"), "{s}");
+
+        let dag = xia::Dag::direct_with_fallback(
+            xia::DagNode::sink(xia::XidType::Cid, xia::Xid::derive(b"c")),
+            xia::Xid::derive(b"ad"),
+            xia::Xid::derive(b"h"),
+        )
+        .unwrap();
+        let enc = dag.encode();
+        let bits = (enc.len() * 8) as u16;
+        let repr = DipRepr {
+            fns: vec![FnTriple::router(0, bits, FnKey::Dag)],
+            locations: enc,
+            ..Default::default()
+        };
+        let s = dissect(&repr.to_bytes(&[]).unwrap());
+        assert!(s.contains("DAG 3 nodes"), "{s}");
+        assert!(s.contains("intent CID"), "{s}");
+    }
+
+    #[test]
+    fn garbage_is_reported_not_panicked() {
+        assert!(dissect(&[0xff; 3]).contains("malformed"));
+        assert!(dissect(&[]).contains("malformed"));
+    }
+
+    #[test]
+    fn custom_keys_render() {
+        let repr = DipRepr {
+            fns: vec![FnTriple::router(0, 16, FnKey::Other(0x102))],
+            locations: vec![1, 2],
+            ..Default::default()
+        };
+        let s = dissect(&repr.to_bytes(&[]).unwrap());
+        assert!(s.contains("custom op 0x102"), "{s}");
+    }
+}

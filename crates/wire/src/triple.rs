@@ -1,0 +1,312 @@
+//! FN triples — the blue part of Figure 1.
+//!
+//! Each Field Operation is specified on the wire by a fixed 6-byte triple:
+//!
+//! ```text
+//! +----------------+----------------+----------------+
+//! | field location | field length   |T| operation key|
+//! |    (16 bits)   |   (16 bits)    |1|   (15 bits)  |
+//! +----------------+----------------+----------------+
+//! ```
+//!
+//! *Field location* is the **bit** offset of the target field inside the FN
+//! locations area, *field length* its width in **bits**, and the operation
+//! key names the module to run. The most significant bit of the key word is
+//! the *tag* bit (§2.2): `1` means the operation is performed by the host,
+//! `0` by routers.
+
+use crate::error::{ensure_len, Result, WireError};
+
+/// Length of one FN triple on the wire, in bytes.
+pub const FN_TRIPLE_LEN: usize = 6;
+
+/// Well-known operation keys (Table 1 of the paper, plus `Pass` from §2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FnKey {
+    /// 32-bit address match (`F_32_match`, key 1).
+    Match32,
+    /// 128-bit address match (`F_128_match`, key 2).
+    Match128,
+    /// Source address (`F_source`, key 3).
+    Source,
+    /// Forwarding information base match (`F_FIB`, key 4).
+    Fib,
+    /// Pending interest table match (`F_PIT`, key 5).
+    Pit,
+    /// Load parameters / derive dynamic key (`F_parm`, key 6).
+    Parm,
+    /// Calculate MAC (`F_MAC`, key 7).
+    Mac,
+    /// Mark update (`F_mark`, key 8).
+    Mark,
+    /// Destination verification (`F_ver`, key 9).
+    Ver,
+    /// Parse the directed acyclic graph (`F_DAG`, key 10).
+    Dag,
+    /// Handle intent (`F_intent`, key 11).
+    Intent,
+    /// Source label verification (`F_pass`, key 12; §2.4 security).
+    Pass,
+    /// Any key this implementation has no name for.
+    Other(u16),
+}
+
+impl FnKey {
+    /// Wire value of this key (15 bits, tag excluded).
+    pub fn to_wire(self) -> u16 {
+        match self {
+            FnKey::Match32 => 1,
+            FnKey::Match128 => 2,
+            FnKey::Source => 3,
+            FnKey::Fib => 4,
+            FnKey::Pit => 5,
+            FnKey::Parm => 6,
+            FnKey::Mac => 7,
+            FnKey::Mark => 8,
+            FnKey::Ver => 9,
+            FnKey::Dag => 10,
+            FnKey::Intent => 11,
+            FnKey::Pass => 12,
+            FnKey::Other(k) => k,
+        }
+    }
+
+    /// Decodes a 15-bit wire key.
+    pub fn from_wire(raw: u16) -> Self {
+        match raw {
+            1 => FnKey::Match32,
+            2 => FnKey::Match128,
+            3 => FnKey::Source,
+            4 => FnKey::Fib,
+            5 => FnKey::Pit,
+            6 => FnKey::Parm,
+            7 => FnKey::Mac,
+            8 => FnKey::Mark,
+            9 => FnKey::Ver,
+            10 => FnKey::Dag,
+            11 => FnKey::Intent,
+            12 => FnKey::Pass,
+            k => FnKey::Other(k),
+        }
+    }
+
+    /// Paper notation for the operation, e.g. `F_FIB`.
+    pub fn notation(self) -> &'static str {
+        match self {
+            FnKey::Match32 => "F_32_match",
+            FnKey::Match128 => "F_128_match",
+            FnKey::Source => "F_source",
+            FnKey::Fib => "F_FIB",
+            FnKey::Pit => "F_PIT",
+            FnKey::Parm => "F_parm",
+            FnKey::Mac => "F_MAC",
+            FnKey::Mark => "F_mark",
+            FnKey::Ver => "F_ver",
+            FnKey::Dag => "F_DAG",
+            FnKey::Intent => "F_intent",
+            FnKey::Pass => "F_pass",
+            FnKey::Other(_) => "F_?",
+        }
+    }
+
+    /// Human description matching Table 1.
+    pub fn description(self) -> &'static str {
+        match self {
+            FnKey::Match32 => "32-bit address match",
+            FnKey::Match128 => "128-bit address match",
+            FnKey::Source => "source address",
+            FnKey::Fib => "forwarding information base match",
+            FnKey::Pit => "pending interest table match",
+            FnKey::Parm => "load parameters",
+            FnKey::Mac => "calculate MAC",
+            FnKey::Mark => "mark update",
+            FnKey::Ver => "destination verification",
+            FnKey::Dag => "parse the directed acyclic graph",
+            FnKey::Intent => "handle intent",
+            FnKey::Pass => "source label verification",
+            FnKey::Other(_) => "unknown operation",
+        }
+    }
+
+    /// All keys defined by the paper (Table 1) in key order.
+    pub fn table1() -> [FnKey; 11] {
+        [
+            FnKey::Match32,
+            FnKey::Match128,
+            FnKey::Source,
+            FnKey::Fib,
+            FnKey::Pit,
+            FnKey::Parm,
+            FnKey::Mac,
+            FnKey::Mark,
+            FnKey::Ver,
+            FnKey::Dag,
+            FnKey::Intent,
+        ]
+    }
+}
+
+/// One FN triple: target field plus operation, the atom of DIP (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FnTriple {
+    /// Bit offset of the target field inside the FN locations area.
+    pub field_loc: u16,
+    /// Width of the target field, in bits.
+    pub field_len: u16,
+    /// Which operation module to apply.
+    pub key: FnKey,
+    /// Tag bit: `true` = host operation (routers skip it, Algorithm 1 line 5).
+    pub host: bool,
+}
+
+impl FnTriple {
+    /// A router-executed triple, the common case.
+    pub const fn router(field_loc: u16, field_len: u16, key: FnKey) -> Self {
+        FnTriple { field_loc, field_len, key, host: false }
+    }
+
+    /// A host-executed triple (tag bit set).
+    pub const fn host(field_loc: u16, field_len: u16, key: FnKey) -> Self {
+        FnTriple { field_loc, field_len, key, host: true }
+    }
+
+    /// Parses one triple from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        ensure_len(buf, FN_TRIPLE_LEN)?;
+        let field_loc = u16::from_be_bytes([buf[0], buf[1]]);
+        let field_len = u16::from_be_bytes([buf[2], buf[3]]);
+        let raw_key = u16::from_be_bytes([buf[4], buf[5]]);
+        Ok(FnTriple {
+            field_loc,
+            field_len,
+            key: FnKey::from_wire(raw_key & 0x7fff),
+            host: raw_key & 0x8000 != 0,
+        })
+    }
+
+    /// Emits this triple into the front of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        ensure_len(buf, FN_TRIPLE_LEN)?;
+        let raw = self.key.to_wire();
+        if raw > 0x7fff {
+            return Err(WireError::FieldOverflow("operation key"));
+        }
+        buf[0..2].copy_from_slice(&self.field_loc.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.field_len.to_be_bytes());
+        let keyword = raw | if self.host { 0x8000 } else { 0 };
+        buf[4..6].copy_from_slice(&keyword.to_be_bytes());
+        Ok(())
+    }
+
+    /// Last bit (exclusive) of the target field.
+    pub fn field_end(&self) -> usize {
+        usize::from(self.field_loc) + usize::from(self.field_len)
+    }
+
+    /// Whether this triple's target field fits in a locations area of
+    /// `loc_len` bytes.
+    pub fn fits(&self, loc_len: usize) -> bool {
+        self.field_end() <= loc_len * 8
+    }
+
+    /// Whether two triples' target fields overlap (used by the parallel
+    /// execution planner: overlapping operations must run sequentially).
+    pub fn overlaps(&self, other: &FnTriple) -> bool {
+        if self.field_len == 0 || other.field_len == 0 {
+            return false;
+        }
+        let (a0, a1) = (usize::from(self.field_loc), self.field_end());
+        let (b0, b1) = (usize::from(other.field_loc), other.field_end());
+        a0 < b1 && b0 < a1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_table1_keys() {
+        let mut buf = [0u8; FN_TRIPLE_LEN];
+        for key in FnKey::table1() {
+            let t = FnTriple::router(288, 128, key);
+            t.emit(&mut buf).unwrap();
+            assert_eq!(FnTriple::parse(&buf).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn key_wire_values_match_table1() {
+        assert_eq!(FnKey::Match32.to_wire(), 1);
+        assert_eq!(FnKey::Match128.to_wire(), 2);
+        assert_eq!(FnKey::Source.to_wire(), 3);
+        assert_eq!(FnKey::Fib.to_wire(), 4);
+        assert_eq!(FnKey::Pit.to_wire(), 5);
+        assert_eq!(FnKey::Parm.to_wire(), 6);
+        assert_eq!(FnKey::Mac.to_wire(), 7);
+        assert_eq!(FnKey::Mark.to_wire(), 8);
+        assert_eq!(FnKey::Ver.to_wire(), 9);
+        assert_eq!(FnKey::Dag.to_wire(), 10);
+        assert_eq!(FnKey::Intent.to_wire(), 11);
+        assert_eq!(FnKey::Pass.to_wire(), 12);
+    }
+
+    #[test]
+    fn tag_bit_is_msb() {
+        let mut buf = [0u8; FN_TRIPLE_LEN];
+        FnTriple::host(0, 544, FnKey::Ver).emit(&mut buf).unwrap();
+        assert_eq!(buf[4] & 0x80, 0x80);
+        assert_eq!(u16::from_be_bytes([buf[4], buf[5]]) & 0x7fff, 9);
+        let parsed = FnTriple::parse(&buf).unwrap();
+        assert!(parsed.host);
+        assert_eq!(parsed.key, FnKey::Ver);
+    }
+
+    #[test]
+    fn unknown_keys_survive_roundtrip() {
+        let mut buf = [0u8; FN_TRIPLE_LEN];
+        let t = FnTriple::router(10, 20, FnKey::Other(0x1234));
+        t.emit(&mut buf).unwrap();
+        assert_eq!(FnTriple::parse(&buf).unwrap(), t);
+    }
+
+    #[test]
+    fn oversized_key_rejected() {
+        let mut buf = [0u8; FN_TRIPLE_LEN];
+        let t = FnTriple::router(0, 0, FnKey::Other(0x8000));
+        assert_eq!(t.emit(&mut buf), Err(WireError::FieldOverflow("operation key")));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mac = FnTriple::router(0, 416, FnKey::Mac);
+        let mark = FnTriple::router(288, 128, FnKey::Mark);
+        let opv = FnTriple::router(416, 128, FnKey::Other(99));
+        assert!(mac.overlaps(&mark));
+        assert!(!mac.overlaps(&opv));
+        assert!(!mark.overlaps(&opv));
+        // A zero-length field overlaps nothing.
+        let empty = FnTriple::router(100, 0, FnKey::Parm);
+        assert!(!empty.overlaps(&mac));
+    }
+
+    #[test]
+    fn fits_checks_loc_area() {
+        let ver = FnTriple::host(0, 544, FnKey::Ver);
+        assert!(ver.fits(68));
+        assert!(!ver.fits(67));
+    }
+
+    #[test]
+    fn paper_section3_opt_triples() {
+        // §3: (loc:128,len:128,key:6), (loc:0,len:416,key:7),
+        //     (loc:288,len:128,key:8), (loc:0,len:544,key:9)
+        let parm = FnTriple::router(128, 128, FnKey::Parm);
+        let mac = FnTriple::router(0, 416, FnKey::Mac);
+        let mark = FnTriple::router(288, 128, FnKey::Mark);
+        let ver = FnTriple::host(0, 544, FnKey::Ver);
+        for t in [parm, mac, mark, ver] {
+            assert!(t.fits(68), "OPT triple {t:?} must fit the 544-bit block");
+        }
+    }
+}

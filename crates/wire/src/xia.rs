@@ -1,0 +1,425 @@
+//! XIA DAG addresses.
+//!
+//! XIA \[12\] replaces the destination address with a **directed acyclic
+//! graph** of typed identifiers (XIDs). The *intent* is the sink node; when
+//! a router cannot route on the intent's principal type it follows
+//! *fallback* edges. DIP realizes XIA by putting the encoded DAG in the FN
+//! locations area and running `F_DAG` (parse) and `F_intent` (route with
+//! fallback) on it (§3).
+//!
+//! ## Wire encoding
+//!
+//! ```text
+//! +-----------+--------------+-------------------+------------------+
+//! | num_nodes | last_visited | src out-edges x4  | nodes (28B each) |
+//! |   (1B)    |     (1B)     |      (4B)         |                  |
+//! +-----------+--------------+-------------------+------------------+
+//! node := xid_type (4B) | xid (20B) | out-edges x4 (4B)
+//! ```
+//!
+//! Edges are node indices; `0xff` means "no edge". Edge order encodes
+//! priority: edge 0 is preferred, later edges are fallbacks. `last_visited`
+//! records navigation progress (`0xff` = still at the conceptual source) so
+//! per-hop processing is stateless, exactly as in XIA.
+
+use crate::error::{ensure_len, Result, WireError};
+
+/// Length of one encoded DAG node.
+pub const NODE_LEN: usize = 28;
+/// Length of the DAG preamble (num_nodes, last_visited, source edges).
+pub const DAG_PREAMBLE_LEN: usize = 6;
+/// Sentinel for "no edge" / "at source".
+pub const NO_EDGE: u8 = 0xff;
+/// Maximum out-degree of a DAG node (as in XIA).
+pub const MAX_OUT_EDGES: usize = 4;
+
+/// Principal types defined by XIA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XidType {
+    /// Autonomous domain.
+    Ad,
+    /// Host.
+    Hid,
+    /// Service.
+    Sid,
+    /// Content.
+    Cid,
+    /// 4ID / future principal, kept verbatim.
+    Other(u32),
+}
+
+impl XidType {
+    /// Wire value (matches the XIA prototype's principal numbers).
+    pub fn to_wire(self) -> u32 {
+        match self {
+            XidType::Ad => 0x10,
+            XidType::Hid => 0x11,
+            XidType::Sid => 0x12,
+            XidType::Cid => 0x13,
+            XidType::Other(v) => v,
+        }
+    }
+
+    /// Decodes a wire value.
+    pub fn from_wire(v: u32) -> Self {
+        match v {
+            0x10 => XidType::Ad,
+            0x11 => XidType::Hid,
+            0x12 => XidType::Sid,
+            0x13 => XidType::Cid,
+            other => XidType::Other(other),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            XidType::Ad => "AD",
+            XidType::Hid => "HID",
+            XidType::Sid => "SID",
+            XidType::Cid => "CID",
+            XidType::Other(_) => "XID",
+        }
+    }
+}
+
+/// A 160-bit XIA identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Xid(pub [u8; 20]);
+
+impl Xid {
+    /// Derives an XID from arbitrary bytes with a simple stable hash
+    /// (FNV-1a folded to 160 bits) — stand-in for the SHA-1-of-key XIDs of
+    /// the XIA paper, adequate for routing-table keys.
+    pub fn derive(data: &[u8]) -> Self {
+        let mut out = [0u8; 20];
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (i, chunk) in out.chunks_mut(8).enumerate() {
+            for &b in data {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h = h.wrapping_add(i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let bytes = h.to_be_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Xid(out)
+    }
+}
+
+impl core::fmt::Display for Xid {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for b in &self.0[..4] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "..")
+    }
+}
+
+/// One DAG node: a typed identifier plus up to four prioritized out-edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DagNode {
+    /// Principal type.
+    pub ty: XidType,
+    /// The identifier.
+    pub xid: Xid,
+    /// Out-edges as node indices, most-preferred first; `NO_EDGE` = unused.
+    pub edges: [u8; MAX_OUT_EDGES],
+}
+
+impl DagNode {
+    /// A node with no out-edges (a sink).
+    pub fn sink(ty: XidType, xid: Xid) -> Self {
+        DagNode { ty, xid, edges: [NO_EDGE; MAX_OUT_EDGES] }
+    }
+
+    /// A node with the given out-edges.
+    pub fn with_edges(ty: XidType, xid: Xid, edges: &[u8]) -> Self {
+        let mut e = [NO_EDGE; MAX_OUT_EDGES];
+        e[..edges.len()].copy_from_slice(edges);
+        DagNode { ty, xid, edges: e }
+    }
+
+    /// Iterator over the present out-edges, in priority order.
+    pub fn out_edges(&self) -> impl Iterator<Item = u8> + '_ {
+        self.edges.iter().copied().filter(|&e| e != NO_EDGE)
+    }
+
+    /// Whether this node is a sink (no out-edges) — i.e. an intent candidate.
+    pub fn is_sink(&self) -> bool {
+        self.edges.iter().all(|&e| e == NO_EDGE)
+    }
+
+    fn parse(buf: &[u8]) -> Result<Self> {
+        ensure_len(buf, NODE_LEN)?;
+        let ty = XidType::from_wire(u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]));
+        let mut xid = [0u8; 20];
+        xid.copy_from_slice(&buf[4..24]);
+        let mut edges = [NO_EDGE; MAX_OUT_EDGES];
+        edges.copy_from_slice(&buf[24..28]);
+        Ok(DagNode { ty, xid: Xid(xid), edges })
+    }
+
+    fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        ensure_len(buf, NODE_LEN)?;
+        buf[0..4].copy_from_slice(&self.ty.to_wire().to_be_bytes());
+        buf[4..24].copy_from_slice(&self.xid.0);
+        buf[24..28].copy_from_slice(&self.edges);
+        Ok(())
+    }
+}
+
+/// An XIA address DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag {
+    /// Out-edges of the conceptual source node, priority ordered.
+    pub src_edges: [u8; MAX_OUT_EDGES],
+    /// Index of the last node successfully visited, or `NO_EDGE` when the
+    /// packet is still at the source.
+    pub last_visited: u8,
+    /// The nodes.
+    pub nodes: Vec<DagNode>,
+}
+
+impl Dag {
+    /// Builds a DAG, validating structure.
+    pub fn new(src_edges: &[u8], nodes: Vec<DagNode>) -> Result<Self> {
+        let mut e = [NO_EDGE; MAX_OUT_EDGES];
+        if src_edges.len() > MAX_OUT_EDGES {
+            return Err(WireError::Malformed("too many source edges"));
+        }
+        e[..src_edges.len()].copy_from_slice(src_edges);
+        let dag = Dag { src_edges: e, last_visited: NO_EDGE, nodes };
+        dag.validate()?;
+        Ok(dag)
+    }
+
+    /// The canonical "direct with fallback" destination DAG of the XIA
+    /// papers:
+    ///
+    /// ```text
+    /// src ──────────────▶ intent
+    ///  └─▶ AD ─▶ HID ──▶ intent   (fallback path)
+    /// ```
+    ///
+    /// Node order: `[intent, AD, HID]`.
+    pub fn direct_with_fallback(intent: DagNode, ad: Xid, hid: Xid) -> Result<Dag> {
+        let mut intent = intent;
+        intent.edges = [NO_EDGE; MAX_OUT_EDGES];
+        let nodes = vec![
+            intent,
+            DagNode::with_edges(XidType::Ad, ad, &[2]),
+            DagNode::with_edges(XidType::Hid, hid, &[0]),
+        ];
+        Dag::new(&[0, 1], nodes)
+    }
+
+    /// The intent of the address: the unique sink reachable from the source.
+    /// By XIA convention we take the *first* sink in node order.
+    pub fn intent(&self) -> Option<&DagNode> {
+        self.nodes.iter().find(|n| n.is_sink())
+    }
+
+    /// Out-edges to explore from the current position (priority order).
+    pub fn current_edges(&self) -> Vec<u8> {
+        let edges = if self.last_visited == NO_EDGE {
+            &self.src_edges
+        } else {
+            &self.nodes[usize::from(self.last_visited)].edges
+        };
+        edges.iter().copied().filter(|&e| e != NO_EDGE).collect()
+    }
+
+    /// Structural validation: edge indices in range, no node unreachable
+    /// check is performed (cheap per-hop validation only), graph is acyclic.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes.len() > usize::from(NO_EDGE) {
+            return Err(WireError::Malformed("too many DAG nodes"));
+        }
+        let n = self.nodes.len() as u8;
+        let edge_ok = |e: u8| e == NO_EDGE || e < n;
+        if !self.src_edges.iter().copied().all(edge_ok) {
+            return Err(WireError::Malformed("source edge out of range"));
+        }
+        for node in &self.nodes {
+            if !node.edges.iter().copied().all(edge_ok) {
+                return Err(WireError::Malformed("node edge out of range"));
+            }
+        }
+        if self.last_visited != NO_EDGE && self.last_visited >= n {
+            return Err(WireError::Malformed("last_visited out of range"));
+        }
+        // Cycle check by DFS with colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        fn dfs(nodes: &[DagNode], colors: &mut [Color], i: usize) -> bool {
+            colors[i] = Color::Grey;
+            for e in nodes[i].out_edges() {
+                match colors[usize::from(e)] {
+                    Color::Grey => return false,
+                    Color::White => {
+                        if !dfs(nodes, colors, usize::from(e)) {
+                            return false;
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+            colors[i] = Color::Black;
+            true
+        }
+        let mut colors = vec![Color::White; self.nodes.len()];
+        for i in 0..self.nodes.len() {
+            if colors[i] == Color::White && !dfs(&self.nodes, &mut colors, i) {
+                return Err(WireError::Malformed("DAG contains a cycle"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Encoded length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        DAG_PREAMBLE_LEN + self.nodes.len() * NODE_LEN
+    }
+
+    /// Encoded length in **bits**, for use as an FN triple field length.
+    pub fn encoded_bits(&self) -> u16 {
+        (self.encoded_len() * 8) as u16
+    }
+
+    /// Encodes the DAG.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.encoded_len()];
+        out[0] = self.nodes.len() as u8;
+        out[1] = self.last_visited;
+        out[2..6].copy_from_slice(&self.src_edges);
+        for (i, node) in self.nodes.iter().enumerate() {
+            node.emit(&mut out[DAG_PREAMBLE_LEN + i * NODE_LEN..])
+                .expect("buffer sized by encoded_len");
+        }
+        out
+    }
+
+    /// Decodes and validates a DAG from the front of `buf`; returns the DAG
+    /// and bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Dag, usize)> {
+        ensure_len(buf, DAG_PREAMBLE_LEN)?;
+        let n = usize::from(buf[0]);
+        let total = DAG_PREAMBLE_LEN + n * NODE_LEN;
+        ensure_len(buf, total)?;
+        let mut src_edges = [NO_EDGE; MAX_OUT_EDGES];
+        src_edges.copy_from_slice(&buf[2..6]);
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            nodes.push(DagNode::parse(&buf[DAG_PREAMBLE_LEN + i * NODE_LEN..])?);
+        }
+        let dag = Dag { src_edges, last_visited: buf[1], nodes };
+        dag.validate()?;
+        Ok((dag, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(tag: &str) -> Xid {
+        Xid::derive(tag.as_bytes())
+    }
+
+    fn fallback_dag() -> Dag {
+        Dag::direct_with_fallback(
+            DagNode::sink(XidType::Cid, cid("content")),
+            cid("ad1"),
+            cid("host1"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let dag = fallback_dag();
+        let enc = dag.encode();
+        assert_eq!(enc.len(), 6 + 3 * 28);
+        let (dec, used) = Dag::decode(&enc).unwrap();
+        assert_eq!(dec, dag);
+        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn intent_is_first_sink() {
+        let dag = fallback_dag();
+        let intent = dag.intent().unwrap();
+        assert_eq!(intent.ty, XidType::Cid);
+        assert_eq!(intent.xid, cid("content"));
+    }
+
+    #[test]
+    fn current_edges_follow_navigation() {
+        let mut dag = fallback_dag();
+        // At the source: prefer intent (node 0) then AD (node 1).
+        assert_eq!(dag.current_edges(), vec![0, 1]);
+        dag.last_visited = 1; // moved to the AD
+        assert_eq!(dag.current_edges(), vec![2]); // next hop: HID
+        dag.last_visited = 2;
+        assert_eq!(dag.current_edges(), vec![0]); // then the intent
+        dag.last_visited = 0;
+        assert!(dag.current_edges().is_empty()); // at the sink
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let n0 = DagNode::with_edges(XidType::Ad, cid("a"), &[1]);
+        let n1 = DagNode::with_edges(XidType::Hid, cid("b"), &[0]);
+        assert_eq!(
+            Dag::new(&[0], vec![n0, n1]),
+            Err(WireError::Malformed("DAG contains a cycle"))
+        );
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let n0 = DagNode::with_edges(XidType::Ad, cid("a"), &[0]);
+        assert!(Dag::new(&[0], vec![n0]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_edges_rejected() {
+        let n0 = DagNode::with_edges(XidType::Ad, cid("a"), &[7]);
+        assert!(Dag::new(&[0], vec![n0]).is_err());
+        let n1 = DagNode::sink(XidType::Cid, cid("c"));
+        assert!(Dag::new(&[9], vec![n1]).is_err());
+    }
+
+    #[test]
+    fn decode_validates() {
+        let mut enc = fallback_dag().encode();
+        enc[1] = 77; // bogus last_visited
+        assert!(Dag::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn xid_derive_is_stable_and_distinct() {
+        assert_eq!(cid("x"), cid("x"));
+        assert_ne!(cid("x"), cid("y"));
+    }
+
+    #[test]
+    fn xidtype_roundtrip() {
+        for t in [XidType::Ad, XidType::Hid, XidType::Sid, XidType::Cid, XidType::Other(0x99)] {
+            assert_eq!(XidType::from_wire(t.to_wire()), t);
+        }
+        assert_eq!(XidType::Ad.name(), "AD");
+    }
+
+    #[test]
+    fn truncated_decode_fails() {
+        let enc = fallback_dag().encode();
+        assert!(Dag::decode(&enc[..10]).is_err());
+        assert!(Dag::decode(&enc[..enc.len() - 1]).is_err());
+    }
+}

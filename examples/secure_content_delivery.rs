@@ -1,0 +1,75 @@
+//! The paper's §2.3 walkthrough at network scale: a consumer retrieves
+//! named content across a 3-router topology and verifies, per packet, that
+//! (a) it came from the real producer and (b) it traversed exactly the
+//! negotiated path — NDN+OPT over the discrete-event simulator.
+//!
+//! Run with: `cargo run --example secure_content_delivery`
+
+use dip::prelude::*;
+use dip::sim::engine::{Host, Network};
+use dip::sim::topology::chain;
+use std::collections::HashMap;
+
+fn main() {
+    println!("=== NDN+OPT: secure content delivery (§2.3 walkthrough) ===\n");
+
+    // Key negotiation: the consumer↔producer pair agree on a session and
+    // learn the dynamic keys of the three on-path routers. The *data* path
+    // runs producer -> r2 -> r1 -> r0 -> consumer.
+    let router_secrets: [[u8; 16]; 3] = [[1; 16], [2; 16], [3; 16]];
+    let data_path: Vec<[u8; 16]> = router_secrets.iter().rev().copied().collect();
+    let session = OptSession::establish([0xEE; 16], &[9; 16], &data_path);
+
+    // Content catalog.
+    let names: Vec<Name> =
+        (0..5).map(|i| Name::parse(&format!("/hotnets/org/paper{i}"))).collect();
+    let mut catalog = HashMap::new();
+    for (i, n) in names.iter().enumerate() {
+        catalog.insert(n.compact32(), format!("PDF bytes of paper {i}").into_bytes());
+    }
+
+    // Topology: consumer -- r0 -- r1 -- r2 -- producer.
+    let mut net = Network::new(2022);
+    let (consumer, routers, _producer) = chain(
+        &mut net,
+        3,
+        Host::verifying_consumer(100, session.host_context()),
+        Host::secure_producer(200, catalog, session.clone()),
+        |i| router_secrets[i],
+        20_000, // 20 µs links
+    );
+    for &r in &routers {
+        for n in &names {
+            net.router_mut(r).state_mut().name_fib.add_route(n, NextHop::port(1));
+        }
+    }
+
+    // The consumer requests every paper.
+    for (i, n) in names.iter().enumerate() {
+        let interest = dip::protocols::ndn_opt::interest(n, 64).to_bytes(&[]).unwrap();
+        net.send(consumer, 0, interest, i as u64 * 500_000);
+        println!("-> interest {n} ({} byte header)", 16);
+    }
+    net.run();
+
+    println!();
+    for d in &net.host(consumer).delivered {
+        println!(
+            "<- {:>5.1} µs  verified={}  {:?}",
+            d.time as f64 / 1000.0,
+            d.verified,
+            String::from_utf8_lossy(&d.payload)
+        );
+    }
+    let all_verified = net.host(consumer).delivered.iter().all(|d| d.verified);
+    assert!(all_verified && net.host(consumer).delivered.len() == names.len());
+    println!(
+        "\nAll {} items delivered with source authentication and path validation.",
+        names.len()
+    );
+    println!(
+        "Each data packet carried 6 composed FNs (F_PIT + F_parm + F_MAC + F_mark + F_ver)\n\
+         in a {}-byte header — the paper's Table 2 NDN+OPT row.",
+        dip::protocols::header_sizes::NDN_OPT
+    );
+}

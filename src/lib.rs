@@ -1,0 +1,82 @@
+//! # DIP — Dynamic Internet Protocol
+//!
+//! A from-scratch Rust reproduction of *DIP: Unifying Network Layer
+//! Innovations using Shared L3 Core Functions* (HotNets '22).
+//!
+//! DIP's idea: instead of a fixed L3 protocol, every packet carries a list
+//! of **Field Operations (FNs)** — `(field location, field length,
+//! operation key)` triples — and routers execute exactly the operations the
+//! packet asks for. Radically different network layers (IP, NDN, OPT, XIA)
+//! *decompose* into FNs, and FNs *compose* into new derived protocols
+//! (NDN+OPT: secure content delivery).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dip::prelude::*;
+//!
+//! // A router with a name route (the paper's §2.3 walkthrough).
+//! let mut router = DipRouter::new(1, [7; 16]);
+//! let name = Name::parse("hotnets.org");
+//! router.state_mut().name_fib.add_route(&name, NextHop::port(8));
+//!
+//! // A consumer builds an NDN interest — one FN triple, 16-byte header.
+//! let interest = dip::protocols::ndn::interest(&name, 64);
+//! assert_eq!(interest.header_len(), 16);
+//!
+//! // The router runs Algorithm 1: record PIT, match FIB, forward.
+//! let mut buf = interest.to_bytes(&[]).unwrap();
+//! let (verdict, _) = router.process(&mut buf, /*in_port*/ 3, /*now*/ 0);
+//! assert_eq!(verdict, Verdict::Forward(vec![8]));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`wire`] | `dip-wire` | DIP header codec, FN triples, IPv4/IPv6/NDN/OPT/XIA layouts |
+//! | [`crypto`] | `dip-crypto` | AES-128, 2EM, CBC-MAC, KDF, MMO hash |
+//! | [`tables`] | `dip-tables` | LPM FIBs, PIT, content store, XIA tables |
+//! | [`fnops`] | `dip-fnops` | the `FieldOp` trait, registry, the 12 operation modules |
+//! | [`core`] | `dip-core` | Algorithm-1 router, host delivery, budgets, border/tunnel/bootstrap |
+//! | [`protocols`] | `dip-protocols` | IP, NDN, OPT, XIA and NDN+OPT realizations |
+//! | [`sim`] | `dip-sim` | discrete-event network simulator + Tofino/PISA timing model |
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results of every table and figure.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use dip_core as core;
+pub use dip_crypto as crypto;
+pub use dip_fnops as fnops;
+pub use dip_protocols as protocols;
+pub use dip_sim as sim;
+pub use dip_tables as tables;
+pub use dip_wire as wire;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use dip_core::host::{deliver, HostContext};
+    pub use dip_core::{DipHost, DipRouter, ProcessingBudget, ProtocolId, RouterConfig, Verdict};
+    pub use dip_fnops::{Action, DropReason, FnRegistry, PacketCtx, RouterState};
+    pub use dip_protocols::opt::OptSession;
+    pub use dip_tables::fib::NextHop;
+    pub use dip_tables::{Pit, Port};
+    pub use dip_wire::ndn::Name;
+    pub use dip_wire::packet::{DipBuilder, DipPacket, DipRepr};
+    pub use dip_wire::triple::{FnKey, FnTriple};
+    pub use dip_wire::xia::{Dag, DagNode, Xid, XidType};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let _ = DipRouter::new(0, [0; 16]);
+        let _ = Name::parse("/x");
+        let _ = FnKey::Fib;
+    }
+}

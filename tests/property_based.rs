@@ -1,0 +1,306 @@
+//! Property-based tests over the core data structures and invariants.
+
+use dip::prelude::*;
+use dip_tables::bit_trie::{BitTrie, Prefix};
+use dip_wire::bits;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Wire layer
+// ---------------------------------------------------------------------
+
+fn arb_triple() -> impl Strategy<Value = FnTriple> {
+    (0u16..2048, 0u16..2048, 0u16..0x7fff, any::<bool>()).prop_map(|(loc, len, key, host)| {
+        FnTriple { field_loc: loc, field_len: len, key: FnKey::from_wire(key), host }
+    })
+}
+
+fn arb_repr() -> impl Strategy<Value = DipRepr> {
+    (
+        any::<u8>(),
+        1u8..=255,
+        any::<bool>(),
+        proptest::collection::vec(arb_triple(), 0..8),
+        proptest::collection::vec(any::<u8>(), 0..300),
+    )
+        .prop_map(|(next_header, hop_limit, parallel, mut fns, locations)| {
+            // Clamp every triple inside the locations area so the repr is valid.
+            let loc_bits = (locations.len() * 8) as u16;
+            for t in fns.iter_mut() {
+                if loc_bits == 0 {
+                    t.field_loc = 0;
+                    t.field_len = 0;
+                } else {
+                    t.field_loc %= loc_bits;
+                    t.field_len = t.field_len.min(loc_bits - t.field_loc);
+                }
+            }
+            DipRepr { next_header, hop_limit, parallel, fns, locations }
+        })
+}
+
+proptest! {
+    #[test]
+    fn dip_header_roundtrips(repr in arb_repr(), payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let bytes = repr.to_bytes(&payload).unwrap();
+        prop_assert_eq!(bytes.len(), repr.header_len() + payload.len());
+        let pkt = DipPacket::new_checked(&bytes[..]).unwrap();
+        let parsed = DipRepr::parse(&pkt).unwrap();
+        prop_assert_eq!(&parsed, &repr);
+        prop_assert_eq!(pkt.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn header_len_formula_holds(repr in arb_repr()) {
+        // §2.2: header length is derivable from FN_Num and FN_LocLen alone.
+        prop_assert_eq!(repr.header_len(), 6 + 6 * repr.fns.len() + repr.locations.len());
+    }
+
+    #[test]
+    fn truncated_packets_never_panic(repr in arb_repr(), cut in 0usize..100) {
+        let bytes = repr.to_bytes(b"xy").unwrap();
+        let cut = cut.min(bytes.len());
+        // Must return an error or a packet, never panic.
+        let _ = DipPacket::new_checked(&bytes[..cut]);
+    }
+
+    #[test]
+    fn bit_field_write_then_read(
+        mut buf in proptest::collection::vec(any::<u8>(), 1..64),
+        off in 0usize..256,
+        len in 0usize..128,
+        value in proptest::collection::vec(any::<u8>(), 0..20),
+    ) {
+        let total_bits = buf.len() * 8;
+        let off = off % total_bits;
+        let len = len.min(total_bits - off);
+        let needed = bits::byte_len(len);
+        prop_assume!(value.len() >= needed);
+        let before = buf.clone();
+        bits::write_bits(&mut buf, off, len, &value).unwrap();
+        let read = bits::read_bits(&buf, off, len).unwrap();
+        // The read value equals the written value up to pad bits.
+        let mut expected = value[..needed].to_vec();
+        if len % 8 != 0 && needed > 0 {
+            expected[needed - 1] &= 0xffu8 << (8 - len % 8);
+        }
+        prop_assert_eq!(read, expected);
+        // Bits outside the field are untouched.
+        for i in 0..total_bits {
+            if i < off || i >= off + len {
+                prop_assert_eq!(
+                    bits::get_bit(&buf, i).unwrap(),
+                    bits::get_bit(&before, i).unwrap(),
+                    "bit {} changed", i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triple_wire_roundtrip(t in arb_triple()) {
+        let mut buf = [0u8; 6];
+        t.emit(&mut buf).unwrap();
+        prop_assert_eq!(FnTriple::parse(&buf).unwrap(), t);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tables: LPM against a naive model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn bit_trie_matches_naive_lpm(
+        routes in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..40),
+        probes in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut trie = BitTrie::new();
+        for (i, (addr, len)) in routes.iter().enumerate() {
+            // Mask the address to its prefix so duplicates collapse the
+            // same way in both models.
+            let masked = if *len == 0 { 0 } else { addr & (u32::MAX << (32 - len)) };
+            trie.insert(Prefix::v4(masked, *len), i);
+        }
+        for probe in probes {
+            let expected = routes
+                .iter()
+                .enumerate()
+                .filter(|(_, (addr, len))| {
+                    let mask = if *len == 0 { 0 } else { u32::MAX << (32 - len) };
+                    probe & mask == addr & mask
+                })
+                .max_by(|a, b| {
+                    // Longest prefix wins; later insertion wins ties.
+                    (a.1 .1, a.0).cmp(&(b.1 .1, b.0))
+                })
+                .map(|(i, (_, len))| (*len, i));
+            let got = trie.lookup(Prefix::v4_host(probe)).map(|(l, v)| (l, *v));
+            prop_assert_eq!(got, expected, "probe {:08x}", probe);
+        }
+    }
+
+    #[test]
+    fn name_trie_matches_naive_lpm(
+        routes in proptest::collection::vec(proptest::collection::vec(0u8..4, 0..4), 1..20),
+        probe in proptest::collection::vec(0u8..4, 0..6),
+    ) {
+        use dip_tables::NameTrie;
+        let to_name = |v: &Vec<u8>| Name::from_components(v.iter().map(|c| vec![*c]).collect());
+        let mut trie = NameTrie::new();
+        for (i, r) in routes.iter().enumerate() {
+            trie.insert(&to_name(r), i);
+        }
+        let probe_name = to_name(&probe);
+        let expected = routes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| to_name(r).is_prefix_of(&probe_name))
+            .max_by_key(|(i, r)| (r.len(), *i))
+            .map(|(i, r)| (r.len(), i));
+        let got = trie.lookup(&probe_name).map(|(d, v)| (d, *v));
+        prop_assert_eq!(got, expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crypto invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn aes_decrypt_inverts_encrypt(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = dip::crypto::Aes128::new(&key);
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn mac_distinguishes_messages(
+        key in any::<[u8; 16]>(),
+        a in proptest::collection::vec(any::<u8>(), 0..80),
+        b in proptest::collection::vec(any::<u8>(), 0..80),
+    ) {
+        use dip::crypto::{CbcMac, MacAlgorithm};
+        prop_assume!(a != b);
+        let mac = CbcMac::new_2em(&key);
+        prop_assert_ne!(mac.mac(&a), mac.mac(&b));
+    }
+
+    #[test]
+    fn mmo_hash_is_injective_on_sample(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                       b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(a != b);
+        prop_assert_ne!(dip::crypto::mmo_hash(&a), dip::crypto::mmo_hash(&b));
+    }
+}
+
+// ---------------------------------------------------------------------
+// XIA DAGs
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn acyclic_dags_roundtrip(n in 1usize..6, seed in any::<u64>()) {
+        // Build a random DAG with forward-only edges (guaranteed acyclic).
+        use dip_wire::xia::{Dag, DagNode, Xid, XidType, NO_EDGE};
+        let mut x = seed | 1;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let nodes: Vec<DagNode> = (0..n)
+            .map(|i| {
+                let mut edges = [NO_EDGE; 4];
+                for e in edges.iter_mut() {
+                    let candidates = (n - i - 1) as u64;
+                    if candidates > 0 && rand() % 2 == 0 {
+                        *e = (i + 1 + (rand() % candidates) as usize) as u8;
+                    }
+                }
+                DagNode { ty: XidType::from_wire((rand() % 5) as u32 + 0x10), xid: Xid::derive(&rand().to_be_bytes()), edges }
+            })
+            .collect();
+        let dag = Dag::new(&[0], nodes).unwrap();
+        let enc = dag.encode();
+        let (dec, used) = Dag::decode(&enc).unwrap();
+        prop_assert_eq!(dec, dag);
+        prop_assert_eq!(used, enc.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// PIT model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn pit_never_exceeds_capacity(
+        ops in proptest::collection::vec((0u32..20, 0u32..4, any::<u64>()), 1..200),
+        cap in 1usize..16,
+    ) {
+        let mut pit: Pit<u32> = Pit::new(cap, 100);
+        let mut now = 0;
+        for (name, face, nonce) in ops {
+            now += 1;
+            let _ = pit.record_interest(name, face, nonce, now);
+            prop_assert!(pit.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn pit_consume_returns_recorded_faces_once(
+        faces in proptest::collection::vec(0u32..8, 1..6),
+    ) {
+        let mut pit: Pit<u32> = Pit::new(64, 1000);
+        for (i, f) in faces.iter().enumerate() {
+            let _ = pit.record_interest(1, *f, i as u64, 0);
+        }
+        let got = pit.consume(&1, 10).unwrap();
+        // Every recorded face present exactly once.
+        let mut expected: Vec<u32> = faces.clone();
+        expected.dedup_by(|a, b| a == b); // consecutive dups collapse
+        let mut unique: Vec<u32> = Vec::new();
+        for f in faces {
+            if !unique.contains(&f) {
+                unique.push(f);
+            }
+        }
+        prop_assert_eq!(got, unique);
+        prop_assert!(pit.consume(&1, 11).is_none());
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end property: OPT verification accepts iff untampered
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn opt_verifies_iff_untampered(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        tamper_at in proptest::option::of(0usize..68),
+    ) {
+        let secret = [3u8; 16];
+        let session = OptSession::establish([1; 16], &[2; 16], &[secret]);
+        let mut router = DipRouter::new(0, secret);
+        router.config_mut().default_port = Some(1);
+        let mut buf = session.packet(&payload, 7, 64).to_bytes(&payload).unwrap();
+        router.process(&mut buf, 0, 0);
+        if let Some(at) = tamper_at {
+            let loc_start = 6 + 4 * 6;
+            buf[loc_start + at] ^= 0x01;
+        }
+        let mut host_state = RouterState::new(99, [0; 16]);
+        let result = deliver(&mut buf, &session.host_context(), &mut host_state, &FnRegistry::standard(), 0);
+        match tamper_at {
+            None => prop_assert_eq!(result.map(|d| d.verified), Ok(true)),
+            Some(_) => prop_assert_ne!(result.map(|d| d.verified), Ok(true)),
+        }
+    }
+}

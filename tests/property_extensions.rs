@@ -1,0 +1,160 @@
+//! Property-based tests for the extension protocols and the dissector.
+
+use dip::prelude::*;
+use dip::protocols::{netfence, scion_path, telemetry};
+use dip::wire::pretty::dissect;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Dissector: total on arbitrary input
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn dissect_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = dissect(&bytes);
+    }
+
+    #[test]
+    fn dissect_always_renders_valid_packets(repr_bytes in valid_packet()) {
+        let s = dissect(&repr_bytes);
+        prop_assert!(s.starts_with("DIP v1"), "{s}");
+    }
+}
+
+fn valid_packet() -> impl Strategy<Value = Vec<u8>> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..64),
+        proptest::collection::vec((0u16..0x7fff, any::<bool>()), 0..5),
+    )
+        .prop_map(|(locations, keys)| {
+            let loc_bits = (locations.len() * 8) as u16;
+            let fns = keys
+                .into_iter()
+                .map(|(k, host)| FnTriple {
+                    field_loc: 0,
+                    field_len: loc_bits,
+                    key: FnKey::from_wire(k),
+                    host,
+                })
+                .collect();
+            DipRepr { fns, locations, ..Default::default() }.to_bytes(b"pp").unwrap()
+        })
+}
+
+// ---------------------------------------------------------------------
+// SCION paths
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+    #[test]
+    fn random_scion_paths_forward_hop_by_hop(
+        hops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<[u8; 16]>()), 1..6),
+    ) {
+        let path = scion_path::ScionPath::construct(&hops);
+        let mut buf = path.packet(64).to_bytes(&[]).unwrap();
+        for (i, (ingress, egress, secret)) in hops.iter().enumerate() {
+            let mut r = DipRouter::new(i as u64, *secret);
+            r.registry_mut().install(Arc::new(scion_path::HopFieldOp));
+            let (v, _) = r.process(&mut buf, u32::from(*ingress), 0);
+            prop_assert_eq!(v, Verdict::Forward(vec![u32::from(*egress)]), "hop {}", i);
+        }
+    }
+
+    #[test]
+    fn any_single_byte_corruption_of_a_hop_field_is_caught(
+        byte in 0usize..10,
+        bit in 0u8..8,
+    ) {
+        // One-hop path; corrupt one byte of its hop field (offset 2..12 of
+        // the encoding). The hop must reject — unless the flip cancels out
+        // (it can't: every byte is covered by the MAC or IS the MAC).
+        let secret = [7u8; 16];
+        let path = scion_path::ScionPath::construct(&[(3, 5, secret)]);
+        let mut repr = path.packet(64);
+        repr.locations[2 + byte] ^= 1 << bit;
+        let mut buf = repr.to_bytes(&[]).unwrap();
+        let mut r = DipRouter::new(0, secret);
+        r.registry_mut().install(Arc::new(scion_path::HopFieldOp));
+        let (v, _) = r.process(&mut buf, 3, 0);
+        prop_assert!(
+            matches!(v, Verdict::Drop(DropReason::AuthenticationFailed)),
+            "corruption of hop-field byte {byte} bit {bit} slipped through: {v:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// NetFence AIMD invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+    #[test]
+    fn aimd_rate_stays_within_bounds(
+        events in proptest::collection::vec(any::<bool>(), 1..200), // true = congestion echo
+    ) {
+        let params = netfence::AimdParams {
+            initial_rate_bps: 50_000.0,
+            min_rate_bps: 5_000.0,
+            max_rate_bps: 200_000.0,
+            additive_increase_bps: 20_000.0,
+        };
+        let mut r = DipRouter::new(1, [1; 16]);
+        r.config_mut().default_port = Some(1);
+        r.registry_mut().install(Arc::new(netfence::CongestionOp));
+        {
+            let nf = r.state_mut().ext.get_or_default::<netfence::NetFenceState>();
+            nf.police = true;
+            nf.params = Some(params);
+        }
+        let mut now = 0u64;
+        for is_echo in events {
+            now += 50_000_000; // 50 ms apart
+            let mut repr = netfence::packet(1, 64);
+            if is_echo {
+                repr.locations[8] = 1;
+            }
+            let mut buf = repr.to_bytes(&[0u8; 100]).unwrap();
+            let _ = r.process(&mut buf, 0, now);
+            if let Some(rate) =
+                r.state_mut().ext.get_or_default::<netfence::NetFenceState>().flow_rate(1)
+            {
+                prop_assert!(rate >= params.min_rate_bps - 1e-9, "rate {rate} below floor");
+                prop_assert!(rate <= params.max_rate_bps + 1e-9, "rate {rate} above ceiling");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+    #[test]
+    fn telemetry_count_equals_min_hops_capacity(
+        capacity in 0u8..6,
+        n_hops in 0usize..10,
+    ) {
+        let mut buf = telemetry::probe(capacity, 64).to_bytes(&[]).unwrap();
+        for i in 0..n_hops {
+            let mut r = DipRouter::new(i as u64, [0; 16]);
+            r.config_mut().default_port = Some(1);
+            r.registry_mut().install(Arc::new(telemetry::TelemetryOp));
+            let (v, _) = r.process(&mut buf, 0, i as u64 * 1000);
+            prop_assert!(matches!(v, Verdict::Forward(_)));
+        }
+        let pkt = DipPacket::new_checked(&buf[..]).unwrap();
+        let (records, overflow) = telemetry::parse_records(pkt.locations()).unwrap();
+        prop_assert_eq!(records.len(), n_hops.min(usize::from(capacity)));
+        prop_assert_eq!(overflow, n_hops > usize::from(capacity));
+        // Node ids in visit order.
+        for (i, rec) in records.iter().enumerate() {
+            prop_assert_eq!(rec.node_id, i as u32);
+        }
+    }
+}
