@@ -4,19 +4,17 @@
 //! On real PISA hardware lookups are constant-time TCAM/SRAM; in software
 //! the trie depth shows — this bench documents the substrate's scaling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dip_bench::{BenchGroup, DetRng};
 use dip_tables::fib::{Ipv4Fib, NameFib, NextHop};
 use dip_wire::ipv4::Ipv4Addr;
 use dip_wire::ndn::Name;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-fn v4_fib_with(n: usize, rng: &mut StdRng) -> (Ipv4Fib, Vec<Ipv4Addr>) {
+fn v4_fib_with(n: usize, rng: &mut DetRng) -> (Ipv4Fib, Vec<Ipv4Addr>) {
     let mut fib = Ipv4Fib::new();
     let mut probes = Vec::with_capacity(1024);
     for i in 0..n {
-        let addr = Ipv4Addr::from_u32(rng.gen());
-        let len = rng.gen_range(8..=24);
+        let addr = Ipv4Addr::from_u32(rng.next_u32());
+        let len = rng.gen_range_inclusive(8, 24) as u8;
         fib.add_route(addr, len, NextHop::port((i % 64) as u32));
         if probes.len() < 1024 {
             probes.push(addr);
@@ -25,12 +23,13 @@ fn v4_fib_with(n: usize, rng: &mut StdRng) -> (Ipv4Fib, Vec<Ipv4Addr>) {
     (fib, probes)
 }
 
-fn fib_scale(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fib_scale/ipv4_lpm");
+fn main() {
+    let mut group = BenchGroup::new("fib_scale/ipv4_lpm");
+    group.sample_size(30);
     for n in [1_000usize, 10_000, 100_000, 1_000_000] {
-        let mut rng = StdRng::seed_from_u64(n as u64);
+        let mut rng = DetRng::seed_from_u64(n as u64);
         let (fib, probes) = v4_fib_with(n, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_function(&n.to_string(), |b| {
             let mut i = 0;
             b.iter(|| {
                 i = (i + 1) % probes.len();
@@ -40,7 +39,8 @@ fn fib_scale(c: &mut Criterion) {
     }
     group.finish();
 
-    let mut group = c.benchmark_group("fib_scale/name_lpm");
+    let mut group = BenchGroup::new("fib_scale/name_lpm");
+    group.sample_size(30);
     for n in [1_000usize, 10_000, 100_000] {
         let mut fib = NameFib::new();
         let mut probes = Vec::new();
@@ -51,7 +51,7 @@ fn fib_scale(c: &mut Criterion) {
                 probes.push(name.child(b"segment0"));
             }
         }
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_function(&n.to_string(), |b| {
             let mut i = 0;
             b.iter(|| {
                 i = (i + 1) % probes.len();
@@ -61,10 +61,3 @@ fn fib_scale(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = fib_scale
-}
-criterion_main!(benches);

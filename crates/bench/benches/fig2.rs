@@ -1,20 +1,19 @@
-//! Criterion version of the Figure 2 experiment: per-packet forwarding
-//! time through the software dataplane for every protocol × size point.
+//! The Figure 2 experiment: per-packet forwarding time through the
+//! software dataplane for every protocol × size point.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dip_bench::{Protocol, Workload, FIG2_SIZES};
+use dip_bench::{BenchGroup, Protocol, Workload, FIG2_SIZES};
 use std::time::{Duration, Instant};
 
-fn fig2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2");
+fn main() {
+    let mut group = BenchGroup::new("fig2");
+    group.sample_size(50);
     for proto in Protocol::ALL {
         for size in FIG2_SIZES {
-            group.throughput(Throughput::Bytes(size as u64));
-            group.bench_with_input(BenchmarkId::new(proto.label(), size), &size, |b, &size| {
-                let mut w = Workload::new(proto, size);
-                // Packet preparation (and PIT seeding for data packets) is
-                // excluded from the measurement, mirroring a hardware
-                // traffic generator feeding the switch.
+            let mut w = Workload::new(proto, size);
+            // Packet preparation (and PIT seeding for data packets) is
+            // excluded from the measurement, mirroring a hardware
+            // traffic generator feeding the switch.
+            group.bench_function(&format!("{}/{size}", proto.label()), |b| {
                 b.iter_custom(|iters| {
                     let mut total = Duration::ZERO;
                     for _ in 0..iters {
@@ -30,10 +29,3 @@ fn fig2(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(50);
-    targets = fig2
-}
-criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! on disjoint fields, so the op cost itself is flat) and shows how
 //! dispatch overhead scales with chain length in the software dataplane.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dip_bench::BenchGroup;
 use dip_core::DipRouter;
 use dip_wire::packet::DipRepr;
 use dip_wire::triple::{FnKey, FnTriple};
@@ -17,28 +17,21 @@ fn packet_with_n_fns(n: u16) -> Vec<u8> {
         .unwrap()
 }
 
-fn fn_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fn_chain");
+fn main() {
+    let mut group = BenchGroup::new("fn_chain");
+    group.sample_size(60);
     for n in [1u16, 2, 4, 8, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut router = DipRouter::new(1, [0; 16]);
-            router.config_mut().default_port = Some(1);
-            let template = packet_with_n_fns(n);
+        let mut router = DipRouter::new(1, [0; 16]);
+        router.config_mut().default_port = Some(1);
+        let template = packet_with_n_fns(n);
+        group.bench_function(&n.to_string(), |b| {
             b.iter_batched(
                 || template.clone(),
                 |mut pkt| {
                     std::hint::black_box(router.process(&mut pkt, 0, 0));
                 },
-                criterion::BatchSize::SmallInput,
             );
         });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(60);
-    targets = fn_chain
-}
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! the zero-copy wire layer's cost floor (relevant to the "DIP ≈ IP"
 //! Figure 2 claim: header handling must stay cheap).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dip_bench::BenchGroup;
 use dip_protocols::opt::OptSession;
 use dip_protocols::{ip, ndn, ndn_opt};
 use dip_wire::ipv4::Ipv4Addr;
@@ -28,8 +28,9 @@ fn protocol_packets() -> Vec<(&'static str, Vec<u8>)> {
     ]
 }
 
-fn parse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("header_codec/parse");
+fn parse() {
+    let mut group = BenchGroup::new("header_codec/parse");
+    group.sample_size(100);
     for (label, bytes) in protocol_packets() {
         group.bench_function(label, |b| {
             b.iter(|| {
@@ -41,8 +42,9 @@ fn parse(c: &mut Criterion) {
     group.finish();
 }
 
-fn emit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("header_codec/emit");
+fn emit() {
+    let mut group = BenchGroup::new("header_codec/emit");
+    group.sample_size(100);
     for (label, bytes) in protocol_packets() {
         let pkt = DipPacket::new_checked(&bytes[..]).unwrap();
         let repr = DipRepr::parse(&pkt).unwrap();
@@ -57,9 +59,7 @@ fn emit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(100);
-    targets = parse, emit
+fn main() {
+    parse();
+    emit();
 }
-criterion_main!(benches);

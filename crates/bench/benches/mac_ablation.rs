@@ -7,29 +7,30 @@
 //! (`dip_sim::TofinoModel`), which the `fig2_processing_time` harness
 //! reports; here we quantify the pure computation gap.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use dip_bench::{Protocol, Workload};
+use dip_bench::{BenchGroup, Protocol, Workload};
 use dip_crypto::{CbcMac, MacAlgorithm};
 use dip_fnops::context::MacChoice;
 
-fn raw_mac(c: &mut Criterion) {
+fn raw_mac() {
     let key = [7u8; 16];
     let coverage = [0xabu8; 52]; // OPT F_MAC coverage
     let em = CbcMac::new_2em(&key);
     let aes = CbcMac::new_aes(&key);
 
-    let mut group = c.benchmark_group("mac_ablation/raw");
+    let mut group = BenchGroup::new("mac_ablation/raw");
+    group.sample_size(60);
     group.bench_function("2em_52B", |b| b.iter(|| std::hint::black_box(em.mac(&coverage))));
     group.bench_function("aes_52B", |b| b.iter(|| std::hint::black_box(aes.mac(&coverage))));
     group.finish();
 }
 
-fn opt_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mac_ablation/opt_pipeline");
+fn opt_pipeline() {
+    let mut group = BenchGroup::new("mac_ablation/opt_pipeline");
+    group.sample_size(60);
     for (label, choice) in [("2em", MacChoice::TwoRoundEm), ("aes", MacChoice::Aes)] {
+        let mut w = Workload::new(Protocol::Opt, 768);
+        w.set_mac_choice(choice);
         group.bench_function(label, |b| {
-            let mut w = Workload::new(Protocol::Opt, 768);
-            w.set_mac_choice(choice);
             b.iter_custom(|iters| {
                 let mut total = std::time::Duration::ZERO;
                 for _ in 0..iters {
@@ -45,9 +46,7 @@ fn opt_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(60);
-    targets = raw_mac, opt_pipeline
+fn main() {
+    raw_mac();
+    opt_pipeline();
 }
-criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! model-level speedup it buys — printed as auxiliary output since plan
 //! *benefit* is a pipeline-occupancy effect, not a software wall-clock one.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dip_bench::BenchGroup;
 use dip_fnops::parallel::plan;
 use dip_fnops::FnRegistry;
 use dip_wire::opt::triple_bits;
@@ -24,12 +24,13 @@ fn wide_independent_chain(n: u16) -> Vec<FnTriple> {
     (0..n).map(|i| FnTriple::router(32 * i, 32, FnKey::Source)).collect()
 }
 
-fn planner(c: &mut Criterion) {
+fn main() {
     let registry = FnRegistry::standard();
     let ndn_opt = ndn_opt_router_chain();
     let wide = wide_independent_chain(16);
 
-    let mut group = c.benchmark_group("parallel_flag/planner");
+    let mut group = BenchGroup::new("parallel_flag/planner");
+    group.sample_size(100);
     group.bench_function("ndn_opt_4fns", |b| {
         b.iter(|| std::hint::black_box(plan(&ndn_opt, &registry)))
     });
@@ -48,10 +49,3 @@ fn planner(c: &mut Criterion) {
         p2.depth()
     );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(100);
-    targets = planner
-}
-criterion_main!(benches);

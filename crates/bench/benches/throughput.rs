@@ -6,7 +6,7 @@
 //! documents how far the *software* substrate scales, which bounds every
 //! wall-clock number reported in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dip_bench::BenchGroup;
 use dip_core::DipRouter;
 use dip_protocols::{ip, opt::OptSession};
 use dip_sim::{Job, ShardedRouter};
@@ -54,22 +54,16 @@ fn run(shards: usize, packets: &[Vec<u8>]) {
     assert_eq!(stats.dropped, 0);
 }
 
-fn throughput(c: &mut Criterion) {
+fn main() {
     const BATCH: usize = 4_000;
-    for (label, packets) in
-        [("dip32", dip32_packets(BATCH)), ("opt", opt_packets(BATCH))]
-    {
-        let mut group = c.benchmark_group(format!("throughput/{label}"));
-        group.throughput(Throughput::Elements(BATCH as u64));
+    for (label, packets) in [("dip32", dip32_packets(BATCH)), ("opt", opt_packets(BATCH))] {
+        let mut group = BenchGroup::new(format!("throughput/{label}"));
         group.sample_size(10);
         for shards in [1usize, 2, 4, 8] {
-            group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
-                b.iter(|| run(s, &packets));
+            group.bench_function(&shards.to_string(), |b| {
+                b.iter(|| run(shards, &packets));
             });
         }
         group.finish();
     }
 }
-
-criterion_group!(benches, throughput);
-criterion_main!(benches);

@@ -15,23 +15,19 @@
 
 use dip_core::bootstrap::CapabilityMap;
 use dip_core::tunnel;
+use dip_crypto::DetRng;
 use dip_wire::ipv6::Ipv6Addr;
 use dip_wire::triple::FnKey;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const PATH_LEN: usize = 8;
 const TRIALS: usize = 1000;
 
 fn main() {
     println!("E7 — heterogeneous deployment, {PATH_LEN}-AS paths, {TRIALS} trials per point\n");
-    println!(
-        "{:<12} {:>14} {:>14} {:>14}",
-        "DIP ASes", "no tunnel", "with tunnel", "OPT e2e"
-    );
+    println!("{:<12} {:>14} {:>14} {:>14}", "DIP ASes", "no tunnel", "with tunnel", "OPT e2e");
     println!("{}", "-".repeat(58));
 
-    let mut rng = StdRng::seed_from_u64(2022);
+    let mut rng = DetRng::seed_from_u64(2022);
     let full_keys: Vec<u16> = (1u16..=12).collect();
 
     for pct in [0, 10, 25, 50, 75, 90, 100] {
@@ -62,13 +58,7 @@ fn main() {
             }
         }
         let pc = |n: usize| 100.0 * n as f64 / TRIALS as f64;
-        println!(
-            "{:>10}%  {:>13.1}% {:>13.1}% {:>13.1}%",
-            pct,
-            pc(plain),
-            pc(tunneled),
-            pc(opt)
-        );
+        println!("{:>10}%  {:>13.1}% {:>13.1}% {:>13.1}%", pct, pc(plain), pc(tunneled), pc(opt));
     }
 
     // Concrete tunnel round trip across a legacy segment.
@@ -84,7 +74,11 @@ fn main() {
     let b = Ipv6Addr::new([0x2001, 0xdb8, 0, 2, 0, 0, 0, 1]);
     let outer = tunnel::encap(&inner, a, b, 64).expect("encap");
     println!("  inner DIP packet : {} bytes", inner.len());
-    println!("  outer IPv6 packet: {} bytes (+{} overhead)", outer.len(), outer.len() - inner.len());
+    println!(
+        "  outer IPv6 packet: {} bytes (+{} overhead)",
+        outer.len(),
+        outer.len() - inner.len()
+    );
     // The legacy core sees plain IPv6; the far endpoint recovers the DIP
     // packet bit-for-bit.
     let recovered = tunnel::decap(&outer).expect("decap");

@@ -132,17 +132,15 @@ fn scion_matrix() {
     println!("  forged egress at hop 2 : {}", run(&|p| p.hops[1].egress = 9, 0));
     println!("  wrong ingress port     : {}", run(&|_| {}, 7));
     let other = scion_path::ScionPath::construct(&[(0, 9, S1), (2, 6, S2)]);
-    println!(
-        "  spliced A[0] + B[1]    : {}",
-        run(&|p| p.hops[1] = other.hops[1], 0)
-    );
+    println!("  spliced A[0] + B[1]    : {}", run(&|p| p.hops[1] = other.hops[1], 0));
     println!("-> zero table lookups per hop; every manipulation caught by the chained MACs");
 }
 
 fn telemetry_demo() {
     println!("E11c — in-band telemetry (custom F_tele, key 0x102)\n");
     let mut buf = telemetry::probe(8, 64).to_bytes(&[]).unwrap();
-    let hops = [(101u64, 120_000u64, 3u32), (102, 350_000, 1), (103, 410_000, 2), (104, 980_000, 9)];
+    let hops =
+        [(101u64, 120_000u64, 3u32), (102, 350_000, 1), (103, 410_000, 2), (104, 980_000, 9)];
     for (node, at, port) in hops {
         let mut r = DipRouter::new(node, [0; 16]);
         r.config_mut().default_port = Some(1);

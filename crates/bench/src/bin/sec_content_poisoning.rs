@@ -128,10 +128,7 @@ fn run_phase(router: &mut DipRouter, forged_label: bool) -> (usize, usize, usize
 
 fn main() {
     println!("E6 — content poisoning via combined F_FIB+F_PIT (§2.4) — {N_NAMES} names\n");
-    println!(
-        "{:<34} {:>12} {:>12} {:>12}",
-        "scenario", "bogus cached", "poisoned", "atk dropped"
-    );
+    println!("{:<34} {:>12} {:>12} {:>12}", "scenario", "bogus cached", "poisoned", "atk dropped");
     println!("{}", "-".repeat(74));
 
     let mut undefended = fresh_router(false);
@@ -176,5 +173,7 @@ fn main() {
         cached_ok
     );
     assert!(cached_ok, "defense must not block legitimate producers");
-    println!("\nresult: attack succeeds undefended; F_pass policy blocks it; legit traffic unaffected");
+    println!(
+        "\nresult: attack succeeds undefended; F_pass policy blocks it; legit traffic unaffected"
+    );
 }

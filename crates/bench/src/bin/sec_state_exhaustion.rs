@@ -39,8 +39,7 @@ fn interest_flood() {
     let mut rejected = 0;
     for i in 0..FLOOD {
         let name = Name::parse(&format!("/attack/{i}"));
-        let mut pkt =
-            dip_protocols::ndn::interest_full(&name, 64).unwrap().to_bytes(&[]).unwrap();
+        let mut pkt = dip_protocols::ndn::interest_full(&name, 64).unwrap().to_bytes(&[]).unwrap();
         let (verdict, _) = r.process(&mut pkt, 2, i as u64);
         match verdict {
             Verdict::Forward(_) => accepted += 1,
@@ -63,8 +62,7 @@ fn interest_flood() {
     // ...but after TTL expiry the state self-heals.
     let after_expiry = 2 * PIT_TTL;
     r.state_mut().pit.expire(after_expiry);
-    let mut pkt2 =
-        dip_protocols::ndn::interest_full(&honest, 64).unwrap().to_bytes(&[]).unwrap();
+    let mut pkt2 = dip_protocols::ndn::interest_full(&honest, 64).unwrap().to_bytes(&[]).unwrap();
     let (after, _) = r.process(&mut pkt2, 3, after_expiry);
     println!("  honest interest after expiry: {after:?}");
     assert!(matches!(after, Verdict::Forward(_)));
@@ -85,7 +83,10 @@ fn fn_chain_bomb() {
     let mut pkt = bomb.to_bytes(&[]).unwrap();
     let (verdict, stats) = limited.process(&mut pkt, 0, 0);
     println!("  default budget : verdict {:?}", verdict);
-    println!("                   executed {} FNs, {} cipher blocks", stats.fns_executed, stats.cost.cipher_blocks);
+    println!(
+        "                   executed {} FNs, {} cipher blocks",
+        stats.fns_executed, stats.cost.cipher_blocks
+    );
     assert_eq!(verdict, Verdict::Drop(DropReason::ProcessingBudgetExceeded));
 
     let mut unlimited = DipRouter::new(2, [1; 16]);

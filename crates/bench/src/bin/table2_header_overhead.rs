@@ -14,16 +14,8 @@ fn main() {
     let session = OptSession::establish([1; 16], &[2; 16], &[[3; 16]]);
 
     let rows: Vec<(&str, usize, usize)> = vec![
-        (
-            "IPv6 forwarding",
-            dip_wire::ipv6::IPV6_HEADER_LEN,
-            header_sizes::IPV6,
-        ),
-        (
-            "IPv4 forwarding",
-            dip_wire::ipv4::IPV4_HEADER_LEN,
-            header_sizes::IPV4,
-        ),
+        ("IPv6 forwarding", dip_wire::ipv6::IPV6_HEADER_LEN, header_sizes::IPV6),
+        ("IPv4 forwarding", dip_wire::ipv4::IPV4_HEADER_LEN, header_sizes::IPV4),
         (
             "DIP-128 forwarding",
             ip::dip128_packet(
@@ -36,8 +28,7 @@ fn main() {
         ),
         (
             "DIP-32 forwarding",
-            ip::dip32_packet(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 64)
-                .header_len(),
+            ip::dip32_packet(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 64).header_len(),
             header_sizes::DIP_32,
         ),
         ("NDN forwarding (interest)", ndn::interest(&name, 64).header_len(), header_sizes::NDN),
@@ -52,7 +43,10 @@ fn main() {
 
     println!("Table 2 — packet header size overhead");
     println!();
-    println!("{:<28} {:>14} {:>10} {:>8}", "Network function", "measured (B)", "paper (B)", "match");
+    println!(
+        "{:<28} {:>14} {:>10} {:>8}",
+        "Network function", "measured (B)", "paper (B)", "match"
+    );
     println!("{}", "-".repeat(64));
     let mut all_match = true;
     for (label, measured, paper) in &rows {

@@ -1,0 +1,147 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the `criterion` dependency was
+//! replaced by this self-contained substitute with a deliberately similar
+//! API: [`BenchGroup::bench_function`] with a [`Bencher`] supporting
+//! `iter`, `iter_custom` and `iter_batched`. Each benchmark is calibrated
+//! to a target sample duration, run for a fixed number of samples, and
+//! reported as `mean ± stddev (min .. max)` nanoseconds per iteration on
+//! stdout.
+//!
+//! Set `DIP_BENCH_SAMPLES` to override the per-group sample count (handy
+//! for smoke runs: `DIP_BENCH_SAMPLES=3 cargo bench`).
+
+use crate::summarize;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one sample after calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// One measurement context handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the requested number of iterations, timing the whole
+    /// batch.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+
+    /// Hands the iteration count to `f`, which returns the measured time —
+    /// for benchmarks that must exclude per-iteration setup.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        self.elapsed = f(self.iters);
+    }
+
+    /// Runs `setup` outside the timed region and `f` inside it, once per
+    /// iteration — for benchmarks consuming their input.
+    pub fn iter_batched<I, T>(&mut self, mut setup: impl FnMut() -> I, mut f: impl FnMut(I) -> T) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(f(input));
+            total += t0.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of benchmarks, printed with a common prefix.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// A group with the default sample count (10, or `DIP_BENCH_SAMPLES`).
+    pub fn new(name: impl Into<String>) -> Self {
+        let samples =
+            std::env::var("DIP_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
+        BenchGroup { name: name.into(), samples: usize::max(samples, 2) }
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = usize::max(samples, 2);
+        self
+    }
+
+    /// Calibrates, measures and reports one benchmark.
+    pub fn bench_function(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        // Calibration: start at one iteration and grow until a sample is
+        // long enough for the Instant resolution not to dominate.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(16) as u64
+            };
+            iters = iters.saturating_mul(grow.max(2));
+        }
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let s = summarize(&per_iter_ns);
+        println!(
+            "{}/{label}: {:>12.1} ns/iter ± {:>8.1} (min {:.1} .. max {:.1}, {} samples × {} iters)",
+            self.name, s.mean, s.stddev, s.min, s.max, self.samples, iters
+        );
+        self
+    }
+
+    /// No-op kept for criterion-API familiarity.
+    pub fn finish(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_all_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher { iters: 100, elapsed: Duration::ZERO };
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+        assert!(b.elapsed > Duration::ZERO || count == 100);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 16]
+            },
+            |v| v.len(),
+        );
+        assert_eq!(setups, 10);
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut g = BenchGroup::new("test");
+        g.sample_size(2).bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

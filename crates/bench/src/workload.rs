@@ -167,9 +167,7 @@ impl Workload {
                 let payload = vec![0u8; payload_len];
                 (
                     Engine::Dip(Box::new(router)),
-                    ndn_opt::data(&session, &name, &payload, 0, 64)
-                        .to_bytes(&payload)
-                        .unwrap(),
+                    ndn_opt::data(&session, &name, &payload, 0, 64).to_bytes(&payload).unwrap(),
                 )
             }
         };

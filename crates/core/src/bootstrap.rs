@@ -79,9 +79,7 @@ impl FnOffer {
         }
         let n = usize::from(buf[9]);
         ensure_len(buf, 10 + 2 * n)?;
-        let keys = (0..n)
-            .map(|i| u16::from_be_bytes([buf[10 + 2 * i], buf[11 + 2 * i]]))
-            .collect();
+        let keys = (0..n).map(|i| u16::from_be_bytes([buf[10 + 2 * i], buf[11 + 2 * i]])).collect();
         Ok(FnOffer {
             xid: u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]),
             as_id: u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]),
@@ -152,6 +150,25 @@ impl CapabilityMap {
     pub fn path_supports(&self, path: &[u32], key: FnKey) -> bool {
         !path.is_empty() && path.iter().all(|&a| self.supports(a, key))
     }
+
+    /// A registry modelling `as_id`'s advertised capability set, for the
+    /// static verifier's per-hop registry pass. Unknown ASes (and keys
+    /// outside the standard module set) yield an empty/partial registry —
+    /// exactly the conservative reading of a missing BGP announcement.
+    pub fn registry_for(&self, as_id: u32) -> dip_fnops::FnRegistry {
+        let keys: Vec<FnKey> = self
+            .caps
+            .get(&as_id)
+            .map(|s| s.iter().map(|&k| FnKey::from_wire(k)).collect())
+            .unwrap_or_default();
+        dip_fnops::FnRegistry::with_keys(&keys)
+    }
+
+    /// Per-hop registries for an AS path — the bridge from propagated
+    /// capabilities (§2.3) to [`dip_verify`]'s registry pass.
+    pub fn path_registries(&self, path: &[u32]) -> Vec<dip_fnops::FnRegistry> {
+        path.iter().map(|&a| self.registry_for(a)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +232,17 @@ mod tests {
         m.withdraw(1);
         assert!(!m.supports(1, FnKey::Mac));
         assert!(m.capabilities(1).is_none());
+    }
+
+    #[test]
+    fn registries_mirror_announced_capabilities() {
+        let mut m = CapabilityMap::new();
+        m.announce(1, [FnKey::Fib.to_wire(), FnKey::Pit.to_wire()]);
+        let regs = m.path_registries(&[1, 99]);
+        assert_eq!(regs.len(), 2);
+        assert!(regs[0].supports(FnKey::Fib) && regs[0].supports(FnKey::Pit));
+        assert!(!regs[0].supports(FnKey::Mac));
+        assert!(regs[1].is_empty(), "unknown AS must advertise nothing");
     }
 
     #[test]

@@ -119,7 +119,8 @@ mod tests {
         use dip_fnops::FnRegistry;
         use dip_tables::fib::NextHop;
         let dip = encap_ipv6(&v6_packet()).unwrap();
-        let mut router = crate::router::DipRouter::new(1, [0; 16]).with_registry(FnRegistry::standard());
+        let mut router =
+            crate::router::DipRouter::new(1, [0; 16]).with_registry(FnRegistry::standard());
         router.state_mut().ipv6_fib.add_route(
             Ipv6Addr::new([0xfdaa, 0, 0, 0, 0, 0, 0, 0]),
             16,
@@ -156,9 +157,7 @@ mod tests {
 
     #[test]
     fn decap_rejects_non_legacy_locations() {
-        let dip = DipRepr { locations: vec![0u8; 12], ..Default::default() }
-            .to_bytes(&[])
-            .unwrap();
+        let dip = DipRepr { locations: vec![0u8; 12], ..Default::default() }.to_bytes(&[]).unwrap();
         assert!(decap_ipv6(&dip).is_err());
         assert!(decap_ipv4(&dip).is_err());
     }

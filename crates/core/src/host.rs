@@ -85,8 +85,8 @@ pub fn deliver(
 mod tests {
     use super::*;
     use dip_crypto::mmo_hash;
-    use dip_fnops::context::MacChoice;
     use dip_crypto::{CbcMac, MacAlgorithm};
+    use dip_fnops::context::MacChoice;
     use dip_wire::opt::{OptRepr, OPT_BLOCK_BITS};
     use dip_wire::packet::DipRepr;
     use dip_wire::triple::{FnKey, FnTriple};
@@ -150,9 +150,8 @@ mod tests {
     fn plain_packet_delivers_unverified() {
         let mut buf = DipRepr::default().to_bytes(b"hello").unwrap();
         let mut state = RouterState::new(100, [0; 16]);
-        let d =
-            deliver(&mut buf, &HostContext::default(), &mut state, &FnRegistry::standard(), 0)
-                .unwrap();
+        let d = deliver(&mut buf, &HostContext::default(), &mut state, &FnRegistry::standard(), 0)
+            .unwrap();
         assert!(!d.verified);
         assert_eq!(d.host_fns_executed, 0);
     }

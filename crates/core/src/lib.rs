@@ -25,8 +25,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-pub mod border;
 pub mod bootstrap;
+pub mod border;
 pub mod budget;
 pub mod control;
 pub mod host;

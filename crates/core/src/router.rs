@@ -192,7 +192,12 @@ impl DipRouter {
     /// updated in the buffer) and returns the verdict plus accounting.
     ///
     /// `buf` must contain the full packet; `in_port` is the ingress.
-    pub fn process(&mut self, buf: &mut [u8], in_port: Port, now: Ticks) -> (Verdict, ProcessStats) {
+    pub fn process(
+        &mut self,
+        buf: &mut [u8],
+        in_port: Port,
+        now: Ticks,
+    ) -> (Verdict, ProcessStats) {
         let mut stats = ProcessStats::default();
 
         // Lines 1–3: parse basic header, triples, locations.
@@ -407,8 +412,8 @@ mod tests {
 
     #[test]
     fn unsupported_optional_fn_skipped() {
-        let mut r = DipRouter::new(1, [1; 16])
-            .with_registry(FnRegistry::with_keys(&[FnKey::Match32]));
+        let mut r =
+            DipRouter::new(1, [1; 16]).with_registry(FnRegistry::with_keys(&[FnKey::Match32]));
         r.config_mut().default_port = Some(2);
         let repr = DipRepr {
             fns: vec![FnTriple::router(0, 32, FnKey::Other(0x200))],
@@ -494,7 +499,7 @@ mod tests {
         let mut pkt = repr.to_bytes(&[]).unwrap();
         let (_, stats) = r.process(&mut pkt, 0, 0);
         assert_eq!(stats.plan_depth, 1); // both ops in one wave
-        // Sequential packet: depth 2.
+                                         // Sequential packet: depth 2.
         repr.parallel = false;
         let mut pkt = repr.to_bytes(&[]).unwrap();
         let (_, stats) = r.process(&mut pkt, 0, 0);

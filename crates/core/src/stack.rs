@@ -13,6 +13,8 @@ use crate::bootstrap::{CapabilityMap, FnDiscover, FnOffer};
 use crate::host::{deliver, Delivery, HostContext};
 use dip_fnops::{DropReason, FnRegistry, RouterState};
 use dip_tables::Ticks;
+use dip_verify::{Checker, FnProgram, Report};
+use dip_wire::packet::DipRepr;
 use dip_wire::triple::FnKey;
 use std::collections::BTreeSet;
 
@@ -111,10 +113,7 @@ impl DipHost {
 
     /// The FN keys the access AS offers (empty before bootstrap).
     pub fn available_fns(&self) -> Vec<FnKey> {
-        self.learned
-            .iter()
-            .flat_map(|s| s.iter().map(|&k| FnKey::from_wire(k)))
-            .collect()
+        self.learned.iter().flat_map(|s| s.iter().map(|&k| FnKey::from_wire(k))).collect()
     }
 
     /// §2.3 planning: can `protocol` run through the access AS? Returns the
@@ -148,6 +147,23 @@ impl DipHost {
         } else {
             Err(missing)
         }
+    }
+
+    /// Statically verifies a composed program against the access AS's
+    /// learned FN set (§2.3's "considering both the required network
+    /// services and the supported FNs", mechanized). Before bootstrap the
+    /// host knows of no capabilities, so every router-executed FN is
+    /// reported unsupported — same stance as [`DipHost::plan`].
+    pub fn verify(&self, repr: &DipRepr) -> Report {
+        let keys: Vec<FnKey> = self.available_fns();
+        Checker::new().check_path(&FnProgram::from_repr(repr), &[FnRegistry::with_keys(&keys)])
+    }
+
+    /// Statically verifies a composed program across every AS of `path`,
+    /// using the propagated capability map for the per-hop registry pass.
+    pub fn verify_path(&self, repr: &DipRepr, path: &[u32]) -> Report {
+        let hops = self.capabilities.path_registries(path);
+        Checker::new().check_path(&FnProgram::from_repr(repr), &hops)
     }
 
     /// Receives a packet: runs host-tagged FNs (e.g. `F_ver`) with the
@@ -214,10 +230,7 @@ mod tests {
         .unwrap();
         assert_eq!(h.plan(ProtocolId::Dip32), Ok(()));
         assert_eq!(h.plan(ProtocolId::Ndn), Ok(()));
-        assert_eq!(
-            h.plan(ProtocolId::Opt),
-            Err(vec![FnKey::Parm, FnKey::Mac, FnKey::Mark])
-        );
+        assert_eq!(h.plan(ProtocolId::Opt), Err(vec![FnKey::Parm, FnKey::Mac, FnKey::Mark]));
         assert_eq!(h.plan(ProtocolId::NdnOpt).unwrap_err().len(), 3);
     }
 
@@ -231,8 +244,7 @@ mod tests {
     fn path_planning_uses_the_capability_map() {
         let mut h = DipHost::new(1);
         h.begin_bootstrap(1);
-        h.complete_bootstrap(&FnOffer::from_registry(1, 100, &FnRegistry::standard()))
-            .unwrap();
+        h.complete_bootstrap(&FnOffer::from_registry(1, 100, &FnRegistry::standard())).unwrap();
         h.capabilities.announce(200, (1u16..=12).collect::<Vec<_>>());
         h.capabilities.announce(300, [1u16, 2, 3]); // legacy-ish AS
         assert_eq!(h.plan_path(ProtocolId::Dip32, &[100, 200, 300]), Ok(()));
@@ -241,6 +253,62 @@ mod tests {
             Err(vec![FnKey::Parm, FnKey::Mac, FnKey::Mark])
         );
         assert_eq!(h.plan_path(ProtocolId::Opt, &[100, 200]), Ok(()));
+    }
+
+    #[test]
+    fn verify_lints_against_learned_capabilities() {
+        use dip_wire::triple::FnTriple;
+        let mut h = DipHost::new(1);
+        h.begin_bootstrap(1);
+        h.complete_bootstrap(&offer_from(&[FnKey::Match32, FnKey::Source], 1)).unwrap();
+        let ip = DipRepr {
+            fns: vec![
+                FnTriple::router(0, 32, FnKey::Match32),
+                FnTriple::router(32, 32, FnKey::Source),
+            ],
+            locations: vec![0u8; 8],
+            ..Default::default()
+        };
+        assert!(h.verify(&ip).is_clean());
+        // An NDN interest through an access AS without F_FIB: flagged.
+        let ndn = DipRepr {
+            fns: vec![FnTriple::router(0, 32, FnKey::Fib)],
+            locations: vec![0u8; 4],
+            ..Default::default()
+        };
+        let report = h.verify(&ndn);
+        assert!(report.has_code(dip_verify::DiagCode::UnsupportedAtHop));
+        // A malformed program is flagged even where the key is supported.
+        let oob = DipRepr {
+            fns: vec![FnTriple::router(0, 64, FnKey::Match32)],
+            locations: vec![0u8; 4],
+            ..Default::default()
+        };
+        assert!(h.verify(&oob).has_code(dip_verify::DiagCode::FieldOutOfBounds));
+    }
+
+    #[test]
+    fn verify_path_names_the_incapable_hop() {
+        use dip_wire::triple::FnTriple;
+        let mut h = DipHost::new(1);
+        h.capabilities.announce(100, (1u16..=12).collect::<Vec<_>>());
+        h.capabilities.announce(200, [1u16, 2, 3]);
+        let opt = DipRepr {
+            fns: vec![
+                FnTriple::router(128, 128, FnKey::Parm),
+                FnTriple::router(0, 416, FnKey::Mac),
+                FnTriple::router(288, 128, FnKey::Mark),
+                FnTriple::host(0, 544, FnKey::Ver),
+            ],
+            locations: vec![0u8; 68],
+            ..Default::default()
+        };
+        assert!(h.verify_path(&opt, &[100]).is_clean());
+        let report = h.verify_path(&opt, &[100, 200]);
+        assert!(report.has_errors());
+        assert!(report
+            .errors()
+            .all(|d| d.code == dip_verify::DiagCode::UnsupportedAtHop && d.hop == Some(1)));
     }
 
     #[test]

@@ -77,15 +77,9 @@ mod tests {
 
     #[test]
     fn decap_rejects_non_tunnel_traffic() {
-        let plain = Ipv6Repr {
-            src: a(),
-            dst: b(),
-            next_header: 17,
-            hop_limit: 64,
-            payload_len: 0,
-        }
-        .to_bytes(b"udp")
-        .unwrap();
+        let plain = Ipv6Repr { src: a(), dst: b(), next_header: 17, hop_limit: 64, payload_len: 0 }
+            .to_bytes(b"udp")
+            .unwrap();
         assert!(decap(&plain).is_err());
     }
 

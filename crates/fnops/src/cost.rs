@@ -35,7 +35,6 @@ impl OpCost {
     pub const fn cipher(stages: u32, cipher_blocks: u32, resubmits: u32) -> Self {
         OpCost { stages, table_lookups: 0, cipher_blocks, resubmits }
     }
-
 }
 
 impl core::ops::Add for OpCost {

@@ -63,8 +63,12 @@ pub trait FieldOp: Send + Sync {
     /// `ctx.locations` is the packet's FN locations area; the target field
     /// is the bit range `[triple.field_loc, triple.field_loc +
     /// triple.field_len)` within it.
-    fn execute(&self, triple: &FnTriple, state: &mut RouterState, ctx: &mut PacketCtx<'_>)
-        -> Action;
+    fn execute(
+        &self,
+        triple: &FnTriple,
+        state: &mut RouterState,
+        ctx: &mut PacketCtx<'_>,
+    ) -> Action;
 
     /// Hardware cost of one invocation on a field of `field_bits` bits, for
     /// the PISA pipeline timing model (§4.1 / Figure 2).

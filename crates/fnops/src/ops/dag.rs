@@ -8,8 +8,8 @@
 use crate::context::{Action, DropReason, PacketCtx, RouterState};
 use crate::cost::OpCost;
 use crate::FieldOp;
-use dip_wire::xia::Dag;
 use dip_wire::triple::{FnKey, FnTriple};
+use dip_wire::xia::Dag;
 
 /// DAG-parsing op.
 #[derive(Debug, Default, Clone, Copy)]

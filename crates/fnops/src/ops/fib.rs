@@ -62,9 +62,7 @@ impl FieldOp for FibOp {
         match state.pit.record_interest(compact, ctx.in_port, nonce, ctx.now) {
             Ok(PitOutcome::Forward) => {}
             Ok(PitOutcome::Aggregated) => return Action::Consumed,
-            Ok(PitOutcome::DuplicateNonce) => {
-                return Action::Drop(DropReason::DuplicateInterest)
-            }
+            Ok(PitOutcome::DuplicateNonce) => return Action::Drop(DropReason::DuplicateInterest),
             Err(PitError::CapacityExhausted) => {
                 return Action::Drop(DropReason::StateBudgetExhausted)
             }
@@ -166,18 +164,12 @@ mod tests {
         let mut st = state();
         let name = Name::parse("/cached");
         st.enable_content_store(8);
-        st.content_store
-            .as_mut()
-            .unwrap()
-            .insert(name.compact32(), b"data!".to_vec(), 0);
+        st.content_store.as_mut().unwrap().insert(name.compact32(), b"data!".to_vec(), 0);
         // No FIB route at all — the cache must still answer.
         let mut locs = interest_locs(&name);
         let mut c = ctx(&mut locs, &[]);
         let t = FnTriple::router(0, 32, FnKey::Fib);
-        assert_eq!(
-            FibOp.execute(&t, &mut st, &mut c),
-            Action::RespondCached(b"data!".to_vec())
-        );
+        assert_eq!(FibOp.execute(&t, &mut st, &mut c), Action::RespondCached(b"data!".to_vec()));
         assert!(st.pit.is_empty());
     }
 
@@ -218,9 +210,6 @@ mod tests {
         let mut locs = vec![0xff; 8];
         let mut c = ctx(&mut locs, &[]);
         let t = FnTriple::router(0, 64, FnKey::Fib);
-        assert_eq!(
-            FibOp.execute(&t, &mut st, &mut c),
-            Action::Drop(DropReason::MalformedField)
-        );
+        assert_eq!(FibOp.execute(&t, &mut st, &mut c), Action::Drop(DropReason::MalformedField));
     }
 }

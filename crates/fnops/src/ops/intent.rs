@@ -109,8 +109,12 @@ mod tests {
     }
 
     fn dag() -> Dag {
-        Dag::direct_with_fallback(DagNode::sink(XidType::Cid, xid("content")), xid("ad"), xid("hid"))
-            .unwrap()
+        Dag::direct_with_fallback(
+            DagNode::sink(XidType::Cid, xid("content")),
+            xid("ad"),
+            xid("hid"),
+        )
+        .unwrap()
     }
 
     fn run(st: &mut crate::RouterState, d: &Dag) -> (Action, Dag) {

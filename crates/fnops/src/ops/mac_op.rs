@@ -7,8 +7,8 @@
 //! 128-bit tag **immediately after the target field** — for OPT's layout
 //! that is exactly the OPV slot.
 
-use crate::context::{Action, DropReason, PacketCtx, RouterState};
 use crate::context::MacChoice;
+use crate::context::{Action, DropReason, PacketCtx, RouterState};
 use crate::cost::OpCost;
 use crate::FieldOp;
 use dip_crypto::mac::cbc_mac_blocks;

@@ -131,9 +131,6 @@ mod tests {
         let mut c = ctx(&mut locs, &[]);
         c.dynamic_key = Some([1; 16]);
         let t = FnTriple::router(288, 64, FnKey::Mark);
-        assert_eq!(
-            MarkOp.execute(&t, &mut st, &mut c),
-            Action::Drop(DropReason::MalformedField)
-        );
+        assert_eq!(MarkOp.execute(&t, &mut st, &mut c), Action::Drop(DropReason::MalformedField));
     }
 }

@@ -78,9 +78,6 @@ mod tests {
         let mut locs = vec![0u8; 8];
         let mut c = ctx(&mut locs, &[]);
         let t = FnTriple::router(0, 48, FnKey::Source);
-        assert_eq!(
-            SourceOp.execute(&t, &mut st, &mut c),
-            Action::Drop(DropReason::MalformedField)
-        );
+        assert_eq!(SourceOp.execute(&t, &mut st, &mut c), Action::Drop(DropReason::MalformedField));
     }
 }

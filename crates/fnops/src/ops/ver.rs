@@ -102,13 +102,8 @@ mod tests {
     fn honest_block(payload: &[u8], source_key: [u8; 16], path: &[[u8; 16]]) -> Vec<u8> {
         let data_hash = mmo_hash(payload);
         let mut pvf = mac_bytes(MacChoice::TwoRoundEm, &source_key, &data_hash);
-        let mut block = OptRepr {
-            data_hash,
-            session_id: [0xab; 16],
-            timestamp: 42,
-            pvf,
-            opv: [0; 16],
-        };
+        let mut block =
+            OptRepr { data_hash, session_id: [0xab; 16], timestamp: 42, pvf, opv: [0; 16] };
         for k in path {
             // Router order (§3): F_MAC (OPV over pre-mark coverage), then
             // F_mark (PVF chain).

@@ -22,19 +22,52 @@ use crate::registry::FnRegistry;
 use dip_wire::triple::FnTriple;
 
 /// Read/write footprint of one FN in the chain.
-#[derive(Debug, Clone, Copy)]
-struct Footprint {
-    read: (usize, usize),
-    write: Option<(usize, usize)>,
-    reads_key: bool,
-    writes_key: bool,
+///
+/// This is the *single* definition of "what bits does this operation
+/// touch" shared by the planner here and by the static verifier in
+/// `dip-verify` — exporting it keeps the two analyses provably aligned
+/// (a hazard the verifier reports is exactly an edge the planner
+/// serializes, and vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// Bits read: the triple's target field, as a half-open bit range
+    /// `[start, end)` in the FN-locations area.
+    pub read: (usize, usize),
+    /// Bits written, from [`crate::FieldOp::write_range`]; `None` for pure
+    /// readers.
+    pub write: Option<(usize, usize)>,
+    /// Reads the per-packet dynamic key (e.g. `F_MAC`, `F_mark`).
+    pub reads_key: bool,
+    /// Writes the per-packet dynamic key (e.g. `F_parm`).
+    pub writes_key: bool,
 }
 
-fn ranges_overlap(a: (usize, usize), b: (usize, usize)) -> bool {
+/// The footprint of `triple` under `registry`, or `None` when the key has
+/// no installed operation (callers treat that as a total barrier).
+pub fn footprint(triple: &FnTriple, registry: &FnRegistry) -> Option<Footprint> {
+    registry.get(triple.key).map(|op| Footprint {
+        read: (usize::from(triple.field_loc), triple.field_end()),
+        write: op.write_range(triple),
+        reads_key: op.reads_dynamic_key(),
+        writes_key: op.writes_dynamic_key(),
+    })
+}
+
+/// Whether two half-open bit ranges `[start, end)` share at least one bit.
+///
+/// Zero-length (empty) ranges overlap **nothing** — including when an
+/// empty range sits strictly inside a non-empty one. Without the explicit
+/// emptiness guards the pure interval test `a.0 < b.1 && b.0 < a.1` would
+/// claim `(5, 5)` overlaps `(0, 10)`. An op with a zero-length field
+/// touches no bits, so it cannot be part of a field-level data hazard.
+pub fn ranges_overlap(a: (usize, usize), b: (usize, usize)) -> bool {
     a.0 < b.1 && b.0 < a.1 && a.0 != a.1 && b.0 != b.1
 }
 
-fn conflicts(a: &Footprint, b: &Footprint) -> bool {
+/// Whether two footprints conflict — i.e. must execute sequentially, in
+/// program order. True when one writes bits the other reads or writes, or
+/// when one writes the dynamic key the other reads or writes.
+pub fn conflicts(a: &Footprint, b: &Footprint) -> bool {
     // Field-level: write/read, read/write, write/write.
     if let Some(wa) = a.write {
         if ranges_overlap(wa, b.read) {
@@ -87,17 +120,7 @@ impl Plan {
 /// router skips them anyway). Unknown keys are treated as full-barrier
 /// operations (conservatively conflicting with everything).
 pub fn plan(triples: &[FnTriple], registry: &FnRegistry) -> Plan {
-    let feet: Vec<Option<Footprint>> = triples
-        .iter()
-        .map(|t| {
-            registry.get(t.key).map(|op| Footprint {
-                read: (usize::from(t.field_loc), t.field_end()),
-                write: op.write_range(t),
-                reads_key: op.reads_dynamic_key(),
-                writes_key: op.writes_dynamic_key(),
-            })
-        })
-        .collect();
+    let feet: Vec<Option<Footprint>> = triples.iter().map(|t| footprint(t, registry)).collect();
 
     // Greedy list scheduling: place each op in the earliest wave after all
     // conflicting predecessors.
@@ -168,10 +191,8 @@ mod tests {
 
     #[test]
     fn disjoint_reads_share_a_wave() {
-        let triples = vec![
-            FnTriple::router(0, 32, FnKey::Match32),
-            FnTriple::router(32, 32, FnKey::Source),
-        ];
+        let triples =
+            vec![FnTriple::router(0, 32, FnKey::Match32), FnTriple::router(32, 32, FnKey::Source)];
         let p = plan(&triples, &registry());
         assert_eq!(p.depth(), 1);
         assert_eq!(p.waves[0], vec![0, 1]);
@@ -202,12 +223,49 @@ mod tests {
     }
 
     #[test]
+    fn ranges_overlap_zero_length_semantics() {
+        // Non-empty overlapping.
+        assert!(ranges_overlap((0, 10), (5, 15)));
+        assert!(ranges_overlap((5, 15), (0, 10)));
+        assert!(ranges_overlap((0, 10), (0, 10)));
+        // Touching-but-disjoint half-open ranges.
+        assert!(!ranges_overlap((0, 10), (10, 20)));
+        // Empty ranges overlap nothing — even strictly inside the other.
+        assert!(!ranges_overlap((5, 5), (0, 10)));
+        assert!(!ranges_overlap((0, 10), (5, 5)));
+        assert!(!ranges_overlap((5, 5), (5, 5)));
+        assert!(!ranges_overlap((0, 0), (0, 10)));
+    }
+
+    #[test]
+    fn zero_length_field_never_conflicts_at_field_level() {
+        // A zero-length Source write inside another op's field must not
+        // serialize: it touches no bits.
+        let a =
+            Footprint { read: (5, 5), write: Some((5, 5)), reads_key: false, writes_key: false };
+        let b =
+            Footprint { read: (0, 32), write: Some((0, 32)), reads_key: false, writes_key: false };
+        assert!(!conflicts(&a, &b));
+        assert!(!conflicts(&b, &a));
+    }
+
+    #[test]
+    fn footprint_helper_matches_registry_ops() {
+        let reg = registry();
+        let t = FnTriple::router(32, 416, FnKey::Mac);
+        let f = footprint(&t, &reg).expect("Mac installed in standard registry");
+        assert_eq!(f.read, (32, 32 + 416));
+        // F_MAC deposits its 128-bit tag immediately after the covered field.
+        assert_eq!(f.write, Some((32 + 416, 32 + 416 + 128)));
+        assert!(f.reads_key && !f.writes_key);
+        assert!(footprint(&FnTriple::router(0, 8, FnKey::Other(0x300)), &reg).is_none());
+    }
+
+    #[test]
     fn waves_preserve_program_order_for_conflicts() {
         // Two marks on the same field must stay ordered.
-        let triples = vec![
-            FnTriple::router(0, 128, FnKey::Mark),
-            FnTriple::router(0, 128, FnKey::Mark),
-        ];
+        let triples =
+            vec![FnTriple::router(0, 128, FnKey::Mark), FnTriple::router(0, 128, FnKey::Mark)];
         // Give them a key so they'd otherwise be runnable.
         let p = plan(&triples, &registry());
         assert_eq!(p.depth(), 2);

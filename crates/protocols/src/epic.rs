@@ -58,10 +58,7 @@ impl EpicSession {
     pub fn establish(session_id: Block, router_secrets: &[Block]) -> Self {
         EpicSession {
             session_id,
-            path_keys: router_secrets
-                .iter()
-                .map(|s| derive_session_key(s, &session_id))
-                .collect(),
+            path_keys: router_secrets.iter().map(|s| derive_session_key(s, &session_id)).collect(),
         }
     }
 
@@ -293,8 +290,7 @@ mod tests {
         let mut r = epic_router(SECRETS[0]);
         r.state_mut().name_fib.add_route(&name, NextHop::port(4));
         // Pending interest so the data has a face to follow.
-        let mut ibuf =
-            crate::ndn::interest(&name, 64).to_bytes(&[]).unwrap();
+        let mut ibuf = crate::ndn::interest(&name, 64).to_bytes(&[]).unwrap();
         r.process(&mut ibuf, 6, 0);
 
         let mut buf = repr.to_bytes(&payload).unwrap();

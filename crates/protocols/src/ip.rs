@@ -22,10 +22,7 @@ pub fn dip32_packet(dst: Ipv4Addr, src: Ipv4Addr, hop_limit: u8) -> DipRepr {
         next_header: 0,
         hop_limit,
         parallel: false,
-        fns: vec![
-            FnTriple::router(0, 32, FnKey::Match32),
-            FnTriple::router(32, 32, FnKey::Source),
-        ],
+        fns: vec![FnTriple::router(0, 32, FnKey::Match32), FnTriple::router(32, 32, FnKey::Source)],
         locations,
     }
 }

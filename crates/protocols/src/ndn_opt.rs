@@ -36,7 +36,13 @@ pub fn interest(name: &Name, hop_limit: u8) -> DipRepr {
 
 /// Builds an NDN+OPT data packet: content name + OPT block, five FN
 /// triples. Header is 108 bytes (Table 2).
-pub fn data(session: &OptSession, name: &Name, payload: &[u8], timestamp: u32, hop_limit: u8) -> DipRepr {
+pub fn data(
+    session: &OptSession,
+    name: &Name,
+    payload: &[u8],
+    timestamp: u32,
+    hop_limit: u8,
+) -> DipRepr {
     let block = session.initial_block(payload, timestamp);
     let mut locations = name.compact32().to_be_bytes().to_vec();
     locations.extend_from_slice(&block.to_bytes());
@@ -153,7 +159,13 @@ mod tests {
         assert!(matches!(v, Verdict::Forward(_))); // routers don't verify
         let mut host_state = RouterState::new(999, [0; 16]);
         assert_eq!(
-            deliver(&mut dbuf, &session.host_context(), &mut host_state, &FnRegistry::standard(), 0),
+            deliver(
+                &mut dbuf,
+                &session.host_context(),
+                &mut host_state,
+                &FnRegistry::standard(),
+                0
+            ),
             Err(DropReason::AuthenticationFailed)
         );
     }

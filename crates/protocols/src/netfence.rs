@@ -62,8 +62,8 @@ impl AimdLimiter {
         let dt = now.saturating_sub(self.last_update) as f64 / 1e9;
         self.last_update = now;
         // Additive increase while the path stays quiet.
-        self.rate_bps = (self.rate_bps + params.additive_increase_bps * dt)
-            .min(params.max_rate_bps);
+        self.rate_bps =
+            (self.rate_bps + params.additive_increase_bps * dt).min(params.max_rate_bps);
         // Token bucket refill with a burst of 100 ms worth of traffic.
         self.tokens = (self.tokens + self.rate_bps * dt).min(self.rate_bps / 10.0);
     }
@@ -352,8 +352,7 @@ mod tests {
         let low = r.state_mut().ext.get_or_default::<NetFenceState>().flow_rate(7).unwrap();
         // 10 virtual seconds later the rate has grown additively.
         send(&mut r, 7, 100, 10_000_000_000);
-        let recovered =
-            r.state_mut().ext.get_or_default::<NetFenceState>().flow_rate(7).unwrap();
+        let recovered = r.state_mut().ext.get_or_default::<NetFenceState>().flow_rate(7).unwrap();
         assert!(recovered > low, "{low} -> {recovered}");
     }
 

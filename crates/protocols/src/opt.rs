@@ -10,8 +10,8 @@
 //! chain `PVF_0 = MAC_{K_S}(DataHash)`; every router then runs the FN chain
 //! `(parm, MAC, mark)`, and the destination verifies with `F_ver`.
 
-use dip_crypto::{derive_session_key, mmo_hash, Block, CbcMac, MacAlgorithm};
 use dip_core::host::HostContext;
+use dip_crypto::{derive_session_key, mmo_hash, Block, CbcMac, MacAlgorithm};
 use dip_wire::opt::{triple_bits, OptRepr, OPT_BLOCK_LEN};
 use dip_wire::packet::DipRepr;
 use dip_wire::triple::{FnKey, FnTriple};
@@ -59,10 +59,7 @@ impl OptSession {
         OptSession {
             session_id,
             source_key: derive_session_key(src_dst_secret, &session_id),
-            path_keys: router_secrets
-                .iter()
-                .map(|s| derive_session_key(s, &session_id))
-                .collect(),
+            path_keys: router_secrets.iter().map(|s| derive_session_key(s, &session_id)).collect(),
         }
     }
 
@@ -120,8 +117,7 @@ mod tests {
     use dip_fnops::{DropReason, FnRegistry, RouterState};
 
     fn session(n_routers: usize) -> (OptSession, Vec<DipRouter>) {
-        let router_secrets: Vec<Block> =
-            (0..n_routers).map(|i| [(i as u8) + 10; 16]).collect();
+        let router_secrets: Vec<Block> = (0..n_routers).map(|i| [(i as u8) + 10; 16]).collect();
         let session = OptSession::establish([0x5a; 16], &[7; 16], &router_secrets);
         let routers = router_secrets
             .iter()

@@ -79,8 +79,7 @@ impl FieldOp for TelemetryOp {
         } else {
             let off = TELE_PREAMBLE_LEN + count * RECORD_LEN;
             field[off..off + 4].copy_from_slice(&(state.node_id as u32).to_be_bytes());
-            field[off + 4..off + 8]
-                .copy_from_slice(&((ctx.now / 1_000) as u32).to_be_bytes());
+            field[off + 4..off + 8].copy_from_slice(&((ctx.now / 1_000) as u32).to_be_bytes());
             field[off + 8..off + 12].copy_from_slice(&ctx.in_port.to_be_bytes());
             field[1] = (count + 1) as u8 | (field[1] & OVERFLOW_BIT);
         }

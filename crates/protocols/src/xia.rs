@@ -17,10 +17,7 @@ pub fn packet(dag: &Dag, hop_limit: u8) -> DipRepr {
         next_header: 0,
         hop_limit,
         parallel: false,
-        fns: vec![
-            FnTriple::router(0, bits, FnKey::Dag),
-            FnTriple::router(0, bits, FnKey::Intent),
-        ],
+        fns: vec![FnTriple::router(0, bits, FnKey::Dag), FnTriple::router(0, bits, FnKey::Intent)],
         locations: encoded,
     }
 }

@@ -6,7 +6,7 @@
 //! worker threads, each owning its own [`DipRouter`] (FIBs are built per
 //! shard by the caller's factory; PIT/limiter state is naturally
 //! flow-partitioned because dispatch is by flow hash), fed over bounded
-//! crossbeam channels.
+//! bounded std::sync::mpsc channels.
 //!
 //! This is the substrate for the throughput benchmark (how the software
 //! dataplane scales with cores) and a worked answer to "how would you
@@ -14,8 +14,7 @@
 
 use dip_core::{DipRouter, Verdict};
 use dip_tables::{Port, Ticks};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// One packet handed to the dataplane.
@@ -51,7 +50,7 @@ impl DriverStats {
 
 /// An RSS-style sharded software router.
 pub struct ShardedRouter {
-    senders: Vec<crossbeam::channel::Sender<Job>>,
+    senders: Vec<std::sync::mpsc::SyncSender<Job>>,
     handles: Vec<JoinHandle<()>>,
     stats: Arc<Mutex<DriverStats>>,
 }
@@ -65,7 +64,7 @@ impl ShardedRouter {
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
-            let (tx, rx) = crossbeam::channel::bounded::<Job>(1024);
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(1024);
             let mut router = factory(i);
             let stats = Arc::clone(&stats);
             handles.push(
@@ -85,7 +84,7 @@ impl ShardedRouter {
                                 Verdict::Drop(_) => local.dropped += 1,
                             }
                         }
-                        let mut s = stats.lock();
+                        let mut s = stats.lock().expect("stats mutex poisoned");
                         s.forwarded += local.forwarded;
                         s.local += local.local;
                         s.dropped += local.dropped;
@@ -136,7 +135,7 @@ impl ShardedRouter {
         for h in self.handles {
             h.join().expect("shard thread");
         }
-        let s = self.stats.lock();
+        let s = self.stats.lock().expect("stats mutex poisoned");
         *s
     }
 }
@@ -168,13 +167,10 @@ mod tests {
         }
         // 100 unroutable packets.
         for i in 0..100u32 {
-            let pkt = ip::dip32_packet(
-                Ipv4Addr::new(99, 0, 0, i as u8),
-                Ipv4Addr::new(1, 1, 1, 1),
-                64,
-            )
-            .to_bytes(&[])
-            .unwrap();
+            let pkt =
+                ip::dip32_packet(Ipv4Addr::new(99, 0, 0, i as u8), Ipv4Addr::new(1, 1, 1, 1), 64)
+                    .to_bytes(&[])
+                    .unwrap();
             driver.submit(Job { packet: pkt, in_port: 0, now: 0 });
         }
         let stats = driver.shutdown();

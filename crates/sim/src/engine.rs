@@ -15,13 +15,12 @@ use crate::SimTime;
 use dip_core::control::{ControlMessage, CONTROL_NEXT_HEADER};
 use dip_core::host::{deliver, HostContext};
 use dip_core::{DipRouter, Verdict};
+use dip_crypto::DetRng;
 use dip_fnops::{FnRegistry, RouterState};
 use dip_protocols::opt::OptSession;
 use dip_wire::packet::DipRepr;
 use dip_wire::triple::FnKey;
 use dip_wire::DipPacket;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -88,10 +87,7 @@ impl Host {
 
     /// A producer host serving `contents` (compact name → payload).
     pub fn producer(node_id: u64, contents: HashMap<u32, Vec<u8>>) -> Self {
-        Host {
-            producer: Some(Producer { contents, session: None }),
-            ..Host::consumer(node_id)
-        }
+        Host { producer: Some(Producer { contents, session: None }), ..Host::consumer(node_id) }
     }
 
     /// A producer whose data packets carry the NDN+OPT chain.
@@ -178,7 +174,7 @@ pub struct Network {
     queue: BinaryHeap<Reverse<QueuedEvent>>,
     now: SimTime,
     seq: u64,
-    rng: StdRng,
+    rng: DetRng,
     trace: Trace,
     model: TofinoModel,
     /// Safety valve against runaway packet storms.
@@ -195,7 +191,7 @@ impl Network {
             queue: BinaryHeap::new(),
             now: 0,
             seq: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             trace: Trace::default(),
             model: TofinoModel::tofino(),
             max_events: 1_000_000,
@@ -239,7 +235,15 @@ impl Network {
 
     /// Connects `a.port_a` ↔ `b.port_b` with symmetric characteristics.
     pub fn connect(&mut self, a: NodeId, port_a: u32, b: NodeId, port_b: u32, latency_ns: u64) {
-        self.connect_with(a, port_a, b, port_b, latency_ns, 10_000_000_000, FaultConfig::reliable());
+        self.connect_with(
+            a,
+            port_a,
+            b,
+            port_b,
+            latency_ns,
+            10_000_000_000,
+            FaultConfig::reliable(),
+        );
     }
 
     /// Connects with explicit bandwidth and fault configuration.
@@ -304,6 +308,29 @@ impl Network {
         match &mut self.nodes[id.0].kind {
             NodeKind::Host(h) => h,
             NodeKind::Router(_) => panic!("node {} is a router", id.0),
+        }
+    }
+
+    /// Statically verifies a composed program against this network: the
+    /// registry pass runs over the *actual* installed registries of every
+    /// router node, and the resource pass uses the budget matching the
+    /// network's timing model. Lets experiment drivers lint a protocol
+    /// before injecting a single packet.
+    pub fn lint(&self, repr: &DipRepr) -> dip_verify::Report {
+        let hops: Vec<FnRegistry> = self
+            .nodes
+            .iter()
+            .filter_map(|slot| match &slot.kind {
+                NodeKind::Router(r) => Some(r.registry().clone()),
+                NodeKind::Host(_) => None,
+            })
+            .collect();
+        let program = dip_verify::FnProgram::from_repr(repr);
+        let checker = dip_verify::Checker::new().with_budget(self.model.resource_budget());
+        if hops.is_empty() {
+            checker.check(&program)
+        } else {
+            checker.check_path(&program, &hops)
         }
     }
 
@@ -454,10 +481,8 @@ fn host_receive(host: &mut Host, packet: &mut [u8], now: SimTime) -> HostAction 
     let is_interest = pkt.triples().is_ok_and(|ts| ts.iter().any(|t| t.key == FnKey::Fib));
     if is_interest {
         if let Some(producer) = &host.producer {
-            let Some(compact) = pkt
-                .locations()
-                .get(..4)
-                .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+            let Some(compact) =
+                pkt.locations().get(..4).map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
             else {
                 return HostAction::Dropped(dip_fnops::DropReason::MalformedField);
             };
@@ -586,6 +611,34 @@ mod tests {
         // if the corruption hit the interest on the way in — nothing was
         // delivered verified.
         assert_eq!(net.trace().delivered(true), 0);
+    }
+
+    #[test]
+    fn lint_checks_against_installed_router_registries() {
+        let (net, _r0, _h0, _h1, name, session) = ndn_triangle(true);
+        // The real NDN+OPT data program lints clean against the network.
+        let data = dip_protocols::ndn_opt::data_compact(&session, name.compact32(), b"x", 0, 64);
+        assert!(net.lint(&data).is_clean(), "{}", net.lint(&data));
+
+        // Strip F_MAC from the router and the same program is flagged with
+        // the hop index of the incapable node.
+        let (mut net2, r0, ..) = ndn_triangle(true);
+        net2.router_mut(r0).registry_mut().uninstall(FnKey::Mac);
+        let report = net2.lint(&data);
+        assert!(report.has_code(dip_verify::DiagCode::UnsupportedAtHop), "{report}");
+    }
+
+    #[test]
+    fn lint_budget_follows_the_timing_model() {
+        let net = Network::new(1);
+        assert_eq!(net.model.resource_budget(), dip_verify::ResourceBudget::tofino());
+        assert_eq!(
+            TofinoModel::software().resource_budget(),
+            dip_verify::ResourceBudget::software()
+        );
+        // With no routers, lint degrades to a single standard-registry hop.
+        let repr = dip_protocols::ndn::interest(&Name::parse("/x"), 64);
+        assert!(net.lint(&repr).is_clean());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! example harness — used to demonstrate protocol behaviour under adverse
 //! conditions and to drive the security experiments.
 
-use rand::Rng;
+use dip_crypto::DetRng;
 
 /// Fault configuration for one link direction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,7 +32,7 @@ impl FaultConfig {
 
     /// Applies faults to a packet in flight. Returns `false` when the
     /// packet is dropped; may flip one byte in place.
-    pub fn apply<R: Rng>(&self, rng: &mut R, packet: &mut [u8]) -> bool {
+    pub fn apply(&self, rng: &mut DetRng, packet: &mut [u8]) -> bool {
         if self.drop_chance > 0.0 && rng.gen_bool(self.drop_chance.clamp(0.0, 1.0)) {
             return false;
         }
@@ -40,8 +40,8 @@ impl FaultConfig {
             && !packet.is_empty()
             && rng.gen_bool(self.corrupt_chance.clamp(0.0, 1.0))
         {
-            let idx = rng.gen_range(0..packet.len());
-            let bit = 1u8 << rng.gen_range(0..8);
+            let idx = rng.gen_index(packet.len());
+            let bit = 1u8 << rng.gen_index(8);
             packet[idx] ^= bit;
         }
         true
@@ -51,12 +51,9 @@ impl FaultConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
     #[test]
     fn reliable_never_touches_packets() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let cfg = FaultConfig::reliable();
         let mut pkt = vec![1, 2, 3];
         for _ in 0..100 {
@@ -67,7 +64,7 @@ mod tests {
 
     #[test]
     fn full_drop_drops_everything() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let cfg = FaultConfig { drop_chance: 1.0, corrupt_chance: 0.0 };
         let mut pkt = vec![0u8; 4];
         assert!(!cfg.apply(&mut rng, &mut pkt));
@@ -75,7 +72,7 @@ mod tests {
 
     #[test]
     fn corruption_flips_exactly_one_bit() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         let cfg = FaultConfig { drop_chance: 0.0, corrupt_chance: 1.0 };
         let mut pkt = vec![0u8; 16];
         assert!(cfg.apply(&mut rng, &mut pkt));
@@ -85,7 +82,7 @@ mod tests {
 
     #[test]
     fn drop_rate_is_roughly_honored() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = DetRng::seed_from_u64(42);
         let cfg = FaultConfig::lossy(15.0);
         let mut dropped = 0;
         for _ in 0..10_000 {

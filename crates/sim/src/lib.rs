@@ -20,7 +20,7 @@
 //!   the experiment harness;
 //! * [`driver::ShardedRouter`] — an RSS-style multi-core software
 //!   dataplane (one `DipRouter` per worker, flow-hashed dispatch over
-//!   crossbeam channels) backing the throughput benchmark.
+//!   std::sync::mpsc channels) backing the throughput benchmark.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]

@@ -71,6 +71,19 @@ impl TofinoModel {
         }
     }
 
+    /// The static-verification budget matching this timing profile: the
+    /// bridge from the sim's deployment target to [`dip_verify`]'s
+    /// resource pass. The software profile (identified by having no
+    /// resubmission concept) maps to the generous software budget; every
+    /// hardware-shaped profile gets the Tofino pipeline limits.
+    pub fn resource_budget(&self) -> dip_verify::ResourceBudget {
+        if self.resubmit_ns == 0.0 {
+            dip_verify::ResourceBudget::software()
+        } else {
+            dip_verify::ResourceBudget::tofino()
+        }
+    }
+
     /// Processing time for one packet given the router's reported stats,
     /// the wire size, and the cipher backing `F_MAC`.
     pub fn process_ns(&self, stats: &ProcessStats, wire_bytes: usize, mac: MacChoice) -> f64 {
@@ -132,8 +145,7 @@ mod tests {
             64,
         );
         let (ip_stats, ip_len) = stats_for(ip, &[0u8; 64]);
-        let session =
-            dip_protocols::opt::OptSession::establish([1; 16], &[2; 16], &[[1; 16]]);
+        let session = dip_protocols::opt::OptSession::establish([1; 16], &[2; 16], &[[1; 16]]);
         let (opt_stats, opt_len) = stats_for(session.packet(&[0u8; 64], 1, 64), &[0u8; 64]);
         let t_ip = m.process_ns(&ip_stats, ip_len, MacChoice::TwoRoundEm);
         let t_opt = m.process_ns(&opt_stats, opt_len, MacChoice::TwoRoundEm);
@@ -143,8 +155,7 @@ mod tests {
     #[test]
     fn aes_pays_a_resubmission_2em_does_not() {
         let m = TofinoModel::tofino();
-        let session =
-            dip_protocols::opt::OptSession::establish([1; 16], &[2; 16], &[[1; 16]]);
+        let session = dip_protocols::opt::OptSession::establish([1; 16], &[2; 16], &[[1; 16]]);
         let (stats, len) = stats_for(session.packet(b"x", 1, 64), b"x");
         let t_em = m.process_ns(&stats, len, MacChoice::TwoRoundEm);
         let t_aes = m.process_ns(&stats, len, MacChoice::Aes);

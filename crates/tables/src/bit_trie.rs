@@ -276,7 +276,9 @@ mod tests {
             assert_eq!(t.get(*p), Some(*v));
         }
         // The /8 is present with its exact bits.
-        assert!(entries.iter().any(|(p, v)| p.len == 8 && p.bits == (0x0a00_0000u128) << 96 && **v == 1));
+        assert!(entries
+            .iter()
+            .any(|(p, v)| p.len == 8 && p.bits == (0x0a00_0000u128) << 96 && **v == 1));
     }
 
     #[test]

@@ -50,18 +50,14 @@ impl<K: std::hash::Hash + Eq + Clone, V> ContentStore<K, V> {
         self.clock += 1;
         let mut evicted = None;
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
-            if let Some(lru) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
+            if let Some(lru) =
+                self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
             {
                 self.entries.remove(&lru);
                 evicted = Some(lru);
             }
         }
-        self.entries
-            .insert(key, CsEntry { value, last_used: self.clock, inserted_at: now });
+        self.entries.insert(key, CsEntry { value, last_used: self.clock, inserted_at: now });
         evicted
     }
 

@@ -1,0 +1,250 @@
+//! A seeded corpus of invalid FN programs.
+//!
+//! Each case is a composed chain that *looks* plausible but violates one
+//! of the verifier's invariants. The corpus is the verifier's regression
+//! anchor: `dipcheck` (and the integration tests) assert every entry is
+//! rejected with its expected diagnostic, while the five paper protocols
+//! stay clean — pinning both the detection power and the false-positive
+//! rate of the passes.
+
+use crate::diag::DiagCode;
+use crate::program::FnProgram;
+use dip_wire::triple::{FnKey, FnTriple};
+
+/// One known-invalid program.
+pub struct CorpusCase {
+    /// Short stable identifier (used in test output and the CLI).
+    pub name: &'static str,
+    /// What is wrong, in one sentence.
+    pub description: &'static str,
+    /// The program itself.
+    pub program: FnProgram,
+    /// Per-hop capability key sets for the registry pass. Empty means
+    /// "one fully-capable hop".
+    pub hop_keys: Vec<Vec<FnKey>>,
+    /// The diagnostic code the verifier must produce.
+    pub expect: DiagCode,
+}
+
+impl CorpusCase {
+    fn new(
+        name: &'static str,
+        description: &'static str,
+        program: FnProgram,
+        expect: DiagCode,
+    ) -> Self {
+        CorpusCase { name, description, program, hop_keys: Vec::new(), expect }
+    }
+}
+
+/// Builds the full invalid corpus.
+#[allow(clippy::vec_init_then_push)] // one case per push reads as a catalog
+pub fn invalid_corpus() -> Vec<CorpusCase> {
+    let mut cases = Vec::new();
+
+    cases.push(CorpusCase::new(
+        "field-past-locations",
+        "a 64-bit match field indexed into a 4-byte locations area",
+        FnProgram::new(vec![FnTriple::router(0, 64, FnKey::Match32)], 4, false),
+        DiagCode::FieldOutOfBounds,
+    ));
+
+    cases.push(CorpusCase::new(
+        "mac-tag-slot-past-locations",
+        "the MAC coverage fits but its 128-bit tag slot spills past the area",
+        FnProgram::new(
+            vec![FnTriple::router(128, 128, FnKey::Parm), FnTriple::router(0, 416, FnKey::Mac)],
+            58,
+            false,
+        ),
+        DiagCode::FieldOutOfBounds,
+    ));
+
+    cases.push(CorpusCase::new(
+        "fn-num-overflow",
+        "256 triples cannot be expressed in the 8-bit FN number",
+        FnProgram::new(vec![FnTriple::router(0, 8, FnKey::Source); 256], 1, false),
+        DiagCode::FnNumOverflow,
+    ));
+
+    cases.push(CorpusCase::new(
+        "loc-len-overflow",
+        "a 1024-byte locations area exceeds the 10-bit fn_loc_len",
+        FnProgram::new(vec![FnTriple::router(0, 8, FnKey::Source)], 1024, false),
+        DiagCode::LocLenOverflow,
+    ));
+
+    cases.push(CorpusCase::new(
+        "parm-width-not-128",
+        "F_parm derives the dynamic key from exactly one 128-bit block",
+        FnProgram::new(vec![FnTriple::router(0, 64, FnKey::Parm)], 8, false),
+        DiagCode::BadFieldWidth,
+    ));
+
+    cases.push(CorpusCase::new(
+        "mark-width-not-128",
+        "F_mark updates exactly one 128-bit PVF",
+        FnProgram::new(
+            vec![FnTriple::router(64, 128, FnKey::Parm), FnTriple::router(0, 64, FnKey::Mark)],
+            24,
+            false,
+        ),
+        DiagCode::BadFieldWidth,
+    ));
+
+    cases.push(CorpusCase::new(
+        "ver-on-router",
+        "F_ver router-tagged would verify mid-path with keys only the destination holds",
+        FnProgram::new(vec![FnTriple::router(0, 544, FnKey::Ver)], 68, false),
+        DiagCode::TagBitInconsistent,
+    ));
+
+    cases.push(CorpusCase::new(
+        "mac-on-host",
+        "a host-tagged F_MAC silently drops out of the per-hop participation chain",
+        FnProgram::new(
+            vec![
+                FnTriple::router(128, 128, FnKey::Parm),
+                FnTriple::host(0, 416, FnKey::Mac),
+                FnTriple::router(288, 128, FnKey::Mark),
+            ],
+            68,
+            false,
+        ),
+        DiagCode::TagBitInconsistent,
+    ));
+
+    // Registry: an NDN interest across a path whose middle AS never
+    // installed F_FIB (a legacy IP-only deployment, §2.4).
+    let mut uninstalled = CorpusCase::new(
+        "fib-uninstalled-at-hop-1",
+        "an NDN interest through an AS that only deployed the IP profile",
+        FnProgram::new(vec![FnTriple::router(0, 32, FnKey::Fib)], 4, false),
+        DiagCode::UnsupportedAtHop,
+    );
+    uninstalled.hop_keys = vec![
+        FnKey::table1().to_vec(),
+        vec![FnKey::Match32, FnKey::Match128, FnKey::Source],
+        FnKey::table1().to_vec(),
+    ];
+    cases.push(uninstalled);
+
+    cases.push(CorpusCase::new(
+        "mac-without-parm",
+        "F_MAC reads the per-packet dynamic key no F_parm ever derived",
+        FnProgram::new(
+            vec![FnTriple::router(0, 416, FnKey::Mac), FnTriple::router(288, 128, FnKey::Mark)],
+            68,
+            false,
+        ),
+        DiagCode::KeyUseBeforeDef,
+    ));
+
+    cases.push(CorpusCase::new(
+        "parm-after-use",
+        "the key derivation is ordered after the MAC that needs it",
+        FnProgram::new(
+            vec![
+                FnTriple::router(0, 416, FnKey::Mac),
+                FnTriple::router(128, 128, FnKey::Parm),
+                FnTriple::router(288, 128, FnKey::Mark),
+            ],
+            68,
+            false,
+        ),
+        DiagCode::KeyUseBeforeDef,
+    ));
+
+    cases.push(CorpusCase::new(
+        "mutate-after-mac",
+        "an intent rewrite lands inside the MAC'd coverage, invalidating the tag",
+        FnProgram::new(
+            vec![
+                FnTriple::router(128, 128, FnKey::Parm),
+                FnTriple::router(0, 416, FnKey::Mac),
+                FnTriple::router(0, 128, FnKey::Intent),
+            ],
+            68,
+            false,
+        ),
+        DiagCode::MacThenMutate,
+    ));
+
+    cases.push(CorpusCase::new(
+        "parallel-flag-hazard",
+        "the parallel flag is set over two rewrites of the same field",
+        FnProgram::new(
+            vec![FnTriple::router(0, 64, FnKey::Intent), FnTriple::router(0, 64, FnKey::Intent)],
+            8,
+            true,
+        ),
+        DiagCode::ParallelHazard,
+    ));
+
+    cases.push(CorpusCase::new(
+        "stage-budget-overflow",
+        "sixteen sequential one-stage rewrites exceed the 12-stage pipeline",
+        FnProgram::new(
+            (0..16).map(|i| FnTriple::router(i * 8, 8, FnKey::Source)).collect(),
+            16,
+            false,
+        ),
+        DiagCode::StageBudgetExceeded,
+    ));
+
+    cases.push(CorpusCase::new(
+        "cipher-budget-overflow",
+        "five stacked 416-bit MACs exceed the pipeline's cipher capacity",
+        FnProgram::new(
+            {
+                let mut fns = vec![FnTriple::router(0, 128, FnKey::Parm)];
+                fns.extend((0..5u16).map(|k| FnTriple::router(128 + k * 544, 416, FnKey::Mac)));
+                fns
+            },
+            (128 + 5 * 544) / 8,
+            false,
+        ),
+        DiagCode::CipherBudgetExceeded,
+    ));
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Checker;
+    use dip_fnops::FnRegistry;
+
+    #[test]
+    fn corpus_is_large_and_diverse() {
+        let corpus = invalid_corpus();
+        assert!(corpus.len() >= 10, "corpus has only {} cases", corpus.len());
+        let codes: std::collections::HashSet<&str> =
+            corpus.iter().map(|c| c.expect.as_str()).collect();
+        assert!(codes.len() >= 8, "only {} distinct codes", codes.len());
+        let names: std::collections::HashSet<&str> = corpus.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), corpus.len(), "duplicate case names");
+    }
+
+    #[test]
+    fn every_case_is_rejected_with_its_expected_code() {
+        let checker = Checker::new();
+        for case in invalid_corpus() {
+            let report = if case.hop_keys.is_empty() {
+                checker.check(&case.program)
+            } else {
+                let hops: Vec<FnRegistry> =
+                    case.hop_keys.iter().map(|ks| FnRegistry::with_keys(ks)).collect();
+                checker.check_path(&case.program, &hops)
+            };
+            assert!(report.has_errors(), "{}: accepted ({report})", case.name);
+            assert!(
+                report.has_code(case.expect),
+                "{}: expected {:?}, got: {report}",
+                case.name,
+                case.expect
+            );
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Diagnostics emitted by the verifier passes.
+//!
+//! Every finding carries enough structure for tooling (severity, a stable
+//! code, the offending triple index and bit span) plus a human message, so
+//! the `dipcheck` CLI and library callers can both consume reports.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not provably broken; the program may still run.
+    Warning,
+    /// The program is malformed, will be dropped, or cannot be deployed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable machine-readable code identifying the class of finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagCode {
+    /// A target field (or an implicit write such as `F_MAC`'s tag slot)
+    /// extends past the FN locations area.
+    FieldOutOfBounds,
+    /// More FN triples than the 8-bit `FN_Num` field can express.
+    FnNumOverflow,
+    /// FN locations area longer than the 10-bit `fn_loc_len` field allows.
+    LocLenOverflow,
+    /// The tag bit contradicts where the operation runs (e.g. a
+    /// router-tagged `F_ver`, a host-tagged `F_MAC`).
+    TagBitInconsistent,
+    /// The operation rejects fields of this width at runtime (e.g.
+    /// `F_parm`/`F_mark` require exactly 128 bits).
+    BadFieldWidth,
+    /// A router-executed operation key is not installed at some hop.
+    UnsupportedAtHop,
+    /// The parallel flag is set but two operations outside the dynamic-key
+    /// chain conflict on packet bits.
+    ParallelHazard,
+    /// An operation reads the per-packet dynamic key before any `F_parm`
+    /// defines it (the router would drop with `MissingDynamicKey`).
+    KeyUseBeforeDef,
+    /// A later operation overwrites bits covered by an earlier `F_MAC`,
+    /// invalidating the tag before the destination can verify it.
+    MacThenMutate,
+    /// The chain occupies more match-action stages than the target
+    /// pipeline provides.
+    StageBudgetExceeded,
+    /// The chain performs more table lookups than the target provides.
+    LookupBudgetExceeded,
+    /// The chain performs more cipher-block operations than the target's
+    /// arithmetic stages can absorb.
+    CipherBudgetExceeded,
+    /// The chain needs more packet resubmissions than the target allows.
+    ResubmitBudgetExceeded,
+}
+
+impl DiagCode {
+    /// The code's stable string form (used in CLI output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::FieldOutOfBounds => "field-out-of-bounds",
+            DiagCode::FnNumOverflow => "fn-num-overflow",
+            DiagCode::LocLenOverflow => "loc-len-overflow",
+            DiagCode::TagBitInconsistent => "tag-bit-inconsistent",
+            DiagCode::BadFieldWidth => "bad-field-width",
+            DiagCode::UnsupportedAtHop => "unsupported-at-hop",
+            DiagCode::ParallelHazard => "parallel-hazard",
+            DiagCode::KeyUseBeforeDef => "key-use-before-def",
+            DiagCode::MacThenMutate => "mac-then-mutate",
+            DiagCode::StageBudgetExceeded => "stage-budget-exceeded",
+            DiagCode::LookupBudgetExceeded => "lookup-budget-exceeded",
+            DiagCode::CipherBudgetExceeded => "cipher-budget-exceeded",
+            DiagCode::ResubmitBudgetExceeded => "resubmit-budget-exceeded",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Stable class of the finding.
+    pub code: DiagCode,
+    /// Index of the offending FN triple in the program, when one exists.
+    pub triple: Option<usize>,
+    /// Offending bit span `[start, end)` in the FN locations area.
+    pub span: Option<(usize, usize)>,
+    /// Path hop the finding applies to (registry pass).
+    pub hop: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: DiagCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            triple: None,
+            span: None,
+            hop: None,
+            message: message.into(),
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(code: DiagCode, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, ..Diagnostic::error(code, message) }
+    }
+
+    /// Attaches the offending triple index.
+    pub fn at_triple(mut self, i: usize) -> Self {
+        self.triple = Some(i);
+        self
+    }
+
+    /// Attaches the offending bit span.
+    pub fn with_span(mut self, span: (usize, usize)) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attaches the path hop.
+    pub fn at_hop(mut self, hop: usize) -> Self {
+        self.hop = Some(hop);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(i) = self.triple {
+            write!(f, " fn#{i}")?;
+        }
+        if let Some((s, e)) = self.span {
+            write!(f, " bits {s}..{e}")?;
+        }
+        if let Some(h) = self.hop {
+            write!(f, " at hop {h}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of verifying one FN program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Every finding, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any finding is an error (the program must be rejected).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// The error findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether some finding carries `code`.
+    pub fn has_code(&self, code: DiagCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every finding of another pass.
+    pub fn extend(&mut self, diags: Vec<Diagnostic>) {
+        self.diagnostics.extend(diags);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_renders_all_fields() {
+        let d = Diagnostic::error(DiagCode::FieldOutOfBounds, "field past locations")
+            .at_triple(2)
+            .with_span((416, 544))
+            .at_hop(1);
+        assert_eq!(
+            d.to_string(),
+            "error[field-out-of-bounds] fn#2 bits 416..544 at hop 1: field past locations"
+        );
+    }
+
+    #[test]
+    fn report_classification() {
+        let mut r = Report::default();
+        assert!(r.is_clean());
+        assert!(!r.has_errors());
+        r.push(Diagnostic::warning(DiagCode::ParallelHazard, "w"));
+        assert!(!r.is_clean());
+        assert!(!r.has_errors());
+        r.push(Diagnostic::error(DiagCode::KeyUseBeforeDef, "e"));
+        assert!(r.has_errors());
+        assert!(r.has_code(DiagCode::KeyUseBeforeDef));
+        assert!(!r.has_code(DiagCode::MacThenMutate));
+        assert_eq!(r.errors().count(), 1);
+    }
+
+    #[test]
+    fn clean_report_displays_as_clean() {
+        assert_eq!(Report::default().to_string(), "clean");
+    }
+}

@@ -1,0 +1,90 @@
+//! Pass 2 — registry checks: is the program installable where it will run?
+//!
+//! §2.3: hosts formulate FNs "considering both the required network
+//! services and the supported FNs". This pass is the static form of that
+//! consideration — every router-executed operation key must be installed
+//! in each traversed AS's [`FnRegistry`], otherwise the chain dies (or is
+//! silently skipped) at that hop.
+
+use crate::diag::{DiagCode, Diagnostic};
+use crate::program::FnProgram;
+use dip_fnops::FnRegistry;
+
+/// Runs the registry pass against an ordered list of per-hop registries.
+///
+/// Host-tagged triples are exempt: routers skip them (Algorithm 1 line 5)
+/// and the *receiving host's* registry is a different question from path
+/// deployability.
+pub fn check(program: &FnProgram, hops: &[FnRegistry]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (hop, registry) in hops.iter().enumerate() {
+        for (i, t) in program.router_fns() {
+            if !registry.supports(t.key) {
+                diags.push(
+                    Diagnostic::error(
+                        DiagCode::UnsupportedAtHop,
+                        format!(
+                            "{} (key {}) is not installed at hop {hop}",
+                            t.key.notation(),
+                            t.key.to_wire()
+                        ),
+                    )
+                    .at_triple(i)
+                    .at_hop(hop),
+                );
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_wire::triple::{FnKey, FnTriple};
+
+    fn ndn_interest() -> FnProgram {
+        FnProgram::new(vec![FnTriple::router(0, 32, FnKey::Fib)], 4, false)
+    }
+
+    #[test]
+    fn fully_capable_path_is_clean() {
+        let hops = vec![FnRegistry::standard(); 3];
+        assert!(check(&ndn_interest(), &hops).is_empty());
+    }
+
+    #[test]
+    fn missing_key_names_the_hop() {
+        let hops = vec![
+            FnRegistry::standard(),
+            FnRegistry::with_keys(&[FnKey::Match32, FnKey::Source]),
+            FnRegistry::standard(),
+        ];
+        let d = check(&ndn_interest(), &hops);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, DiagCode::UnsupportedAtHop);
+        assert_eq!(d[0].hop, Some(1));
+        assert_eq!(d[0].triple, Some(0));
+        assert!(d[0].message.contains("F_FIB"));
+    }
+
+    #[test]
+    fn host_tagged_triples_are_exempt() {
+        let p = FnProgram::new(vec![FnTriple::host(0, 544, FnKey::Ver)], 68, false);
+        let hops = vec![FnRegistry::empty()];
+        assert!(check(&p, &hops).is_empty());
+    }
+
+    #[test]
+    fn unknown_keys_are_unsupported_everywhere() {
+        let p = FnProgram::new(vec![FnTriple::router(0, 8, FnKey::Other(0x300))], 1, false);
+        let d = check(&p, &[FnRegistry::standard(), FnRegistry::standard()]);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| x.code == DiagCode::UnsupportedAtHop));
+    }
+
+    #[test]
+    fn empty_path_checks_nothing() {
+        assert!(check(&ndn_interest(), &[]).is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! The verifier's view of a composed FN program.
+//!
+//! A program is what §2.3's host construction produces *before* it is
+//! serialized: an ordered FN chain, the size of the locations area the
+//! chain indexes into, and the basic-header parallel flag. The verifier
+//! never needs the locations *contents* — only the geometry.
+
+use dip_wire::packet::DipRepr;
+use dip_wire::triple::FnTriple;
+
+/// A composed FN program to verify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnProgram {
+    /// FN triples in execution order (Algorithm 1 line 2).
+    pub fns: Vec<FnTriple>,
+    /// Length of the FN locations area, in bytes.
+    pub loc_len: usize,
+    /// The basic header's modular-parallelism flag.
+    pub parallel: bool,
+}
+
+impl FnProgram {
+    /// A program from its parts.
+    pub fn new(fns: Vec<FnTriple>, loc_len: usize, parallel: bool) -> Self {
+        FnProgram { fns, loc_len, parallel }
+    }
+
+    /// The program a [`DipRepr`] carries.
+    pub fn from_repr(repr: &DipRepr) -> Self {
+        FnProgram { fns: repr.fns.clone(), loc_len: repr.locations.len(), parallel: repr.parallel }
+    }
+
+    /// Size of the locations area in bits — the bound every target field
+    /// must respect.
+    pub fn loc_bits(&self) -> usize {
+        self.loc_len * 8
+    }
+
+    /// The router-executed triples (tag bit clear), with their original
+    /// chain indices. Routers skip host-tagged FNs (Algorithm 1 line 5),
+    /// so the registry/data-flow/resource passes look only at these.
+    pub fn router_fns(&self) -> impl Iterator<Item = (usize, &FnTriple)> {
+        self.fns.iter().enumerate().filter(|(_, t)| !t.host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_wire::triple::FnKey;
+
+    #[test]
+    fn from_repr_captures_geometry_only() {
+        let repr = DipRepr {
+            parallel: true,
+            fns: vec![FnTriple::router(0, 32, FnKey::Pit), FnTriple::host(0, 544, FnKey::Ver)],
+            locations: vec![0xff; 68],
+            ..Default::default()
+        };
+        let p = FnProgram::from_repr(&repr);
+        assert_eq!(p.loc_len, 68);
+        assert_eq!(p.loc_bits(), 544);
+        assert!(p.parallel);
+        assert_eq!(p.fns.len(), 2);
+    }
+
+    #[test]
+    fn router_fns_skips_host_tagged() {
+        let p = FnProgram::new(
+            vec![
+                FnTriple::router(0, 32, FnKey::Pit),
+                FnTriple::host(0, 544, FnKey::Ver),
+                FnTriple::router(32, 128, FnKey::Parm),
+            ],
+            68,
+            false,
+        );
+        let idx: Vec<usize> = p.router_fns().map(|(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 2]);
+    }
+}

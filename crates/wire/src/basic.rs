@@ -55,9 +55,7 @@ impl PacketParameter {
         if self.reserved > 0x1f {
             return Err(WireError::FieldOverflow("packet parameter reserved bits"));
         }
-        Ok(u16::from(self.parallel)
-            | (self.fn_loc_len << 1)
-            | (u16::from(self.reserved) << 11))
+        Ok(u16::from(self.parallel) | (self.fn_loc_len << 1) | (u16::from(self.reserved) << 11))
     }
 
     /// Decodes from the 16-bit wire value.

@@ -29,9 +29,7 @@ pub const fn is_byte_aligned(bit_off: usize, bit_len: usize) -> bool {
 /// buffer of `buf_len` bytes.
 #[inline]
 pub fn check_range(buf_len: usize, bit_off: usize, bit_len: usize) -> Result<()> {
-    let end = bit_off
-        .checked_add(bit_len)
-        .ok_or(WireError::Malformed("bit range overflows"))?;
+    let end = bit_off.checked_add(bit_len).ok_or(WireError::Malformed("bit range overflows"))?;
     if end > buf_len * 8 {
         return Err(WireError::OutOfBounds { end, limit: buf_len * 8 });
     }
@@ -224,10 +222,7 @@ mod tests {
         write_uint(&mut buf, 6, 10, 0x2ab).unwrap();
         assert_eq!(read_uint(&buf, 6, 10).unwrap(), 0x2ab);
         // Field overflow is rejected.
-        assert_eq!(
-            write_uint(&mut buf, 0, 4, 16),
-            Err(WireError::FieldOverflow("uint"))
-        );
+        assert_eq!(write_uint(&mut buf, 0, 4, 16), Err(WireError::FieldOverflow("uint")));
     }
 
     #[test]

@@ -81,9 +81,6 @@ mod tests {
     fn ensure_len_accepts_exact_and_longer() {
         assert!(ensure_len(&[0u8; 6], 6).is_ok());
         assert!(ensure_len(&[0u8; 7], 6).is_ok());
-        assert_eq!(
-            ensure_len(&[0u8; 5], 6),
-            Err(WireError::Truncated { needed: 6, available: 5 })
-        );
+        assert_eq!(ensure_len(&[0u8; 5], 6), Err(WireError::Truncated { needed: 6, available: 5 }));
     }
 }

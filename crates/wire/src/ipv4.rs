@@ -155,11 +155,8 @@ mod tests {
     fn rejects_options() {
         let mut bytes = sample().to_bytes(&[]).unwrap();
         bytes[0] = 0x46; // ihl = 24
-        // fix checksum so we reach the IHL check... the IHL check fires first.
-        assert_eq!(
-            Ipv4Repr::parse(&bytes),
-            Err(WireError::Malformed("IPv4 options unsupported"))
-        );
+                         // fix checksum so we reach the IHL check... the IHL check fires first.
+        assert_eq!(Ipv4Repr::parse(&bytes), Err(WireError::Malformed("IPv4 options unsupported")));
     }
 
     #[test]

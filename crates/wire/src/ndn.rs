@@ -40,11 +40,8 @@ impl Name {
     /// slashes (the paper's example is the single-component name
     /// `hotnets.org`) becomes a one-component name.
     pub fn parse(uri: &str) -> Self {
-        let components = uri
-            .split('/')
-            .filter(|c| !c.is_empty())
-            .map(|c| c.as_bytes().to_vec())
-            .collect();
+        let components =
+            uri.split('/').filter(|c| !c.is_empty()).map(|c| c.as_bytes().to_vec()).collect();
         Name { components }
     }
 

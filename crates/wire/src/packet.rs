@@ -23,8 +23,10 @@ pub struct DipPacket<T: AsRef<[u8]>> {
 }
 
 impl<T: AsRef<[u8]>> DipPacket<T> {
-    /// Wraps a buffer without validation. Accessors may panic on short
-    /// buffers; use [`DipPacket::new_checked`] for untrusted input.
+    /// Wraps a buffer without validation. Accessors are total — on a
+    /// buffer shorter than the header claims they return zeros / empty
+    /// slices rather than panicking — but only [`DipPacket::new_checked`]
+    /// guarantees the views are meaningful; use it for untrusted input.
     pub fn new_unchecked(buffer: T) -> Self {
         DipPacket { buffer }
     }
@@ -54,20 +56,23 @@ impl<T: AsRef<[u8]>> DipPacket<T> {
         BasicHeader::parse(self.buffer.as_ref())
     }
 
-    /// Number of FN triples.
+    /// Number of FN triples (0 if the buffer is too short to say).
     pub fn fn_num(&self) -> u8 {
-        self.buffer.as_ref()[2]
+        self.buffer.as_ref().get(2).copied().unwrap_or(0)
     }
 
-    /// Hop limit.
+    /// Hop limit (0 if the buffer is too short to say).
     pub fn hop_limit(&self) -> u8 {
-        self.buffer.as_ref()[3]
+        self.buffer.as_ref().get(3).copied().unwrap_or(0)
     }
 
-    /// Decoded packet parameter.
+    /// Decoded packet parameter (all-zero if the buffer is too short).
     pub fn param(&self) -> PacketParameter {
         let d = self.buffer.as_ref();
-        PacketParameter::from_wire(u16::from_be_bytes([d[4], d[5]]))
+        match (d.get(4), d.get(5)) {
+            (Some(&hi), Some(&lo)) => PacketParameter::from_wire(u16::from_be_bytes([hi, lo])),
+            _ => PacketParameter::from_wire(0),
+        }
     }
 
     /// Length of the FN locations area in bytes.
@@ -86,7 +91,8 @@ impl<T: AsRef<[u8]>> DipPacket<T> {
             return Err(WireError::Malformed("triple index past FN number"));
         }
         let off = BASIC_HEADER_LEN + i * FN_TRIPLE_LEN;
-        FnTriple::parse(&self.buffer.as_ref()[off..])
+        let data = self.buffer.as_ref();
+        FnTriple::parse(data.get(off..).unwrap_or(&[]))
     }
 
     /// Parses all triples, in header order (Algorithm 1 line 2).
@@ -94,15 +100,19 @@ impl<T: AsRef<[u8]>> DipPacket<T> {
         (0..usize::from(self.fn_num())).map(|i| self.triple(i)).collect()
     }
 
-    /// The FN locations area (Algorithm 1 line 3).
+    /// The FN locations area (Algorithm 1 line 3). Truncated (possibly to
+    /// empty) when the buffer ends before the header says it should.
     pub fn locations(&self) -> &[u8] {
+        let data = self.buffer.as_ref();
         let start = BASIC_HEADER_LEN + usize::from(self.fn_num()) * FN_TRIPLE_LEN;
-        &self.buffer.as_ref()[start..start + self.fn_loc_len()]
+        let end = (start + self.fn_loc_len()).min(data.len());
+        data.get(start..end).unwrap_or(&[])
     }
 
-    /// The payload following the DIP header.
+    /// The payload following the DIP header (empty when the buffer ends
+    /// inside the header).
     pub fn payload(&self) -> &[u8] {
-        &self.buffer.as_ref()[self.header_len()..]
+        self.buffer.as_ref().get(self.header_len()..).unwrap_or(&[])
     }
 
     /// Reads the target field of `triple` out of the locations area
@@ -122,27 +132,32 @@ impl<T: AsRef<[u8]>> DipPacket<T> {
 }
 
 impl<T: AsRef<[u8]> + AsMut<[u8]>> DipPacket<T> {
-    /// Sets the hop limit.
+    /// Sets the hop limit (no-op on a buffer too short to hold one).
     pub fn set_hop_limit(&mut self, v: u8) {
-        self.buffer.as_mut()[3] = v;
+        if let Some(b) = self.buffer.as_mut().get_mut(3) {
+            *b = v;
+        }
     }
 
     /// Decrements the hop limit, returning the new value, or `None` when the
-    /// hop limit was already zero (the packet must be dropped).
+    /// hop limit was already zero — or absent — (the packet must be dropped).
     pub fn decrement_hop_limit(&mut self) -> Option<u8> {
-        let d = self.buffer.as_mut();
-        if d[3] == 0 {
+        let b = self.buffer.as_mut().get_mut(3)?;
+        if *b == 0 {
             return None;
         }
-        d[3] -= 1;
-        Some(d[3])
+        *b -= 1;
+        Some(*b)
     }
 
-    /// Mutable access to the FN locations area.
+    /// Mutable access to the FN locations area (truncated like
+    /// [`DipPacket::locations`] on short buffers).
     pub fn locations_mut(&mut self) -> &mut [u8] {
         let start = BASIC_HEADER_LEN + usize::from(self.fn_num()) * FN_TRIPLE_LEN;
         let len = self.fn_loc_len();
-        &mut self.buffer.as_mut()[start..start + len]
+        let data = self.buffer.as_mut();
+        let end = (start + len).min(data.len());
+        data.get_mut(start..end).unwrap_or(&mut [])
     }
 
     /// Overwrites the target field of `triple` in the locations area.
@@ -155,10 +170,10 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> DipPacket<T> {
         )
     }
 
-    /// Mutable access to the payload.
+    /// Mutable access to the payload (empty on short buffers).
     pub fn payload_mut(&mut self) -> &mut [u8] {
         let start = self.header_len();
-        &mut self.buffer.as_mut()[start..]
+        self.buffer.as_mut().get_mut(start..).unwrap_or(&mut [])
     }
 }
 
@@ -488,11 +503,37 @@ mod tests {
     }
 
     #[test]
+    fn unchecked_accessors_are_total_on_truncated_buffers() {
+        // Every prefix of a real packet — including ones that lie about
+        // their own length — must be readable without panicking.
+        let full = opt_repr().to_bytes(b"payload").unwrap();
+        for cut in 0..full.len() {
+            let mut bytes = full[..cut].to_vec();
+            let mut pkt = DipPacket::new_unchecked(&mut bytes[..]);
+            let _ = pkt.fn_num();
+            let _ = pkt.hop_limit();
+            let _ = pkt.param();
+            let _ = pkt.header_len();
+            let _ = pkt.locations();
+            let _ = pkt.payload();
+            let _ = pkt.triples();
+            let _ = pkt.target_field(&FnTriple::router(288, 128, FnKey::Mark));
+            pkt.set_hop_limit(9);
+            let _ = pkt.decrement_hop_limit();
+            let _ = pkt.locations_mut();
+            let _ = pkt.payload_mut();
+        }
+        // And an empty buffer reads as a zero-FN packet.
+        let empty = DipPacket::new_unchecked(&[][..]);
+        assert_eq!(empty.fn_num(), 0);
+        assert!(empty.locations().is_empty());
+        assert!(empty.payload().is_empty());
+    }
+
+    #[test]
     fn too_many_fns_rejected() {
-        let repr = DipRepr {
-            fns: vec![FnTriple::router(0, 0, FnKey::Parm); 256],
-            ..Default::default()
-        };
+        let repr =
+            DipRepr { fns: vec![FnTriple::router(0, 0, FnKey::Parm); 256], ..Default::default() };
         assert_eq!(repr.validate(), Err(WireError::FieldOverflow("FN number")));
     }
 

@@ -72,7 +72,10 @@ fn describe_field<T: AsRef<[u8]>>(pkt: &DipPacket<T>, t: &FnTriple) -> String {
             s
         }
         (FnKey::Fib | FnKey::Pit, 32) => {
-            format!("compact name {:#010x}", u32::from_be_bytes([field[0], field[1], field[2], field[3]]))
+            format!(
+                "compact name {:#010x}",
+                u32::from_be_bytes([field[0], field[1], field[2], field[3]])
+            )
         }
         (FnKey::Fib | FnKey::Pit, _) => match crate::ndn::Name::decode_tlv(&field) {
             Ok((name, _)) => format!("name {name}"),
@@ -95,14 +98,21 @@ fn describe_field<T: AsRef<[u8]>>(pkt: &DipPacket<T>, t: &FnTriple) -> String {
             format!("session id {:02x}{:02x}{:02x}{:02x}..", field[0], field[1], field[2], field[3])
         }
         (FnKey::Mac, _) => format!("coverage {} bits", t.field_len),
-        (FnKey::Mark, 128) => format!("tag {:02x}{:02x}{:02x}{:02x}..", field[0], field[1], field[2], field[3]),
+        (FnKey::Mark, 128) => {
+            format!("tag {:02x}{:02x}{:02x}{:02x}..", field[0], field[1], field[2], field[3])
+        }
         (FnKey::Dag | FnKey::Intent, _) => match xia::Dag::decode(&field) {
             Ok((dag, _)) => {
                 let intent = dag
                     .intent()
                     .map(|n| format!("{} {}", n.ty.name(), n.xid))
                     .unwrap_or_else(|| "?".into());
-                format!("DAG {} nodes, last_visited {}, intent {}", dag.nodes.len(), dag.last_visited, intent)
+                format!(
+                    "DAG {} nodes, last_visited {}, intent {}",
+                    dag.nodes.len(),
+                    dag.last_visited,
+                    intent
+                )
             }
             Err(_) => "undecodable DAG".into(),
         },

@@ -375,10 +375,7 @@ mod tests {
     fn cycle_is_rejected() {
         let n0 = DagNode::with_edges(XidType::Ad, cid("a"), &[1]);
         let n1 = DagNode::with_edges(XidType::Hid, cid("b"), &[0]);
-        assert_eq!(
-            Dag::new(&[0], vec![n0, n1]),
-            Err(WireError::Malformed("DAG contains a cycle"))
-        );
+        assert_eq!(Dag::new(&[0], vec![n0, n1]), Err(WireError::Malformed("DAG contains a cycle")));
     }
 
     #[test]

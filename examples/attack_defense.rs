@@ -32,13 +32,7 @@ fn main() {
     let mut pkt = attack_packet(&name);
     let (v, _) = router.process(&mut pkt, 2, 0);
     println!("  attack packet verdict: {v:?}");
-    let poisoned = router
-        .state()
-        .content_store
-        .as_ref()
-        .unwrap()
-        .peek(&name.compact32())
-        .is_some();
+    let poisoned = router.state().content_store.as_ref().unwrap().peek(&name.compact32()).is_some();
     println!("  cache now poisoned: {poisoned}");
     assert!(poisoned);
 
@@ -57,13 +51,7 @@ fn main() {
 
     let mut pkt = attack_packet(&name);
     let (v, _) = router.process(&mut pkt, 2, 10);
-    let poisoned = router
-        .state()
-        .content_store
-        .as_ref()
-        .unwrap()
-        .peek(&name.compact32())
-        .is_some();
+    let poisoned = router.state().content_store.as_ref().unwrap().peek(&name.compact32()).is_some();
     println!("  attack re-run verdict: {v:?}; cache poisoned: {poisoned}");
     assert!(!poisoned);
 
@@ -103,9 +91,8 @@ fn main() {
     println!("phase 3: processing-budget defense");
     let mut fns = vec![FnTriple::router(16 * 8, 128, FnKey::Parm)];
     fns.extend((0..25).map(|_| FnTriple::router(0, 416, FnKey::Mac)));
-    let bomb = DipRepr { fns, locations: vec![0u8; 68], ..Default::default() }
-        .to_bytes(&[])
-        .unwrap();
+    let bomb =
+        DipRepr { fns, locations: vec![0u8; 68], ..Default::default() }.to_bytes(&[]).unwrap();
     let mut bomb_buf = bomb;
     let (v, stats) = router.process(&mut bomb_buf, 2, 30);
     println!(

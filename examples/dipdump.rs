@@ -10,14 +10,13 @@
 
 use dip::prelude::*;
 use dip::sim::engine::{Host, Network};
-use dip::sim::topology::chain;
 use dip::sim::pcap;
+use dip::sim::topology::chain;
 use dip::wire::pretty::dissect;
 use std::collections::HashMap;
 
 fn main() {
-    let out_path =
-        std::env::args().nth(1).unwrap_or_else(|| "dipdump.pcap".to_string());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "dipdump.pcap".to_string());
 
     // --- A short secure content retrieval, captured. ----------------------
     let name = Name::parse("/hotnets/org/dip");
@@ -38,12 +37,7 @@ fn main() {
     );
     net.router_mut(routers[0]).state_mut().name_fib.add_route(&name, NextHop::port(1));
 
-    net.send(
-        consumer,
-        0,
-        dip::protocols::ndn_opt::interest(&name, 64).to_bytes(&[]).unwrap(),
-        0,
-    );
+    net.send(consumer, 0, dip::protocols::ndn_opt::interest(&name, 64).to_bytes(&[]).unwrap(), 0);
     net.run();
     assert_eq!(net.host(consumer).delivered.len(), 1, "retrieval must succeed");
 

@@ -22,7 +22,10 @@ fn main() {
     let discover = FnDiscover { xid: 7 };
     let offer = FnOffer::from_registry(discover.xid, 65001, &partial_as);
     let parsed = FnOffer::decode(&offer.encode()).unwrap();
-    println!("   AS 65001 offers: {:?}", parsed.fn_keys().iter().map(|k| k.notation()).collect::<Vec<_>>());
+    println!(
+        "   AS 65001 offers: {:?}",
+        parsed.fn_keys().iter().map(|k| k.notation()).collect::<Vec<_>>()
+    );
 
     // --- 2. Capability propagation (BGP-communities substitute). ---------
     println!("\n2. capability propagation across a 4-AS path");
@@ -64,7 +67,11 @@ fn main() {
     let a = Ipv6Addr::new([0x2001, 0xdb8, 0, 1, 0, 0, 0, 1]);
     let b = Ipv6Addr::new([0x2001, 0xdb8, 0, 2, 0, 0, 0, 1]);
     let outer = tunnel::encap(&inner, a, b, 64).unwrap();
-    println!("   encap: {}B DIP -> {}B IPv6 (legacy core sees plain IPv6)", inner.len(), outer.len());
+    println!(
+        "   encap: {}B DIP -> {}B IPv6 (legacy core sees plain IPv6)",
+        inner.len(),
+        outer.len()
+    );
     // A legacy core router forwards on the outer header only:
     let outer_hdr = Ipv6Repr::parse(&outer).unwrap();
     println!("   legacy core routes on outer dst {}", outer_hdr.dst);
@@ -84,7 +91,10 @@ fn main() {
     .to_bytes(b"legacy udp")
     .unwrap();
     let mut dip_form = border::encap_ipv6(&legacy).unwrap();
-    println!("   inbound border: +{}B DIP framing, IPv6 header now an FN location", dip_form.len() - legacy.len());
+    println!(
+        "   inbound border: +{}B DIP framing, IPv6 header now an FN location",
+        dip_form.len() - legacy.len()
+    );
 
     // DIP routers forward it with F_128_match on the embedded header.
     let mut core_router = DipRouter::new(2, [2; 16]);

@@ -83,14 +83,9 @@ fn main() {
 
     // The destination host verifies source and path.
     let mut host_state = RouterState::new(99, [0; 16]);
-    let delivery = deliver(
-        &mut buf,
-        &session.host_context(),
-        &mut host_state,
-        &FnRegistry::standard(),
-        5,
-    )
-    .expect("verification");
+    let delivery =
+        deliver(&mut buf, &session.host_context(), &mut host_state, &FnRegistry::standard(), 5)
+            .expect("verification");
     println!("   destination F_ver: verified = {}\n", delivery.verified);
 
     // --- 5. XIA: DAG with fallback. ---------------------------------------
@@ -112,14 +107,9 @@ fn main() {
     let mut buf = repr.to_bytes(payload).unwrap();
     let (verdict, stats) = router.process(&mut buf, 3, 8);
     show("6. NDN+OPT (derived: secure content delivery)", &repr, &verdict, stats.fns_executed);
-    let delivery = deliver(
-        &mut buf,
-        &session.host_context(),
-        &mut host_state,
-        &FnRegistry::standard(),
-        9,
-    )
-    .expect("verification");
+    let delivery =
+        deliver(&mut buf, &session.host_context(), &mut host_state, &FnRegistry::standard(), 9)
+            .expect("verification");
     println!("   consumer F_ver on the content: verified = {}", delivery.verified);
 
     println!("\nSame router, same twelve operation modules — five different network layers.");

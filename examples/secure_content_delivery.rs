@@ -21,8 +21,7 @@ fn main() {
     let session = OptSession::establish([0xEE; 16], &[9; 16], &data_path);
 
     // Content catalog.
-    let names: Vec<Name> =
-        (0..5).map(|i| Name::parse(&format!("/hotnets/org/paper{i}"))).collect();
+    let names: Vec<Name> = (0..5).map(|i| Name::parse(&format!("/hotnets/org/paper{i}"))).collect();
     let mut catalog = HashMap::new();
     for (i, n) in names.iter().enumerate() {
         catalog.insert(n.compact32(), format!("PDF bytes of paper {i}").into_bytes());

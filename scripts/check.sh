@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide lint + test gate. Run before every push; CI runs the same.
+#
+#   fmt    — formatting matches rustfmt.toml
+#   clippy — all targets, warnings are errors
+#   test   — the full workspace suite, offline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "== cargo test -q"
+cargo test -q --workspace --offline
+
+echo "check.sh: all gates passed"

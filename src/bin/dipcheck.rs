@@ -1,0 +1,98 @@
+//! `dipcheck` — the static FN-program linter, as a command.
+//!
+//! Verifies the five paper protocol compositions (DIP-32, DIP-128, NDN,
+//! OPT, NDN+OPT) and then self-tests against the seeded corpus of
+//! known-invalid programs. Exit status 0 means every protocol linted
+//! clean *and* every corpus entry was rejected with its expected
+//! diagnostic — the same contract the integration tests pin.
+//!
+//! ```text
+//! usage: dipcheck [--verbose]
+//! ```
+
+use dip::prelude::*;
+use dip::verify::invalid_corpus;
+use dip_wire::ipv4::Ipv4Addr;
+use dip_wire::ipv6::Ipv6Addr;
+
+fn paper_protocols() -> Vec<(&'static str, DipRepr)> {
+    let name = Name::parse("hotnets.org");
+    let session = OptSession::establish([0xaa; 16], &[0xbb; 16], &[[1; 16], [2; 16]]);
+    vec![
+        (
+            "dip-32 (IPv4)",
+            dip::protocols::ip::dip32_packet(
+                Ipv4Addr::new(10, 0, 0, 2),
+                Ipv4Addr::new(10, 0, 0, 1),
+                64,
+            ),
+        ),
+        (
+            "dip-128 (IPv6)",
+            dip::protocols::ip::dip128_packet(
+                Ipv6Addr::new([0x2001, 0xdb8, 0, 0, 0, 0, 0, 2]),
+                Ipv6Addr::new([0x2001, 0xdb8, 0, 0, 0, 0, 0, 1]),
+                64,
+            ),
+        ),
+        ("ndn interest", dip::protocols::ndn::interest(&name, 64)),
+        ("opt", session.packet(b"payload", 7, 64)),
+        ("ndn+opt data", dip::protocols::ndn_opt::data(&session, &name, b"content", 7, 64)),
+    ]
+}
+
+fn main() {
+    let verbose = std::env::args().any(|a| a == "--verbose" || a == "-v");
+    let checker = Checker::new();
+    let mut failures = 0u32;
+
+    println!("dipcheck: paper protocol compositions");
+    for (label, repr) in paper_protocols() {
+        let report = checker.check(&FnProgram::from_repr(&repr));
+        if report.is_clean() {
+            println!("  ok    {label}");
+        } else {
+            failures += 1;
+            println!("  FAIL  {label}");
+            for d in &report.diagnostics {
+                println!("        {d}");
+            }
+        }
+    }
+
+    println!("dipcheck: invalid-program corpus");
+    for case in invalid_corpus() {
+        let report = if case.hop_keys.is_empty() {
+            checker.check(&case.program)
+        } else {
+            let hops: Vec<FnRegistry> =
+                case.hop_keys.iter().map(|ks| FnRegistry::with_keys(ks)).collect();
+            checker.check_path(&case.program, &hops)
+        };
+        let rejected = report.has_errors() && report.has_code(case.expect);
+        if rejected {
+            println!("  ok    {} rejected [{}]", case.name, case.expect.as_str());
+            if verbose {
+                println!("        ({})", case.description);
+                for d in &report.diagnostics {
+                    println!("        {d}");
+                }
+            }
+        } else {
+            failures += 1;
+            let got = if report.is_clean() {
+                "accepted".to_string()
+            } else {
+                format!("wrong diagnostics: {report}")
+            };
+            println!("  FAIL  {} expected [{}], {got}", case.name, case.expect.as_str());
+        }
+    }
+
+    if failures == 0 {
+        println!("dipcheck: all checks passed");
+    } else {
+        println!("dipcheck: {failures} check(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -39,6 +39,7 @@
 //! | [`tables`] | `dip-tables` | LPM FIBs, PIT, content store, XIA tables |
 //! | [`fnops`] | `dip-fnops` | the `FieldOp` trait, registry, the 12 operation modules |
 //! | [`core`] | `dip-core` | Algorithm-1 router, host delivery, budgets, border/tunnel/bootstrap |
+//! | [`verify`] | `dip-verify` | `dipcheck`: static FN-program verification (structure, registries, data flow, resources) |
 //! | [`protocols`] | `dip-protocols` | IP, NDN, OPT, XIA and NDN+OPT realizations |
 //! | [`sim`] | `dip-sim` | discrete-event network simulator + Tofino/PISA timing model |
 //!
@@ -54,6 +55,7 @@ pub use dip_fnops as fnops;
 pub use dip_protocols as protocols;
 pub use dip_sim as sim;
 pub use dip_tables as tables;
+pub use dip_verify as verify;
 pub use dip_wire as wire;
 
 /// The most commonly used items in one import.
@@ -64,6 +66,7 @@ pub mod prelude {
     pub use dip_protocols::opt::OptSession;
     pub use dip_tables::fib::NextHop;
     pub use dip_tables::{Pit, Port};
+    pub use dip_verify::{Checker, FnProgram, Report};
     pub use dip_wire::ndn::Name;
     pub use dip_wire::packet::{DipBuilder, DipPacket, DipRepr};
     pub use dip_wire::triple::{FnKey, FnTriple};

@@ -129,8 +129,9 @@ fn ndn_opt_composition_runs_both_protocol_halves() {
     assert_eq!(stats.skipped_host, 1);
 
     let mut host_state = RouterState::new(99, [0; 16]);
-    let d = deliver(&mut dbuf, &session.host_context(), &mut host_state, &FnRegistry::standard(), 20)
-        .unwrap();
+    let d =
+        deliver(&mut dbuf, &session.host_context(), &mut host_state, &FnRegistry::standard(), 20)
+            .unwrap();
     assert!(d.verified);
 }
 
@@ -174,23 +175,28 @@ fn mixed_traffic_one_router() {
     r.state_mut().xia.add_route(XidType::Cid, Xid::derive(b"c"), XiaNextHop::Port(4));
 
     for round in 0..50u64 {
-        let mut a = ip::dip32_packet(Ipv4Addr::new(10, 0, 0, round as u8), Ipv4Addr::new(1, 1, 1, 1), 64)
-            .to_bytes(&round.to_be_bytes())
-            .unwrap();
+        let mut a =
+            ip::dip32_packet(Ipv4Addr::new(10, 0, 0, round as u8), Ipv4Addr::new(1, 1, 1, 1), 64)
+                .to_bytes(&round.to_be_bytes())
+                .unwrap();
         assert_eq!(r.process(&mut a, 0, round).0, Verdict::Forward(vec![1]));
 
         let mut b = ndn::interest(&name, 64).to_bytes(&round.to_be_bytes()).unwrap();
         let v = r.process(&mut b, 7, round).0;
         assert!(matches!(v, Verdict::Forward(_) | Verdict::Consumed), "round {round}: {v:?}");
 
-        let mut c = session.packet(&round.to_be_bytes(), round as u32, 64)
+        let mut c = session
+            .packet(&round.to_be_bytes(), round as u32, 64)
             .to_bytes(&round.to_be_bytes())
             .unwrap();
         assert_eq!(r.process(&mut c, 0, round).0, Verdict::Forward(vec![5]));
 
-        let dag =
-            Dag::direct_with_fallback(DagNode::sink(XidType::Cid, Xid::derive(b"c")), Xid::derive(b"a"), Xid::derive(b"h"))
-                .unwrap();
+        let dag = Dag::direct_with_fallback(
+            DagNode::sink(XidType::Cid, Xid::derive(b"c")),
+            Xid::derive(b"a"),
+            Xid::derive(b"h"),
+        )
+        .unwrap();
         let mut d = xia::packet(&dag, 64).to_bytes(&[]).unwrap();
         assert_eq!(r.process(&mut d, 0, round).0, Verdict::Forward(vec![4]));
     }

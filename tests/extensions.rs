@@ -182,12 +182,8 @@ fn netfence_closed_loop_congestion_control() {
     assert!(netfence::verify_mark(&marked, &bottleneck_secret));
 
     // Echo back through the access router: rate halves.
-    let before = access
-        .state_mut()
-        .ext
-        .get_or_default::<netfence::NetFenceState>()
-        .flow_rate(9)
-        .unwrap();
+    let before =
+        access.state_mut().ext.get_or_default::<netfence::NetFenceState>().flow_rate(9).unwrap();
     let echo = DipRepr {
         fns: vec![FnTriple::router(0, netfence::CONG_FIELD_BITS, netfence::CONG_KEY)],
         locations: marked,
@@ -195,12 +191,8 @@ fn netfence_closed_loop_congestion_control() {
     };
     let mut echo_buf = echo.to_bytes(&[]).unwrap();
     access.process(&mut echo_buf, 1, 2);
-    let after = access
-        .state_mut()
-        .ext
-        .get_or_default::<netfence::NetFenceState>()
-        .flow_rate(9)
-        .unwrap();
+    let after =
+        access.state_mut().ext.get_or_default::<netfence::NetFenceState>().flow_rate(9).unwrap();
     assert!((after - before / 2.0).abs() < 1.0, "{before} -> {after}");
 }
 

@@ -62,11 +62,7 @@ fn table2_header_sizes() {
     );
     assert_eq!(ndn::interest(&name, 64).header_len(), 16, "NDN forwarding");
     assert_eq!(session.packet(b"x", 1, 64).header_len(), 98, "OPT forwarding");
-    assert_eq!(
-        ndn_opt::data(&session, &name, b"x", 1, 64).header_len(),
-        108,
-        "NDN+OPT forwarding"
-    );
+    assert_eq!(ndn_opt::data(&session, &name, b"x", 1, 64).header_len(), 108, "NDN+OPT forwarding");
     // The library constants agree.
     assert_eq!(header_sizes::IPV6, 40);
     assert_eq!(header_sizes::IPV4, 20);
@@ -188,11 +184,8 @@ fn section3_ndn_opt_composition() {
     let data_keys: Vec<FnKey> =
         ndn_opt::data(&session, &name, b"x", 1, 64).fns.iter().map(|t| t.key).collect();
     assert_eq!(data_keys, vec![FnKey::Pit, FnKey::Parm, FnKey::Mac, FnKey::Mark, FnKey::Ver]);
-    let all: std::collections::BTreeSet<u16> = interest_keys
-        .iter()
-        .chain(&data_keys)
-        .map(|k| k.to_wire())
-        .collect();
+    let all: std::collections::BTreeSet<u16> =
+        interest_keys.iter().chain(&data_keys).map(|k| k.to_wire()).collect();
     assert_eq!(all, std::collections::BTreeSet::from([4, 5, 6, 7, 8, 9]));
 }
 

@@ -1,88 +1,103 @@
 //! Property-based tests for the extension protocols and the dissector.
+//!
+//! Deterministically seeded via [`dip_crypto::DetRng`] (no `proptest`), so
+//! the suite runs fully offline and failures reproduce exactly.
 
 use dip::prelude::*;
 use dip::protocols::{netfence, scion_path, telemetry};
 use dip::wire::pretty::dissect;
-use proptest::prelude::*;
+use dip_crypto::DetRng;
 use std::sync::Arc;
+
+fn rng(seed: u64) -> DetRng {
+    DetRng::seed_from_u64(seed)
+}
 
 // ---------------------------------------------------------------------
 // Dissector: total on arbitrary input
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn dissect_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn dissect_never_panics() {
+    let mut r = rng(0x20);
+    for _ in 0..512 {
+        let mut bytes = vec![0u8; r.gen_index(256)];
+        r.fill_bytes(&mut bytes);
         let _ = dissect(&bytes);
-    }
-
-    #[test]
-    fn dissect_always_renders_valid_packets(repr_bytes in valid_packet()) {
-        let s = dissect(&repr_bytes);
-        prop_assert!(s.starts_with("DIP v1"), "{s}");
     }
 }
 
-fn valid_packet() -> impl Strategy<Value = Vec<u8>> {
-    (
-        proptest::collection::vec(any::<u8>(), 0..64),
-        proptest::collection::vec((0u16..0x7fff, any::<bool>()), 0..5),
-    )
-        .prop_map(|(locations, keys)| {
-            let loc_bits = (locations.len() * 8) as u16;
-            let fns = keys
-                .into_iter()
-                .map(|(k, host)| FnTriple {
-                    field_loc: 0,
-                    field_len: loc_bits,
-                    key: FnKey::from_wire(k),
-                    host,
-                })
-                .collect();
-            DipRepr { fns, locations, ..Default::default() }.to_bytes(b"pp").unwrap()
+#[test]
+fn dissect_always_renders_valid_packets() {
+    let mut r = rng(0x21);
+    for case in 0..256 {
+        let bytes = valid_packet(&mut r);
+        let s = dissect(&bytes);
+        assert!(s.starts_with("DIP v1"), "case {case}: {s}");
+    }
+}
+
+fn valid_packet(r: &mut DetRng) -> Vec<u8> {
+    let mut locations = vec![0u8; r.gen_index(64)];
+    r.fill_bytes(&mut locations);
+    let loc_bits = (locations.len() * 8) as u16;
+    let fns = (0..r.gen_index(5))
+        .map(|_| FnTriple {
+            field_loc: 0,
+            field_len: loc_bits,
+            key: FnKey::from_wire((r.next_u32() % 0x7fff) as u16),
+            host: r.gen_bool(0.5),
         })
+        .collect();
+    DipRepr { fns, locations, ..Default::default() }.to_bytes(b"pp").unwrap()
 }
 
 // ---------------------------------------------------------------------
 // SCION paths
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-    #[test]
-    fn random_scion_paths_forward_hop_by_hop(
-        hops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<[u8; 16]>()), 1..6),
-    ) {
+#[test]
+fn random_scion_paths_forward_hop_by_hop() {
+    let mut r = rng(0x22);
+    for case in 0..40 {
+        let hops: Vec<(u8, u8, [u8; 16])> = (0..1 + r.gen_index(5))
+            .map(|_| {
+                let mut secret = [0u8; 16];
+                r.fill_bytes(&mut secret);
+                (r.next_u32() as u8, r.next_u32() as u8, secret)
+            })
+            .collect();
         let path = scion_path::ScionPath::construct(&hops);
         let mut buf = path.packet(64).to_bytes(&[]).unwrap();
         for (i, (ingress, egress, secret)) in hops.iter().enumerate() {
-            let mut r = DipRouter::new(i as u64, *secret);
-            r.registry_mut().install(Arc::new(scion_path::HopFieldOp));
-            let (v, _) = r.process(&mut buf, u32::from(*ingress), 0);
-            prop_assert_eq!(v, Verdict::Forward(vec![u32::from(*egress)]), "hop {}", i);
+            let mut router = DipRouter::new(i as u64, *secret);
+            router.registry_mut().install(Arc::new(scion_path::HopFieldOp));
+            let (v, _) = router.process(&mut buf, u32::from(*ingress), 0);
+            assert_eq!(v, Verdict::Forward(vec![u32::from(*egress)]), "case {case}, hop {i}");
         }
     }
+}
 
-    #[test]
-    fn any_single_byte_corruption_of_a_hop_field_is_caught(
-        byte in 0usize..10,
-        bit in 0u8..8,
-    ) {
-        // One-hop path; corrupt one byte of its hop field (offset 2..12 of
-        // the encoding). The hop must reject — unless the flip cancels out
-        // (it can't: every byte is covered by the MAC or IS the MAC).
-        let secret = [7u8; 16];
-        let path = scion_path::ScionPath::construct(&[(3, 5, secret)]);
-        let mut repr = path.packet(64);
-        repr.locations[2 + byte] ^= 1 << bit;
-        let mut buf = repr.to_bytes(&[]).unwrap();
-        let mut r = DipRouter::new(0, secret);
-        r.registry_mut().install(Arc::new(scion_path::HopFieldOp));
-        let (v, _) = r.process(&mut buf, 3, 0);
-        prop_assert!(
-            matches!(v, Verdict::Drop(DropReason::AuthenticationFailed)),
-            "corruption of hop-field byte {byte} bit {bit} slipped through: {v:?}"
-        );
+#[test]
+fn any_single_byte_corruption_of_a_hop_field_is_caught() {
+    // One-hop path; corrupt one byte of its hop field (offset 2..12 of
+    // the encoding). The hop must reject — unless the flip cancels out
+    // (it can't: every byte is covered by the MAC or IS the MAC).
+    for byte in 0usize..10 {
+        for bit in 0u8..8 {
+            let secret = [7u8; 16];
+            let path = scion_path::ScionPath::construct(&[(3, 5, secret)]);
+            let mut repr = path.packet(64);
+            repr.locations[2 + byte] ^= 1 << bit;
+            let mut buf = repr.to_bytes(&[]).unwrap();
+            let mut r = DipRouter::new(0, secret);
+            r.registry_mut().install(Arc::new(scion_path::HopFieldOp));
+            let (v, _) = r.process(&mut buf, 3, 0);
+            assert!(
+                matches!(v, Verdict::Drop(DropReason::AuthenticationFailed)),
+                "corruption of hop-field byte {byte} bit {bit} slipped through: {v:?}"
+            );
+        }
     }
 }
 
@@ -90,12 +105,11 @@ proptest! {
 // NetFence AIMD invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-    #[test]
-    fn aimd_rate_stays_within_bounds(
-        events in proptest::collection::vec(any::<bool>(), 1..200), // true = congestion echo
-    ) {
+#[test]
+fn aimd_rate_stays_within_bounds() {
+    let mut rgen = rng(0x23);
+    for case in 0..40 {
+        let events: Vec<bool> = (0..1 + rgen.gen_index(199)).map(|_| rgen.gen_bool(0.5)).collect();
         let params = netfence::AimdParams {
             initial_rate_bps: 50_000.0,
             min_rate_bps: 5_000.0,
@@ -122,8 +136,11 @@ proptest! {
             if let Some(rate) =
                 r.state_mut().ext.get_or_default::<netfence::NetFenceState>().flow_rate(1)
             {
-                prop_assert!(rate >= params.min_rate_bps - 1e-9, "rate {rate} below floor");
-                prop_assert!(rate <= params.max_rate_bps + 1e-9, "rate {rate} above ceiling");
+                assert!(rate >= params.min_rate_bps - 1e-9, "case {case}: rate {rate} below floor");
+                assert!(
+                    rate <= params.max_rate_bps + 1e-9,
+                    "case {case}: rate {rate} above ceiling"
+                );
             }
         }
     }
@@ -133,28 +150,26 @@ proptest! {
 // Telemetry
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-    #[test]
-    fn telemetry_count_equals_min_hops_capacity(
-        capacity in 0u8..6,
-        n_hops in 0usize..10,
-    ) {
-        let mut buf = telemetry::probe(capacity, 64).to_bytes(&[]).unwrap();
-        for i in 0..n_hops {
-            let mut r = DipRouter::new(i as u64, [0; 16]);
-            r.config_mut().default_port = Some(1);
-            r.registry_mut().install(Arc::new(telemetry::TelemetryOp));
-            let (v, _) = r.process(&mut buf, 0, i as u64 * 1000);
-            prop_assert!(matches!(v, Verdict::Forward(_)));
-        }
-        let pkt = DipPacket::new_checked(&buf[..]).unwrap();
-        let (records, overflow) = telemetry::parse_records(pkt.locations()).unwrap();
-        prop_assert_eq!(records.len(), n_hops.min(usize::from(capacity)));
-        prop_assert_eq!(overflow, n_hops > usize::from(capacity));
-        // Node ids in visit order.
-        for (i, rec) in records.iter().enumerate() {
-            prop_assert_eq!(rec.node_id, i as u32);
+#[test]
+fn telemetry_count_equals_min_hops_capacity() {
+    for capacity in 0u8..6 {
+        for n_hops in 0usize..10 {
+            let mut buf = telemetry::probe(capacity, 64).to_bytes(&[]).unwrap();
+            for i in 0..n_hops {
+                let mut r = DipRouter::new(i as u64, [0; 16]);
+                r.config_mut().default_port = Some(1);
+                r.registry_mut().install(Arc::new(telemetry::TelemetryOp));
+                let (v, _) = r.process(&mut buf, 0, i as u64 * 1000);
+                assert!(matches!(v, Verdict::Forward(_)));
+            }
+            let pkt = DipPacket::new_checked(&buf[..]).unwrap();
+            let (records, overflow) = telemetry::parse_records(pkt.locations()).unwrap();
+            assert_eq!(records.len(), n_hops.min(usize::from(capacity)));
+            assert_eq!(overflow, n_hops > usize::from(capacity));
+            // Node ids in visit order.
+            for (i, rec) in records.iter().enumerate() {
+                assert_eq!(rec.node_id, i as u32);
+            }
         }
     }
 }

@@ -157,8 +157,16 @@ fn hop_limit_prevents_forwarding_loops() {
     let name = Name::parse("/loop");
     let mut a = DipRouter::new(1, [1; 16]);
     let mut b = DipRouter::new(2, [2; 16]);
-    a.state_mut().ipv4_fib.add_route(dip_wire::ipv4::Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
-    b.state_mut().ipv4_fib.add_route(dip_wire::ipv4::Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
+    a.state_mut().ipv4_fib.add_route(
+        dip_wire::ipv4::Ipv4Addr::new(10, 0, 0, 0),
+        8,
+        NextHop::port(1),
+    );
+    b.state_mut().ipv4_fib.add_route(
+        dip_wire::ipv4::Ipv4Addr::new(10, 0, 0, 0),
+        8,
+        NextHop::port(1),
+    );
     let _ = name;
     let mut buf = dip::protocols::ip::dip32_packet(
         dip_wire::ipv4::Ipv4Addr::new(10, 0, 0, 1),
@@ -169,7 +177,8 @@ fn hop_limit_prevents_forwarding_loops() {
     .unwrap();
     let mut hops = 0;
     loop {
-        let (v, _) = if hops % 2 == 0 { a.process(&mut buf, 0, 0) } else { b.process(&mut buf, 0, 0) };
+        let (v, _) =
+            if hops % 2 == 0 { a.process(&mut buf, 0, 0) } else { b.process(&mut buf, 0, 0) };
         match v {
             Verdict::Forward(_) => hops += 1,
             Verdict::Drop(DropReason::HopLimitExceeded) => break,
@@ -191,8 +200,5 @@ fn interest_loop_suppressed_by_nonce() {
     let mut first = template.clone();
     assert!(matches!(r.process(&mut first, 0, 0).0, Verdict::Forward(_)));
     let mut second = template.clone();
-    assert_eq!(
-        r.process(&mut second, 2, 1).0,
-        Verdict::Drop(DropReason::DuplicateInterest)
-    );
+    assert_eq!(r.process(&mut second, 2, 1).0, Verdict::Drop(DropReason::DuplicateInterest));
 }

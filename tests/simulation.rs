@@ -56,9 +56,7 @@ fn router_content_store_shortcuts_the_path() {
         rt.state_mut().enable_content_store(8);
     }
     // First retrieval populates caches on the way back.
-    let mk = |tag: u8| {
-        dip::protocols::ndn::interest(&name, 64).to_bytes(&[tag]).unwrap()
-    };
+    let mk = |tag: u8| dip::protocols::ndn::interest(&name, 64).to_bytes(&[tag]).unwrap();
     net.send(consumer, 0, mk(1), 0);
     net.run();
     assert_eq!(net.host(consumer).delivered.len(), 1);
@@ -130,8 +128,7 @@ fn star_many_consumers_share_one_producer() {
     net.router_mut(core).state_mut().name_fib.add_route(&name, NextHop::port(producer_port));
 
     for (i, id) in ids[..4].iter().enumerate() {
-        let interest =
-            dip::protocols::ndn::interest(&name, 64).to_bytes(&[i as u8]).unwrap();
+        let interest = dip::protocols::ndn::interest(&name, 64).to_bytes(&[i as u8]).unwrap();
         net.send(*id, 0, interest, i as u64 * 100);
     }
     net.run();
