@@ -60,7 +60,7 @@ fn run(secure: bool, tamper: bool) -> RunResult {
     let (consumer_id, routers, _producer_id) =
         chain(&mut net, N_ROUTERS, consumer, producer, |i| secrets[i], LINK_NS);
     for (idx, &r) in routers.iter().enumerate() {
-        let rt = net.router_mut(r);
+        let rt = net.router_mut(r).expect("router node");
         for i in 0..N_ITEMS {
             rt.state_mut().name_fib.add_route(&content_name(i), NextHop::port(1));
         }
@@ -93,7 +93,7 @@ fn run(secure: bool, tamper: bool) -> RunResult {
     }
     net.run();
 
-    let host = net.host(consumer_id);
+    let host = net.host(consumer_id).expect("consumer host");
     let latencies: Vec<f64> = host
         .delivered
         .iter()

@@ -13,12 +13,14 @@
 #![deny(missing_docs)]
 
 pub mod harness;
+pub mod json;
 pub mod native;
 pub mod workload;
 
 pub use dip_crypto::rng;
 pub use dip_crypto::DetRng;
 pub use harness::{BenchGroup, Bencher};
+pub use json::JsonLine;
 pub use native::{native_ipv4_forward, native_ipv6_forward};
 pub use workload::{Protocol, Workload, FIG2_SIZES, RUNS_PER_POINT};
 

@@ -1,0 +1,293 @@
+//! Compiled FN chains — resolve a packet's program once, run it many times.
+//!
+//! Algorithm 1 does three kinds of work per packet: *parsing* (basic
+//! header, triples, locations — inherently per-packet), *resolution*
+//! (registry lookups, per-op costs, the participation policy, the §2.2
+//! parallel plan — a function of the FN chain alone), and *execution*
+//! (running the resolved operations against this packet's bytes and the
+//! router state). [`DipRouter::process`] folds all three together, which
+//! is the right shape for a single packet but wasteful for a dataplane:
+//! real traffic is a small number of *programs* (one per protocol) carried
+//! by millions of packets.
+//!
+//! This module splits the phases apart so a batching runtime can amortize
+//! resolution across every packet that carries the same program:
+//!
+//! * [`parse_packet`] — the per-packet half of lines 1–3 of Algorithm 1;
+//! * [`CompiledChain::compile`] — resolution: registry lookups pinned to
+//!   `Arc<dyn FieldOp>`s, pre-computed [`OpCost`]s, the unknown-FN policy
+//!   decision, and (optionally) the parallel plan depth from
+//!   [`dip_fnops::parallel::plan`];
+//! * [`DipRouter::process_parsed`] — execution of a compiled chain.
+//!
+//! `process` itself is now `parse → compile → execute`, so the two paths
+//! cannot drift: a per-packet `process` and a cached-chain
+//! `process_parsed` run byte-identical semantics by construction.
+//!
+//! [`DipRouter::process`]: crate::router::DipRouter::process
+//! [`DipRouter::process_parsed`]: crate::router::DipRouter::process_parsed
+
+use crate::router::{RouterConfig, UnknownFnPolicy};
+use dip_fnops::parallel::plan;
+use dip_fnops::{FieldOp, FnRegistry, OpCost};
+use dip_wire::triple::FnTriple;
+use dip_wire::{DipPacket, BASIC_HEADER_LEN, FN_TRIPLE_LEN};
+use std::sync::Arc;
+
+/// The per-packet parse result: lines 1–3 of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct ParsedPacket {
+    /// The FN triples, in chain order (host-tagged ones included).
+    pub triples: Vec<FnTriple>,
+    /// Byte offset of the FN locations area within the packet.
+    pub loc_start: usize,
+    /// Total header length (basic + triples + locations).
+    pub header_len: usize,
+    /// The packet parameter's parallel flag (§2.2).
+    pub parallel: bool,
+    /// Length of the FN locations area in bytes (`FN_LocLen`).
+    pub loc_len: usize,
+}
+
+impl ParsedPacket {
+    /// The raw bytes that determine this packet's *program*: the FN triple
+    /// region of `buf` (which this packet was parsed from). Two packets
+    /// with identical program bytes, `loc_len` and parallel flag compile
+    /// to the same [`CompiledChain`] — the cache key a batching dataplane
+    /// uses.
+    pub fn program_bytes<'a>(&self, buf: &'a [u8]) -> &'a [u8] {
+        &buf[BASIC_HEADER_LEN..self.loc_start]
+    }
+}
+
+/// Parses the basic header, FN triples and locations geometry of `buf`.
+///
+/// Returns `None` for anything malformed (truncated header, bad triple
+/// count, a triple whose target field does not fit the locations area) —
+/// exactly the conditions `process` maps to
+/// [`DropReason::MalformedField`](dip_fnops::DropReason::MalformedField).
+pub fn parse_packet(buf: &[u8]) -> Option<ParsedPacket> {
+    let pkt = DipPacket::new_checked(buf).ok()?;
+    let hdr = pkt.basic_header().ok()?;
+    let triples = pkt.triples().ok()?;
+    let loc_len = usize::from(hdr.param.fn_loc_len);
+    for t in &triples {
+        if !t.fits(loc_len) {
+            return None;
+        }
+    }
+    let loc_start = BASIC_HEADER_LEN + triples.len() * FN_TRIPLE_LEN;
+    Some(ParsedPacket {
+        triples,
+        loc_start,
+        header_len: pkt.header_len(),
+        parallel: hdr.param.parallel,
+        loc_len,
+    })
+}
+
+/// One resolved step of a compiled chain, aligned index-for-index with the
+/// packet's FN triples.
+pub(crate) enum ChainEntry {
+    /// Host-tagged FN: skipped by routers (Algorithm 1 line 5).
+    Host,
+    /// No module installed for this key.
+    Unsupported {
+        /// The wire encoding of the missing key.
+        key: u16,
+        /// Whether the router must send an FN-unsupported notification
+        /// (§2.4) instead of silently skipping.
+        notify: bool,
+    },
+    /// A resolved, costed operation.
+    Op {
+        /// The selecting triple (target field + key).
+        triple: FnTriple,
+        /// The operation module, pinned so execution never re-consults the
+        /// registry.
+        op: Arc<dyn FieldOp>,
+        /// Pre-computed invocation cost (a function of the field length
+        /// only).
+        cost: OpCost,
+    },
+}
+
+/// A fully resolved FN chain: registry lookups, costs, the unknown-FN
+/// policy, and the parallel plan, computed once for all packets carrying
+/// the same program.
+///
+/// A chain is only valid for the `(registry, config)` pair it was compiled
+/// against — callers that mutate either must recompile (the dataplane's
+/// program cache is per-worker for exactly this reason).
+pub struct CompiledChain {
+    pub(crate) entries: Vec<ChainEntry>,
+    /// Number of router-executed (non-host) triples.
+    pub(crate) router_fns: usize,
+    /// Plan depth under the §2.2 modular-parallelism planner, when
+    /// requested at compile time.
+    pub(crate) parallel_depth: Option<usize>,
+}
+
+impl CompiledChain {
+    /// Resolves `triples` against `registry` under `config`.
+    ///
+    /// `compute_plan` controls whether the parallel-execution plan is
+    /// derived (callers pass the packet's parallel flag AND the router's
+    /// `parallel_enabled`; sequential packets never pay for planning).
+    pub fn compile(
+        triples: &[FnTriple],
+        registry: &FnRegistry,
+        config: &RouterConfig,
+        compute_plan: bool,
+    ) -> Self {
+        let mut entries = Vec::with_capacity(triples.len());
+        for t in triples {
+            if t.host {
+                entries.push(ChainEntry::Host);
+                continue;
+            }
+            match registry.get(t.key) {
+                Some(op) => entries.push(ChainEntry::Op {
+                    triple: *t,
+                    cost: op.cost(t.field_len),
+                    op: Arc::clone(op),
+                }),
+                None => {
+                    let key = t.key.to_wire();
+                    let notify = config.participation_keys.contains(&key)
+                        || config.unknown_fn_policy == UnknownFnPolicy::Notify;
+                    entries.push(ChainEntry::Unsupported { key, notify });
+                }
+            }
+        }
+        let router_triples: Vec<FnTriple> = triples.iter().filter(|t| !t.host).copied().collect();
+        let parallel_depth = compute_plan.then(|| plan(&router_triples, registry).depth());
+        CompiledChain { entries, router_fns: router_triples.len(), parallel_depth }
+    }
+
+    /// Number of chain steps (= number of FN triples, host ones included).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of router-executed (non-host) steps.
+    pub fn router_fns(&self) -> usize {
+        self.router_fns
+    }
+
+    /// The sequential depth this chain reports when the parallel flag is
+    /// clear, or the planned depth when it was computed.
+    pub fn plan_depth(&self, parallel: bool) -> usize {
+        match (parallel, self.parallel_depth) {
+            (true, Some(d)) => d,
+            _ => self.router_fns,
+        }
+    }
+}
+
+impl std::fmt::Debug for CompiledChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledChain")
+            .field("len", &self.entries.len())
+            .field("router_fns", &self.router_fns)
+            .field("parallel_depth", &self.parallel_depth)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_wire::packet::DipRepr;
+    use dip_wire::triple::FnKey;
+
+    fn dip32_repr() -> DipRepr {
+        DipRepr {
+            fns: vec![
+                FnTriple::router(0, 32, FnKey::Match32),
+                FnTriple::router(32, 32, FnKey::Source),
+            ],
+            locations: vec![10, 0, 0, 1, 192, 168, 0, 1],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn parse_matches_repr_geometry() {
+        let repr = dip32_repr();
+        let buf = repr.to_bytes(b"payload").unwrap();
+        let parsed = parse_packet(&buf).expect("well-formed");
+        assert_eq!(parsed.triples, repr.fns);
+        assert_eq!(parsed.header_len, repr.header_len());
+        assert_eq!(parsed.loc_len, 8);
+        assert!(!parsed.parallel);
+        assert_eq!(parsed.loc_start + parsed.loc_len, parsed.header_len);
+    }
+
+    #[test]
+    fn parse_rejects_truncation_and_bad_fit() {
+        let buf = dip32_repr().to_bytes(&[]).unwrap();
+        assert!(parse_packet(&buf[..5]).is_none());
+        // Shrink the advertised locations area so the second triple's
+        // [32, 64) target field no longer fits (builders refuse to
+        // construct this, so corrupt the packet parameter in place).
+        let mut bad = dip32_repr().to_bytes(&[]).unwrap();
+        let param =
+            dip_wire::basic::PacketParameter { fn_loc_len: 2, ..Default::default() }.to_wire();
+        bad[4..6].copy_from_slice(&param.unwrap().to_be_bytes());
+        assert!(parse_packet(&bad).is_none());
+    }
+
+    #[test]
+    fn program_bytes_identical_for_same_program() {
+        let a = dip32_repr().to_bytes(b"aaaa").unwrap();
+        let mut other = dip32_repr();
+        other.locations = vec![99, 99, 99, 99, 1, 2, 3, 4]; // different flow
+        let b = other.to_bytes(b"bbbb").unwrap();
+        let pa = parse_packet(&a).unwrap();
+        let pb = parse_packet(&b).unwrap();
+        assert_eq!(pa.program_bytes(&a), pb.program_bytes(&b));
+    }
+
+    #[test]
+    fn compile_resolves_costs_and_policy() {
+        let registry = FnRegistry::standard();
+        let config = RouterConfig::default();
+        let triples = vec![
+            FnTriple::router(0, 32, FnKey::Match32),
+            FnTriple::host(0, 32, FnKey::Ver),
+            FnTriple::router(128, 128, FnKey::Parm),
+            FnTriple::router(0, 8, FnKey::Other(0x300)),
+        ];
+        let chain = CompiledChain::compile(&triples, &registry, &config, false);
+        assert_eq!(chain.len(), 4);
+        assert_eq!(chain.router_fns(), 3);
+        assert!(matches!(chain.entries[1], ChainEntry::Host));
+        // 0x300 is not a participation key and the default policy skips.
+        assert!(matches!(chain.entries[3], ChainEntry::Unsupported { notify: false, .. }));
+
+        // A registry lacking Parm (a participation key) must notify.
+        let bare = FnRegistry::with_keys(&[FnKey::Match32]);
+        let chain = CompiledChain::compile(&triples, &bare, &config, false);
+        assert!(matches!(chain.entries[2], ChainEntry::Unsupported { notify: true, .. }));
+    }
+
+    #[test]
+    fn plan_depth_defaults_to_sequential() {
+        let registry = FnRegistry::standard();
+        let config = RouterConfig::default();
+        let triples =
+            vec![FnTriple::router(0, 32, FnKey::Match32), FnTriple::router(32, 32, FnKey::Source)];
+        let seq = CompiledChain::compile(&triples, &registry, &config, false);
+        assert_eq!(seq.plan_depth(false), 2);
+        assert_eq!(seq.plan_depth(true), 2, "no plan computed -> sequential");
+        let par = CompiledChain::compile(&triples, &registry, &config, true);
+        assert_eq!(par.plan_depth(true), 1, "disjoint reads share a wave");
+        assert_eq!(par.plan_depth(false), 2);
+    }
+}

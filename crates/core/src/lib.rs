@@ -7,6 +7,10 @@
 //!   the locations, skip host-tagged FNs, dispatch the rest through the
 //!   [`dip_fnops::FnRegistry`], and combine the resulting actions into a
 //!   routing verdict;
+//! * [`chain`] — the parse/compile/execute split behind `process`:
+//!   [`chain::ParsedPacket`] (per-packet) and [`chain::CompiledChain`]
+//!   (per-program, cacheable) let a batching dataplane amortize registry
+//!   resolution and the §2.2 parallel plan across packets;
 //! * [`host`] — destination-side execution of host-tagged FNs (`F_ver`)
 //!   and source-side sanity helpers;
 //! * [`budget`] — the §2.4 defense "enforcing a hard limit for packet
@@ -28,6 +32,7 @@
 pub mod bootstrap;
 pub mod border;
 pub mod budget;
+pub mod chain;
 pub mod control;
 pub mod host;
 pub mod router;
@@ -35,6 +40,7 @@ pub mod stack;
 pub mod tunnel;
 
 pub use budget::{BudgetMeter, ProcessingBudget};
+pub use chain::{parse_packet, CompiledChain, ParsedPacket};
 pub use control::ControlMessage;
 pub use router::{DipRouter, ProcessStats, RouterConfig, UnknownFnPolicy, Verdict};
 pub use stack::{DipHost, ProtocolId};

@@ -16,12 +16,12 @@
 //! [`Action`]s into a routing [`Verdict`].
 
 use crate::budget::{BudgetMeter, ProcessingBudget};
+use crate::chain::{parse_packet, ChainEntry, CompiledChain, ParsedPacket};
 use crate::control::ControlMessage;
-use dip_fnops::parallel::{plan, Plan};
 use dip_fnops::{Action, DropReason, FnRegistry, OpCost, PacketCtx, RouterState};
 use dip_tables::{Port, Ticks};
 use dip_wire::triple::FnKey;
-use dip_wire::{DipPacket, BASIC_HEADER_LEN, FN_TRIPLE_LEN};
+use dip_wire::DipPacket;
 use std::collections::HashSet;
 
 /// What to do with a packet carrying an operation key this node has no
@@ -192,37 +192,47 @@ impl DipRouter {
     /// updated in the buffer) and returns the verdict plus accounting.
     ///
     /// `buf` must contain the full packet; `in_port` is the ingress.
+    ///
+    /// This is `parse → compile → execute`: the heavy lifting lives in
+    /// [`process_parsed`](DipRouter::process_parsed), which batching
+    /// runtimes call directly with a cached [`CompiledChain`].
     pub fn process(
         &mut self,
         buf: &mut [u8],
         in_port: Port,
         now: Ticks,
     ) -> (Verdict, ProcessStats) {
-        let mut stats = ProcessStats::default();
-
         // Lines 1–3: parse basic header, triples, locations.
-        let (triples, loc_start, header_len, parallel) = {
-            let pkt = match DipPacket::new_checked(&buf[..]) {
-                Ok(p) => p,
-                Err(_) => return (Verdict::Drop(DropReason::MalformedField), stats),
-            };
-            let hdr = match pkt.basic_header() {
-                Ok(h) => h,
-                Err(_) => return (Verdict::Drop(DropReason::MalformedField), stats),
-            };
-            let triples = match pkt.triples() {
-                Ok(t) => t,
-                Err(_) => return (Verdict::Drop(DropReason::MalformedField), stats),
-            };
-            let loc_len = usize::from(hdr.param.fn_loc_len);
-            for t in &triples {
-                if !t.fits(loc_len) {
-                    return (Verdict::Drop(DropReason::MalformedField), stats);
-                }
-            }
-            let loc_start = BASIC_HEADER_LEN + triples.len() * FN_TRIPLE_LEN;
-            (triples, loc_start, pkt.header_len(), hdr.param.parallel)
+        let Some(parsed) = parse_packet(buf) else {
+            return (Verdict::Drop(DropReason::MalformedField), ProcessStats::default());
         };
+        let chain = CompiledChain::compile(
+            &parsed.triples,
+            &self.registry,
+            &self.config,
+            parsed.parallel && self.config.parallel_enabled,
+        );
+        self.process_parsed(buf, &parsed, &chain, in_port, now)
+    }
+
+    /// Lines 4–18 of Algorithm 1: executes an already parsed packet
+    /// through an already compiled chain.
+    ///
+    /// `parsed` must describe `buf` and `chain` must have been compiled
+    /// from `parsed.triples` against this router's registry and config —
+    /// [`process`](DipRouter::process) is the reference pairing. The
+    /// batched dataplane caches the chain per program and calls this once
+    /// per packet, amortizing registry lookups and the §2.2 plan across
+    /// the batch.
+    pub fn process_parsed(
+        &mut self,
+        buf: &mut [u8],
+        parsed: &ParsedPacket,
+        chain: &CompiledChain,
+        in_port: Port,
+        now: Ticks,
+    ) -> (Verdict, ProcessStats) {
+        let mut stats = ProcessStats::default();
 
         // Hop limit.
         {
@@ -233,46 +243,39 @@ impl DipRouter {
         }
 
         // Split borrow: mutable locations + immutable payload.
-        let (head, payload) = buf.split_at_mut(header_len);
-        let locations = &mut head[loc_start..];
+        let (head, payload) = buf.split_at_mut(parsed.header_len);
+        let locations = &mut head[parsed.loc_start..];
         let payload: &[u8] = payload;
         let mut ctx = PacketCtx::new(locations, payload, in_port, now);
 
         // Plan depth (timing model input; execution stays in order).
-        let router_triples: Vec<_> = triples.iter().filter(|t| !t.host).copied().collect();
-        stats.plan_depth = if parallel && self.config.parallel_enabled {
-            plan(&router_triples, &self.registry).depth()
-        } else {
-            Plan::sequential(router_triples.len()).depth()
-        };
+        stats.plan_depth = chain.plan_depth(parsed.parallel && self.config.parallel_enabled);
 
         // Lines 4–17: the FN chain.
         let mut meter = BudgetMeter::new();
         let mut decision: Option<Verdict> = None;
-        for (i, triple) in triples.iter().enumerate() {
-            if triple.host {
-                stats.skipped_host += 1;
-                continue;
-            }
-            let Some(op) = self.registry.get(triple.key) else {
-                let key = triple.key.to_wire();
-                let must_participate = self.config.participation_keys.contains(&key)
-                    || self.config.unknown_fn_policy == UnknownFnPolicy::Notify;
-                if must_participate {
+        for (i, entry) in chain.entries.iter().enumerate() {
+            let (triple, op, cost) = match entry {
+                ChainEntry::Host => {
+                    stats.skipped_host += 1;
+                    continue;
+                }
+                ChainEntry::Unsupported { key, notify: true } => {
                     return (
                         Verdict::Notify(ControlMessage::FnUnsupported {
-                            key,
+                            key: *key,
                             node_id: self.state.node_id,
                             fn_index: i as u8,
                         }),
                         stats,
                     );
                 }
-                stats.skipped_unsupported += 1;
-                continue;
+                ChainEntry::Unsupported { notify: false, .. } => {
+                    stats.skipped_unsupported += 1;
+                    continue;
+                }
+                ChainEntry::Op { triple, op, cost } => (triple, op, *cost),
             };
-            let op = std::sync::Arc::clone(op);
-            let cost = op.cost(triple.field_len);
             if !meter.charge(&self.config.budget, cost) {
                 return (Verdict::Drop(DropReason::ProcessingBudgetExceeded), stats);
             }

@@ -1,0 +1,314 @@
+//! The per-worker program cache with static admission.
+//!
+//! Real traffic is a handful of *programs* (one FN chain per protocol)
+//! carried by millions of packets. A worker therefore compiles each
+//! distinct program once — registry lookups pinned to `Arc<dyn FieldOp>`s,
+//! per-op costs, the §2.2 parallel-plan hazard analysis — and reuses the
+//! [`CompiledChain`] for every packet of the batch that carries the same
+//! triple-region bytes. The cache key is exactly what
+//! [`ParsedPacket::program_bytes`] identifies: the FN triple region plus
+//! the locations length and parallel flag.
+//!
+//! Admission runs `dipcheck` (the [`dip_verify::Checker`]) on first sight
+//! of a program: a shard never accepts a chain with error-severity
+//! diagnostics — structurally broken programs are refused at the door
+//! instead of faulting per packet in the hot loop. The checker uses the
+//! worker's own registry as semantics (so custom operation modules lint
+//! with their real footprints) and the software resource budget (a
+//! software dataplane has no PISA stage limits).
+
+use dip_core::router::RouterConfig;
+use dip_core::{CompiledChain, ParsedPacket};
+use dip_fnops::FnRegistry;
+use dip_verify::{Checker, FnProgram, ResourceBudget};
+use std::collections::HashMap;
+
+/// Whether a worker statically verifies programs before accepting them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Admission {
+    /// Run `dipcheck` on first sight; refuse programs with errors.
+    #[default]
+    Lint,
+    /// Accept everything (byte-exact parity with a bare `DipRouter`).
+    Open,
+}
+
+/// A compiled, admission-checked program.
+#[derive(Debug)]
+pub struct CachedProgram {
+    /// The resolved chain (valid for the owning worker's registry+config).
+    pub chain: CompiledChain,
+    /// `false` when `dipcheck` refused the program — the worker drops its
+    /// packets without executing.
+    pub admitted: bool,
+    /// The cache key (program bytes + parallel flag + locations length),
+    /// kept on the entry so a batch-local memo can revalidate a candidate
+    /// index with one `memcmp` instead of a map probe.
+    key: Vec<u8>,
+}
+
+/// Cache statistics (amortization evidence for the benchmark).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Programs compiled (first sight).
+    pub misses: u64,
+    /// Programs refused by admission.
+    pub rejected: u64,
+}
+
+/// A per-worker map from program bytes to [`CachedProgram`].
+///
+/// Entries live in a dense `Vec` addressed by the small indexes
+/// [`ProgramCache::resolve`] hands out, so a worker's batch loop can
+/// resolve every packet first (phase 1) and execute against `&self`
+/// borrows later (phase 2) without re-hashing anything.
+pub struct ProgramCache {
+    entries: HashMap<Vec<u8>, usize>,
+    programs: Vec<CachedProgram>,
+    checker: Checker,
+    admission: Admission,
+    registry: FnRegistry,
+    config: RouterConfig,
+    stats: CacheStats,
+    /// Reused key buffer: cache hits allocate nothing.
+    scratch: Vec<u8>,
+}
+
+impl ProgramCache {
+    /// A cache compiling against `registry`/`config` (the owning worker's
+    /// copies) under the given admission policy.
+    pub fn new(registry: FnRegistry, config: RouterConfig, admission: Admission) -> Self {
+        let checker =
+            Checker::new().with_semantics(registry.clone()).with_budget(ResourceBudget::software());
+        ProgramCache {
+            entries: HashMap::new(),
+            programs: Vec::new(),
+            checker,
+            admission,
+            registry,
+            config,
+            stats: CacheStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Resolves `parsed` (from `buf`) to the dense index of its compiled
+    /// program, compiling and admission-checking on first sight.
+    ///
+    /// `memo` is the batch-local fast path: callers pass the index of the
+    /// previously resolved program (starting each batch from `None`) and
+    /// a run of same-program packets — the common case, since real
+    /// traffic is a handful of programs — revalidates with one byte
+    /// comparison instead of a map probe per packet. This is where
+    /// batching amortizes program resolution per *program run* rather
+    /// than per packet.
+    pub fn resolve(
+        &mut self,
+        parsed: &ParsedPacket,
+        buf: &[u8],
+        memo: &mut Option<usize>,
+    ) -> usize {
+        let program_bytes = parsed.program_bytes(buf);
+        if let Some(idx) = *memo {
+            // Memo hit: compare against the entry's stored key in place —
+            // no key build, no hash, just one short memcmp.
+            let key = &self.programs[idx].key;
+            if key.len() == program_bytes.len() + 5
+                && key[..program_bytes.len()] == *program_bytes
+                && key[program_bytes.len()] == u8::from(parsed.parallel)
+                && key[program_bytes.len() + 1..] == (parsed.loc_len as u32).to_be_bytes()
+            {
+                self.stats.hits += 1;
+                return idx;
+            }
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(program_bytes);
+        self.scratch.push(u8::from(parsed.parallel));
+        self.scratch.extend_from_slice(&(parsed.loc_len as u32).to_be_bytes());
+        let idx = match self.entries.get(self.scratch.as_slice()) {
+            Some(&idx) => {
+                self.stats.hits += 1;
+                idx
+            }
+            None => {
+                self.stats.misses += 1;
+                let admitted = match self.admission {
+                    Admission::Open => true,
+                    Admission::Lint => {
+                        let program =
+                            FnProgram::new(parsed.triples.clone(), parsed.loc_len, parsed.parallel);
+                        !self.checker.check(&program).has_errors()
+                    }
+                };
+                if !admitted {
+                    self.stats.rejected += 1;
+                }
+                let chain = CompiledChain::compile(
+                    &parsed.triples,
+                    &self.registry,
+                    &self.config,
+                    parsed.parallel && self.config.parallel_enabled,
+                );
+                let idx = self.programs.len();
+                self.programs.push(CachedProgram { chain, admitted, key: self.scratch.clone() });
+                self.entries.insert(self.scratch.clone(), idx);
+                idx
+            }
+        };
+        *memo = Some(idx);
+        idx
+    }
+
+    /// The program at a dense index handed out by [`ProgramCache::resolve`].
+    pub fn get(&self, idx: usize) -> &CachedProgram {
+        &self.programs[idx]
+    }
+
+    /// Resolves `parsed` (from `buf`) to its compiled program, compiling
+    /// and admission-checking on first sight (single-packet front ends).
+    pub fn lookup(&mut self, parsed: &ParsedPacket, buf: &[u8]) -> &CachedProgram {
+        let mut memo = None;
+        let idx = self.resolve(parsed, buf, &mut memo);
+        &self.programs[idx]
+    }
+
+    /// Hit/miss/rejection counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of distinct programs seen.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no program has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::fmt::Debug for ProgramCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramCache")
+            .field("programs", &self.entries.len())
+            .field("stats", &self.stats)
+            .field("admission", &self.admission)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_core::parse_packet;
+    use dip_wire::ipv4::Ipv4Addr;
+
+    fn cache(admission: Admission) -> ProgramCache {
+        ProgramCache::new(FnRegistry::standard(), RouterConfig::default(), admission)
+    }
+
+    #[test]
+    fn same_program_compiles_once() {
+        let mut c = cache(Admission::Lint);
+        for i in 0..10u8 {
+            let buf = dip_protocols::ip::dip32_packet(
+                Ipv4Addr::new(10, 0, 0, i),
+                Ipv4Addr::new(1, 1, 1, 1),
+                64,
+            )
+            .to_bytes(&[])
+            .unwrap();
+            let parsed = parse_packet(&buf).unwrap();
+            let prog = c.lookup(&parsed, &buf);
+            assert!(prog.admitted);
+        }
+        assert_eq!(c.stats(), CacheStats { hits: 9, misses: 1, rejected: 0 });
+        assert_eq!(c.len(), 1, "ten flows, one program");
+    }
+
+    #[test]
+    fn broken_program_is_refused_once() {
+        use dip_wire::packet::DipRepr;
+        use dip_wire::triple::{FnKey, FnTriple};
+        // F_MAC before F_parm: a data-flow error dipcheck catches.
+        let repr = DipRepr {
+            fns: vec![
+                FnTriple::router(0, 416, FnKey::Mac),
+                FnTriple::router(128, 128, FnKey::Parm),
+            ],
+            locations: vec![0; 68],
+            ..Default::default()
+        };
+        let buf = repr.to_bytes(&[]).unwrap();
+        let parsed = parse_packet(&buf).unwrap();
+
+        let mut lint = cache(Admission::Lint);
+        assert!(!lint.lookup(&parsed, &buf).admitted);
+        assert!(!lint.lookup(&parsed, &buf).admitted, "cached refusal");
+        assert_eq!(lint.stats(), CacheStats { hits: 1, misses: 1, rejected: 1 });
+
+        let mut open = cache(Admission::Open);
+        assert!(open.lookup(&parsed, &buf).admitted, "open admission accepts");
+    }
+
+    #[test]
+    fn memo_short_circuits_same_program_runs() {
+        let mut c = cache(Admission::Lint);
+        let v4 = dip_protocols::ip::dip32_packet(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(1, 1, 1, 1),
+            64,
+        )
+        .to_bytes(&[])
+        .unwrap();
+        let v6 = dip_protocols::ip::dip128_packet(
+            dip_wire::ipv6::Ipv6Addr::new([0xfd, 0, 0, 0, 0, 0, 0, 1]),
+            dip_wire::ipv6::Ipv6Addr::new([0xfd, 0, 0, 0, 0, 0, 0, 2]),
+            64,
+        )
+        .to_bytes(&[])
+        .unwrap();
+        let p4 = parse_packet(&v4).unwrap();
+        let p6 = parse_packet(&v6).unwrap();
+
+        let mut memo = None;
+        let a = c.resolve(&p4, &v4, &mut memo);
+        assert_eq!(memo, Some(a));
+        // Same program again: memo revalidates, same index.
+        assert_eq!(c.resolve(&p4, &v4, &mut memo), a);
+        // Different program: memo mismatch falls back to the map/compile
+        // path and repoints the memo.
+        let b = c.resolve(&p6, &v6, &mut memo);
+        assert_ne!(a, b);
+        assert_eq!(memo, Some(b));
+        assert_eq!(c.resolve(&p6, &v6, &mut memo), b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 2, rejected: 0 });
+        // The single-packet front end still works against the same store.
+        assert!(c.lookup(&p4, &v4).admitted);
+    }
+
+    #[test]
+    fn parallel_flag_is_part_of_the_key() {
+        use dip_wire::packet::DipRepr;
+        use dip_wire::triple::{FnKey, FnTriple};
+        let base = DipRepr {
+            fns: vec![
+                FnTriple::router(0, 32, FnKey::Match32),
+                FnTriple::router(32, 32, FnKey::Source),
+            ],
+            locations: vec![0; 8],
+            ..Default::default()
+        };
+        let seq = base.to_bytes(&[]).unwrap();
+        let par = DipRepr { parallel: true, ..base }.to_bytes(&[]).unwrap();
+        let mut c = cache(Admission::Lint);
+        c.lookup(&parse_packet(&seq).unwrap(), &seq);
+        c.lookup(&parse_packet(&par).unwrap(), &par);
+        assert_eq!(c.len(), 2, "sequential and parallel variants compile separately");
+    }
+}

@@ -1,0 +1,265 @@
+//! A fixed-size lock-free single-producer/single-consumer ring.
+//!
+//! This is the NIC→worker queue of the dataplane: the dispatcher thread is
+//! the single producer for each worker's ring and the worker is its single
+//! consumer, so the classic Lamport queue applies — two monotonically
+//! increasing positions, each written by exactly one side, synchronized
+//! with acquire/release pairs and no locks or CAS loops on the hot path.
+//!
+//! Backpressure is explicit: [`RingProducer::try_push`] hands the value
+//! back when the ring is full and the caller decides whether to spin
+//! (lossless) or count a drop ([`RingProducer::record_drop`]), exactly the
+//! choice a NIC driver makes per queue. Occupancy and drop counters are
+//! exported per ring so the benchmark can report where packets died.
+//!
+//! This module is the only place in the workspace that uses `unsafe`; the
+//! invariants are spelled out on each block.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pads a hot atomic to its own cache line so the producer and consumer
+/// positions never false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Shared<T> {
+    /// `capacity - 1`; capacity is a power of two so positions wrap by mask.
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer will read. Written only by the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will write. Written only by the producer.
+    tail: CachePadded<AtomicUsize>,
+    /// Values the producer chose to discard on backpressure.
+    drops: AtomicU64,
+}
+
+// SAFETY: the ring is shared between exactly one producer and one consumer
+// thread (enforced by the non-Clone handle types below). Every slot is
+// written by the producer strictly before the tail increment that makes it
+// visible (Release) and read by the consumer strictly after observing that
+// increment (Acquire), so no slot is ever accessed from two threads at
+// once. `T: Send` is required because values cross threads.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Exclusive access (last Arc): drop any items still queued.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        for pos in head..tail {
+            let slot = &self.slots[pos & self.mask];
+            // SAFETY: positions in [head, tail) hold initialized values the
+            // consumer never popped; we have `&mut self`.
+            unsafe { (*slot.get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The producing half of an SPSC ring. Not cloneable: exactly one producer.
+pub struct RingProducer<T> {
+    shared: Arc<Shared<T>>,
+    /// Cached copy of the consumer's head, refreshed only when the ring
+    /// looks full — most pushes touch no shared cache line but the tail.
+    cached_head: usize,
+}
+
+/// The consuming half of an SPSC ring. Not cloneable: exactly one consumer.
+pub struct RingConsumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Cached copy of the producer's tail (same trick as `cached_head`).
+    cached_tail: usize,
+}
+
+/// Creates a ring holding at most `capacity` items (rounded up to a power
+/// of two, minimum 2).
+pub fn spsc<T: Send>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let shared = Arc::new(Shared {
+        mask: cap - 1,
+        slots,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        drops: AtomicU64::new(0),
+    });
+    (
+        RingProducer { shared: Arc::clone(&shared), cached_head: 0 },
+        RingConsumer { shared, cached_tail: 0 },
+    )
+}
+
+impl<T> RingProducer<T> {
+    /// Enqueues `value`, or hands it back when the ring is full.
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        let tail = self.shared.tail.0.load(Ordering::Relaxed);
+        if tail - self.cached_head > self.shared.mask {
+            self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+            if tail - self.cached_head > self.shared.mask {
+                return Err(value);
+            }
+        }
+        let slot = &self.shared.slots[tail & self.shared.mask];
+        // SAFETY: `tail - head <= mask` proves the consumer is done with
+        // this slot (it was popped, or never written); only this producer
+        // writes slots.
+        unsafe { (*slot.get()).write(value) };
+        // Release publishes the slot write to the consumer's Acquire load.
+        self.shared.tail.0.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Counts one packet discarded under backpressure.
+    pub fn record_drop(&self) {
+        self.shared.drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total packets discarded under backpressure on this ring.
+    pub fn drops(&self) -> u64 {
+        self.shared.drops.load(Ordering::Relaxed)
+    }
+
+    /// Items currently queued (racy snapshot; exact when quiescent).
+    pub fn occupancy(&self) -> usize {
+        let tail = self.shared.tail.0.load(Ordering::Relaxed);
+        let head = self.shared.head.0.load(Ordering::Acquire);
+        tail - head
+    }
+
+    /// Usable slot count.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+}
+
+impl<T> RingConsumer<T> {
+    /// Dequeues the oldest item, or `None` when the ring is empty.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let head = self.shared.head.0.load(Ordering::Relaxed);
+        if head == self.cached_tail {
+            self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+            if head == self.cached_tail {
+                return None;
+            }
+        }
+        let slot = &self.shared.slots[head & self.shared.mask];
+        // SAFETY: `head < tail` (Acquire above) proves the producer
+        // published this slot; only this consumer reads slots, and the
+        // head increment below is what lets the producer reuse it.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        // Release hands the slot back to the producer's Acquire load.
+        self.shared.head.0.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Whether the ring has no queued items (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        let head = self.shared.head.0.load(Ordering::Relaxed);
+        head == self.shared.tail.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (mut tx, mut rx) = spsc::<u32>(4);
+        assert_eq!(tx.capacity(), 4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(tx.try_push(99), Err(99), "full ring rejects");
+        assert_eq!(tx.occupancy(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (tx, _rx) = spsc::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = spsc::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn drop_counter_is_explicit() {
+        let (mut tx, _rx) = spsc::<u8>(2);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        if tx.try_push(3).is_err() {
+            tx.record_drop();
+        }
+        assert_eq!(tx.drops(), 1);
+    }
+
+    #[test]
+    fn queued_items_dropped_with_ring() {
+        use std::sync::atomic::AtomicUsize;
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Counted {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Counted
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, mut rx) = spsc::<Counted>(4);
+        tx.try_push(Counted::new()).unwrap();
+        tx.try_push(Counted::new()).unwrap();
+        drop(rx.try_pop());
+        drop((tx, rx));
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0, "no leaks, no double drops");
+    }
+
+    #[test]
+    fn cross_thread_transfer_is_lossless() {
+        const N: u64 = 20_000;
+        let (mut tx, mut rx) = spsc::<u64>(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.try_push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            // Single-core boxes need the consumer scheduled.
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        let mut sum = 0u64;
+        while expected < N {
+            if let Some(v) = rx.try_pop() {
+                assert_eq!(v, expected, "FIFO order violated");
+                sum = sum.wrapping_add(v);
+                expected += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(sum, N * (N - 1) / 2);
+    }
+}

@@ -1,0 +1,513 @@
+//! The multi-worker dataplane: dispatcher, worker threads, reports.
+//!
+//! The NIC→worker pipeline in software: a single dispatcher thread (the
+//! caller of [`Dataplane::submit`]) stamps each packet with a global
+//! admission sequence number, flow-hashes it to a worker, and pushes it
+//! onto that worker's SPSC ring. Each worker runs to completion over its
+//! own [`DipRouter`] — per-flow state (PIT, content store) lives only on
+//! the shard that owns the flow, so workers share *nothing* mutable —
+//! draining its ring in batches:
+//!
+//! 1. at each batch boundary, pick up any route-snapshot epoch swap
+//!    (one atomic load when nothing changed);
+//! 2. fill a [`PacketBatch`] from the ring (up to `batch_size`);
+//! 3. **resolve phase** — parse every packet and resolve its program
+//!    through the per-worker [`ProgramCache`] (compile + `dipcheck`
+//!    admission on first sight, one map probe per program *run* within
+//!    the batch thanks to a batch-local memo, cache hit for the rest of
+//!    eternity);
+//! 4. **execute phase** — run [`DipRouter::process_parsed`] over the
+//!    resolved batch back-to-back, the two tight loops keeping parser
+//!    and executor code hot instead of interleaving them per packet;
+//! 5. recycle every slot without freeing buffers.
+//!
+//! Determinism: the global sequence numbers give submission a total
+//! order, flow affinity gives each flow FIFO processing on one worker,
+//! and [`DataplaneReport::sorted_outcomes`] merges per-worker results
+//! back into submission order — so for flow-independent state the result
+//! is byte-identical to a sequential run (pinned by the
+//! `dataplane_determinism` test at the workspace root).
+
+use crate::batch::PacketBatch;
+use crate::program::{Admission, CacheStats, ProgramCache};
+use crate::ring::{spsc, RingConsumer, RingProducer};
+use crate::shard::FlowShard;
+use crate::snapshot::{EpochCell, RouteSnapshot};
+use dip_core::{parse_packet, DipRouter, ParsedPacket, Verdict};
+use dip_fnops::DropReason;
+use dip_tables::{Port, Ticks};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One packet in flight between the dispatcher and a worker.
+#[derive(Debug)]
+pub struct Job {
+    /// Owned packet bytes.
+    pub packet: Vec<u8>,
+    /// Global admission sequence number.
+    pub seq: u64,
+    /// Ingress port.
+    pub in_port: Port,
+    /// Virtual arrival time.
+    pub now: Ticks,
+}
+
+/// What `submit` does when the owning worker's ring is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Spin until the worker frees a slot (lossless; the benchmark and
+    /// the determinism test use this).
+    #[default]
+    Block,
+    /// Count a ring drop and discard the packet (NIC semantics).
+    Drop,
+}
+
+/// Dataplane tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DataplaneConfig {
+    /// Worker (shard) count.
+    pub workers: usize,
+    /// Packets executed per batch.
+    pub batch_size: usize,
+    /// Per-worker ring capacity (rounded up to a power of two).
+    pub ring_capacity: usize,
+    /// Full-ring policy.
+    pub backpressure: Backpressure,
+    /// Program admission policy.
+    pub admission: Admission,
+    /// Record every packet's verdict and final bytes (tests; the
+    /// benchmark leaves this off to measure the pure pipeline).
+    pub record_outcomes: bool,
+}
+
+impl Default for DataplaneConfig {
+    fn default() -> Self {
+        DataplaneConfig {
+            workers: 1,
+            batch_size: 32,
+            ring_capacity: 1024,
+            backpressure: Backpressure::Block,
+            admission: Admission::Lint,
+            record_outcomes: false,
+        }
+    }
+}
+
+/// The recorded result of one packet (when `record_outcomes` is on).
+#[derive(Debug, Clone)]
+pub struct PacketOutcome {
+    /// Global admission sequence number.
+    pub seq: u64,
+    /// The router's decision.
+    pub verdict: Verdict,
+    /// The packet bytes after FN execution (tags updated in place).
+    pub bytes: Vec<u8>,
+    /// Ingress port.
+    pub in_port: Port,
+}
+
+/// Per-worker counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Packets executed.
+    pub processed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// `Forward` verdicts.
+    pub forwarded: u64,
+    /// Locally terminated packets (deliver/consume/cache-hit).
+    pub local: u64,
+    /// `Notify` verdicts.
+    pub notified: u64,
+    /// `Drop` verdicts (any reason, including admission refusals).
+    pub dropped: u64,
+    /// Router-executed FNs (amortization denominator).
+    pub fns_executed: u64,
+    /// Program-cache counters.
+    pub cache: CacheStats,
+    /// Route-snapshot swaps picked up.
+    pub epoch_refreshes: u64,
+}
+
+/// Everything a worker hands back at shutdown.
+#[derive(Debug)]
+pub struct WorkerReport {
+    /// Counters.
+    pub stats: WorkerStats,
+    /// Recorded outcomes in this worker's processing order (ascending
+    /// `seq` per flow; merge with [`DataplaneReport::sorted_outcomes`]).
+    pub outcomes: Vec<PacketOutcome>,
+    /// The worker's router, returned for state inspection (PIT/CS
+    /// digests in the determinism test).
+    pub router: DipRouter,
+}
+
+/// The final report of a dataplane run.
+#[derive(Debug)]
+pub struct DataplaneReport {
+    /// One report per worker, indexed by shard.
+    pub workers: Vec<WorkerReport>,
+    /// Packets discarded at each ring under [`Backpressure::Drop`].
+    pub ring_drops: Vec<u64>,
+    /// Packets accepted by `submit`.
+    pub submitted: u64,
+}
+
+impl DataplaneReport {
+    /// All recorded outcomes merged into global submission order.
+    pub fn sorted_outcomes(&self) -> Vec<&PacketOutcome> {
+        let mut all: Vec<&PacketOutcome> =
+            self.workers.iter().flat_map(|w| w.outcomes.iter()).collect();
+        all.sort_by_key(|o| o.seq);
+        all
+    }
+
+    /// Total packets executed across workers.
+    pub fn total_processed(&self) -> u64 {
+        self.workers.iter().map(|w| w.stats.processed).sum()
+    }
+
+    /// Total ring drops across workers.
+    pub fn total_ring_drops(&self) -> u64 {
+        self.ring_drops.iter().sum()
+    }
+}
+
+struct WorkerHandle {
+    producer: RingProducer<Job>,
+    handle: JoinHandle<WorkerReport>,
+}
+
+/// A running multi-worker dataplane.
+pub struct Dataplane {
+    workers: Vec<WorkerHandle>,
+    shard: FlowShard,
+    routes: Arc<EpochCell<RouteSnapshot>>,
+    stop: Arc<AtomicBool>,
+    backpressure: Backpressure,
+    seq: u64,
+    submitted: u64,
+}
+
+impl Dataplane {
+    /// Starts `config.workers` worker threads; `factory(i)` builds worker
+    /// `i`'s router. For deterministic cross-worker results the factory
+    /// should give every worker identical tables, secrets and node id
+    /// (each flow only ever sees one of them).
+    pub fn start(config: DataplaneConfig, factory: impl Fn(usize) -> DipRouter) -> Self {
+        let n = config.workers.max(1);
+        let routes = Arc::new(EpochCell::new(RouteSnapshot::default()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let (producer, consumer) = spsc::<Job>(config.ring_capacity);
+            let router = factory(i);
+            let cache = ProgramCache::new(
+                router.registry().clone(),
+                router.config().clone(),
+                config.admission,
+            );
+            let routes = Arc::clone(&routes);
+            let stop = Arc::clone(&stop);
+            let (batch_size, record) = (config.batch_size, config.record_outcomes);
+            let handle = std::thread::Builder::new()
+                .name(format!("dip-worker-{i}"))
+                .spawn(move || {
+                    worker_loop(router, cache, consumer, routes, stop, batch_size, record)
+                })
+                .expect("spawn dataplane worker");
+            workers.push(WorkerHandle { producer, handle });
+        }
+        Dataplane {
+            workers,
+            shard: FlowShard::new(n),
+            routes,
+            stop,
+            backpressure: config.backpressure,
+            seq: 0,
+            submitted: 0,
+        }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Flow-hashes `packet` to its worker and enqueues it. Returns the
+    /// assigned sequence number, or `None` when the ring was full under
+    /// [`Backpressure::Drop`].
+    pub fn submit(&mut self, packet: Vec<u8>, in_port: Port, now: Ticks) -> Option<u64> {
+        let shard = self.shard.shard_of(&packet);
+        let seq = self.seq;
+        self.seq += 1;
+        let mut job = Job { packet, seq, in_port, now };
+        let producer = &mut self.workers[shard].producer;
+        loop {
+            match producer.try_push(job) {
+                Ok(()) => {
+                    self.submitted += 1;
+                    return Some(seq);
+                }
+                Err(back) => match self.backpressure {
+                    Backpressure::Drop => {
+                        producer.record_drop();
+                        return None;
+                    }
+                    Backpressure::Block => {
+                        job = back;
+                        std::thread::yield_now();
+                    }
+                },
+            }
+        }
+    }
+
+    /// Publishes a new route snapshot; every worker picks it up at its
+    /// next batch boundary without the hot path taking a lock.
+    pub fn publish_routes(&self, snapshot: RouteSnapshot) {
+        self.routes.publish(snapshot);
+    }
+
+    /// Current occupancy of each worker's ring.
+    pub fn ring_occupancy(&self) -> Vec<usize> {
+        self.workers.iter().map(|w| w.producer.occupancy()).collect()
+    }
+
+    /// Drains the rings, stops the workers, and collects their reports.
+    pub fn shutdown(self) -> DataplaneReport {
+        self.stop.store(true, Ordering::Release);
+        let mut reports = Vec::with_capacity(self.workers.len());
+        let mut ring_drops = Vec::with_capacity(self.workers.len());
+        for w in self.workers {
+            ring_drops.push(w.producer.drops());
+            reports.push(w.handle.join().expect("dataplane worker panicked"));
+        }
+        DataplaneReport { workers: reports, ring_drops, submitted: self.submitted }
+    }
+}
+
+fn worker_loop(
+    mut router: DipRouter,
+    mut cache: ProgramCache,
+    mut ring: RingConsumer<Job>,
+    routes: Arc<EpochCell<RouteSnapshot>>,
+    stop: Arc<AtomicBool>,
+    batch_size: usize,
+    record_outcomes: bool,
+) -> WorkerReport {
+    let mut reader = routes.reader();
+    let mut batch = PacketBatch::new(batch_size);
+    let mut stats = WorkerStats::default();
+    let mut outcomes = Vec::new();
+    // Reused resolve-phase scratch: per-packet parse + program index
+    // (`None` = malformed), filled in admission order each batch.
+    let mut resolved: Vec<Option<(ParsedPacket, usize)>> = Vec::with_capacity(batch_size.max(1));
+    loop {
+        // Batch boundary: one atomic load unless the control plane moved.
+        if reader.refresh() {
+            reader.get().apply(router.state_mut());
+            stats.epoch_refreshes += 1;
+        }
+        while !batch.is_full() {
+            match ring.try_pop() {
+                Some(job) => {
+                    batch.adopt(job.packet, job.seq, job.in_port, job.now);
+                }
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            if stop.load(Ordering::Acquire) && ring.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+            continue;
+        }
+        stats.batches += 1;
+        // Resolve phase: parse + program resolution for the whole batch.
+        // The memo starts fresh per batch, so a batch full of one program
+        // — the common case — costs a single map probe; the rest of the
+        // packets revalidate with one byte comparison each.
+        resolved.clear();
+        let mut memo = None;
+        for pos in 0..batch.len() {
+            let slot = batch.slot(batch.live()[pos]);
+            resolved.push(parse_packet(&slot.buf).map(|parsed| {
+                let idx = cache.resolve(&parsed, &slot.buf, &mut memo);
+                (parsed, idx)
+            }));
+        }
+        // Execute phase: run the resolved batch back-to-back.
+        for (pos, res) in resolved.iter().enumerate() {
+            let slot_idx = batch.live()[pos];
+            let slot = batch.slot_mut(slot_idx);
+            let (verdict, pstats) = match res {
+                None => (Verdict::Drop(DropReason::MalformedField), Default::default()),
+                Some((parsed, idx)) => {
+                    let program = cache.get(*idx);
+                    if program.admitted {
+                        router.process_parsed(
+                            &mut slot.buf,
+                            parsed,
+                            &program.chain,
+                            slot.in_port,
+                            slot.now,
+                        )
+                    } else {
+                        (Verdict::Drop(DropReason::ProgramRejected), Default::default())
+                    }
+                }
+            };
+            stats.processed += 1;
+            stats.fns_executed += u64::from(pstats.fns_executed);
+            match &verdict {
+                Verdict::Forward(_) => stats.forwarded += 1,
+                Verdict::Deliver | Verdict::Consumed | Verdict::RespondCached(_) => {
+                    stats.local += 1
+                }
+                Verdict::Notify(_) => stats.notified += 1,
+                Verdict::Drop(_) => stats.dropped += 1,
+            }
+            if record_outcomes {
+                outcomes.push(PacketOutcome {
+                    seq: slot.seq,
+                    verdict,
+                    bytes: slot.buf.clone(),
+                    in_port: slot.in_port,
+                });
+            }
+        }
+        batch.recycle_all();
+    }
+    stats.cache = cache.stats();
+    WorkerReport { stats, outcomes, router }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_tables::fib::NextHop;
+    use dip_wire::ipv4::Ipv4Addr;
+
+    fn factory(i: usize) -> DipRouter {
+        let mut r = DipRouter::new(i as u64, [0x42; 16]);
+        r.state_mut().ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
+        r
+    }
+
+    fn dip32(i: u32) -> Vec<u8> {
+        dip_protocols::ip::dip32_packet(
+            Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1),
+            Ipv4Addr::new(1, 1, 1, 1),
+            64,
+        )
+        .to_bytes(&[0u8; 32])
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_add_up_across_workers_and_batches() {
+        let config = DataplaneConfig { workers: 4, batch_size: 8, ..Default::default() };
+        let mut dp = Dataplane::start(config, factory);
+        for i in 0..400 {
+            assert!(dp.submit(dip32(i), 0, u64::from(i)).is_some());
+        }
+        let report = dp.shutdown();
+        assert_eq!(report.total_processed(), 400);
+        assert_eq!(report.submitted, 400);
+        assert_eq!(report.workers.iter().map(|w| w.stats.forwarded).sum::<u64>(), 400);
+        assert_eq!(report.total_ring_drops(), 0);
+        // One program, compiled at most once per worker.
+        let misses: u64 = report.workers.iter().map(|w| w.stats.cache.misses).sum();
+        assert!(misses <= 4, "program compiled more than once per worker: {misses}");
+    }
+
+    #[test]
+    fn drop_backpressure_counts_ring_drops() {
+        // One worker, tiny ring, worker parked behind a full pipe: some
+        // packets must be dropped and counted rather than blocking.
+        let config = DataplaneConfig {
+            workers: 1,
+            batch_size: 1,
+            ring_capacity: 2,
+            backpressure: Backpressure::Drop,
+            ..Default::default()
+        };
+        let mut dp = Dataplane::start(config, factory);
+        let mut accepted = 0u64;
+        for i in 0..5_000 {
+            if dp.submit(dip32(i), 0, 0).is_some() {
+                accepted += 1;
+            }
+        }
+        let report = dp.shutdown();
+        assert_eq!(report.total_processed(), accepted);
+        assert_eq!(report.submitted, accepted);
+        assert_eq!(report.total_ring_drops() + accepted, 5_000);
+    }
+
+    #[test]
+    fn outcomes_merge_into_submission_order() {
+        let config = DataplaneConfig {
+            workers: 3,
+            batch_size: 4,
+            record_outcomes: true,
+            ..Default::default()
+        };
+        let mut dp = Dataplane::start(config, factory);
+        for i in 0..60 {
+            dp.submit(dip32(i), 0, 0);
+        }
+        let report = dp.shutdown();
+        let merged = report.sorted_outcomes();
+        assert_eq!(merged.len(), 60);
+        let seqs: Vec<u64> = merged.iter().map(|o| o.seq).collect();
+        assert_eq!(seqs, (0..60).collect::<Vec<u64>>());
+        assert!(merged.iter().all(|o| o.verdict == Verdict::Forward(vec![1])));
+    }
+
+    #[test]
+    fn epoch_swap_reroutes_without_restart() {
+        let config = DataplaneConfig { workers: 2, record_outcomes: true, ..Default::default() };
+        // Workers start with NO route for 99/8.
+        let mut dp = Dataplane::start(config, |i| DipRouter::new(i as u64, [1; 16]));
+        let unrouted = dip_protocols::ip::dip32_packet(
+            Ipv4Addr::new(99, 0, 0, 1),
+            Ipv4Addr::new(1, 1, 1, 1),
+            64,
+        )
+        .to_bytes(&[])
+        .unwrap();
+        dp.submit(unrouted.clone(), 0, 0);
+        // Let the first packet drain before publishing the new table, so
+        // the drop-then-forward order is deterministic.
+        while dp.ring_occupancy().iter().sum::<usize>() > 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut snap = RouteSnapshot::default();
+        snap.ipv4_fib.add_route(Ipv4Addr::new(99, 0, 0, 0), 8, NextHop::port(7));
+        dp.publish_routes(snap);
+        dp.submit(unrouted, 0, 1);
+        let report = dp.shutdown();
+        let merged = report.sorted_outcomes();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].verdict, Verdict::Drop(DropReason::NoRoute));
+        assert_eq!(merged[1].verdict, Verdict::Forward(vec![7]), "epoch swap took effect");
+        assert!(report.workers.iter().any(|w| w.stats.epoch_refreshes > 0));
+    }
+
+    #[test]
+    fn malformed_packets_drop_deterministically() {
+        let mut dp = Dataplane::start(
+            DataplaneConfig { record_outcomes: true, ..Default::default() },
+            factory,
+        );
+        dp.submit(vec![0xff; 3], 9, 0);
+        let report = dp.shutdown();
+        assert_eq!(report.sorted_outcomes()[0].verdict, Verdict::Drop(DropReason::MalformedField));
+    }
+}

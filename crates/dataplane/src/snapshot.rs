@@ -1,0 +1,194 @@
+//! Read-mostly table snapshots with epoch-swap publication.
+//!
+//! Control-plane updates (route announcements, cache preloads) and the
+//! packet hot path must never contend on a lock: a worker that blocks on
+//! a FIB mutex mid-batch stalls its whole ring. The dataplane instead
+//! keeps the control-plane-owned tables in a [`RouteSnapshot`] published
+//! through an [`EpochCell`]: writers build a complete new snapshot
+//! off-path and swap it in with one atomic epoch bump; each worker holds
+//! an [`EpochReader`] that compares a cached epoch against the cell's
+//! epoch at batch boundaries — one relaxed-ordering load per batch — and
+//! only when the epoch moved does it take the (cold) publication lock to
+//! clone out the new `Arc`.
+//!
+//! Flow state (PIT, and the content store once data traffic has run) is
+//! deliberately *not* snapshotted on the normal path: it is owned and
+//! mutated by exactly one worker per flow (see
+//! [`FlowShard`](crate::shard::FlowShard)), so replacing it from the
+//! control plane would discard in-flight interests. The optional `pit` /
+//! `content_store` fields exist for explicit resets and preloads.
+
+use dip_fnops::RouterState;
+use dip_tables::content_store::ContentStore;
+use dip_tables::fib::{Ipv4Fib, Ipv6Fib, NameFib};
+use dip_tables::pit::Pit;
+use dip_tables::xia_table::XiaRouteTable;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A complete control-plane view of one router's tables.
+#[derive(Debug, Clone, Default)]
+pub struct RouteSnapshot {
+    /// 32-bit address FIB.
+    pub ipv4_fib: Ipv4Fib,
+    /// 128-bit address FIB.
+    pub ipv6_fib: Ipv6Fib,
+    /// Name FIB (the NDN name trie).
+    pub name_fib: NameFib,
+    /// XIA per-principal routing tables.
+    pub xia: XiaRouteTable,
+    /// When set, *replaces* the worker's content store (cache preload or
+    /// post-poisoning reset). `None` preserves the worker's cache.
+    pub content_store: Option<ContentStore<u32, Vec<u8>>>,
+    /// When set, *replaces* the worker's PIT (explicit reset only —
+    /// discards in-flight interests). `None` preserves flow state.
+    pub pit: Option<Pit<u32>>,
+}
+
+impl RouteSnapshot {
+    /// Captures the route tables of `state` (flow state left out).
+    pub fn capture(state: &RouterState) -> Self {
+        RouteSnapshot {
+            ipv4_fib: state.ipv4_fib.clone(),
+            ipv6_fib: state.ipv6_fib.clone(),
+            name_fib: state.name_fib.clone(),
+            xia: state.xia.clone(),
+            content_store: None,
+            pit: None,
+        }
+    }
+
+    /// Installs this snapshot into a worker's state: route tables are
+    /// replaced; PIT/content-store only when explicitly carried.
+    pub fn apply(&self, state: &mut RouterState) {
+        state.ipv4_fib = self.ipv4_fib.clone();
+        state.ipv6_fib = self.ipv6_fib.clone();
+        state.name_fib = self.name_fib.clone();
+        state.xia = self.xia.clone();
+        if let Some(cs) = &self.content_store {
+            state.content_store = Some(cs.clone());
+        }
+        if let Some(pit) = &self.pit {
+            state.pit = pit.clone();
+        }
+    }
+}
+
+/// A published value with an epoch counter: readers detect staleness with
+/// one atomic load and touch the lock only across an actual update.
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    epoch: AtomicU64,
+    /// Cold path only: held for the duration of an `Arc` clone/swap,
+    /// never during packet processing.
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> EpochCell<T> {
+    /// A cell at epoch 0 holding `value`.
+    pub fn new(value: T) -> Self {
+        EpochCell { epoch: AtomicU64::new(0), slot: Mutex::new(Arc::new(value)) }
+    }
+
+    /// Publishes a new value: swap first, then bump the epoch (Release),
+    /// so any reader observing the new epoch finds the new value.
+    pub fn publish(&self, value: T) {
+        *self.slot.lock().expect("epoch cell poisoned") = Arc::new(value);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// A reader primed with the current value.
+    pub fn reader(self: &Arc<Self>) -> EpochReader<T> {
+        let seen = self.epoch();
+        let cached = Arc::clone(&self.slot.lock().expect("epoch cell poisoned"));
+        EpochReader { cell: Arc::clone(self), seen, cached }
+    }
+}
+
+/// One worker's cached view of an [`EpochCell`].
+#[derive(Debug)]
+pub struct EpochReader<T> {
+    cell: Arc<EpochCell<T>>,
+    seen: u64,
+    cached: Arc<T>,
+}
+
+impl<T> EpochReader<T> {
+    /// Refreshes the cached value if the cell moved. Returns `true` when a
+    /// new value was picked up. The fast path (no publication since the
+    /// last call) is a single atomic load.
+    pub fn refresh(&mut self) -> bool {
+        let epoch = self.cell.epoch.load(Ordering::Acquire);
+        if epoch == self.seen {
+            return false;
+        }
+        self.cached = Arc::clone(&self.cell.slot.lock().expect("epoch cell poisoned"));
+        self.seen = epoch;
+        true
+    }
+
+    /// The cached value (never blocks).
+    pub fn get(&self) -> &T {
+        &self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_tables::fib::NextHop;
+    use dip_wire::ipv4::Ipv4Addr;
+
+    #[test]
+    fn reader_sees_updates_only_after_refresh() {
+        let cell = Arc::new(EpochCell::new(1u32));
+        let mut reader = cell.reader();
+        assert_eq!(*reader.get(), 1);
+        assert!(!reader.refresh(), "no publication yet");
+        cell.publish(2);
+        assert_eq!(*reader.get(), 1, "stale until refresh");
+        assert!(reader.refresh());
+        assert_eq!(*reader.get(), 2);
+        assert!(!reader.refresh(), "refresh is idempotent");
+    }
+
+    #[test]
+    fn publish_while_reader_holds_value_does_not_block() {
+        let cell = Arc::new(EpochCell::new(vec![0u8; 8]));
+        let reader = cell.reader();
+        let held = reader.get(); // hot path holds a reference...
+        cell.publish(vec![1u8; 8]); // ...while the control plane swaps
+        assert_eq!(held, &vec![0u8; 8]);
+    }
+
+    #[test]
+    fn snapshot_apply_preserves_flow_state_by_default() {
+        let mut state = RouterState::new(7, [1; 16]);
+        state.pit.record_interest(42, 3, 9, 0).unwrap();
+        let mut snap = RouteSnapshot::default();
+        snap.ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(5));
+        snap.apply(&mut state);
+        assert_eq!(state.ipv4_fib.lookup(Ipv4Addr::new(10, 1, 2, 3)), Some(NextHop::port(5)));
+        assert!(state.pit.contains(&42, 10), "route swap must not drop in-flight interests");
+
+        // An explicit PIT reset does replace flow state.
+        snap.pit = Some(Pit::new(16, 100));
+        snap.apply(&mut state);
+        assert!(!state.pit.contains(&42, 10));
+    }
+
+    #[test]
+    fn capture_round_trips_route_tables() {
+        let mut state = RouterState::new(1, [2; 16]);
+        state.ipv4_fib.add_route(Ipv4Addr::new(192, 168, 0, 0), 16, NextHop::port(2));
+        let snap = RouteSnapshot::capture(&state);
+        let mut fresh = RouterState::new(2, [3; 16]);
+        snap.apply(&mut fresh);
+        assert_eq!(fresh.ipv4_fib.lookup(Ipv4Addr::new(192, 168, 9, 9)), Some(NextHop::port(2)));
+    }
+}

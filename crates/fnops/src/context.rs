@@ -255,6 +255,10 @@ pub enum DropReason {
     ProcessingBudgetExceeded,
     /// An FN requiring participation is not supported here (§2.4).
     UnsupportedFn,
+    /// Static admission (`dipcheck`) refused the packet's FN program
+    /// before execution — a dataplane shard never runs a chain with
+    /// error-severity diagnostics.
+    ProgramRejected,
 }
 
 /// What an operation decided about the packet.

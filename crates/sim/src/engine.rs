@@ -14,8 +14,9 @@ use crate::trace::{Trace, TraceEvent};
 use crate::SimTime;
 use dip_core::control::{ControlMessage, CONTROL_NEXT_HEADER};
 use dip_core::host::{deliver, HostContext};
-use dip_core::{DipRouter, Verdict};
+use dip_core::{DipRouter, ProcessStats, Verdict};
 use dip_crypto::DetRng;
+use dip_fnops::context::MacChoice;
 use dip_fnops::{FnRegistry, RouterState};
 use dip_protocols::opt::OptSession;
 use dip_wire::packet::DipRepr;
@@ -27,6 +28,83 @@ use std::collections::{BinaryHeap, HashMap};
 /// Identifies a node in the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub usize);
+
+/// Errors surfaced by the simulator's typed node accessors.
+///
+/// A misconfigured topology (addressing a host as a router, or vice
+/// versa) used to abort the whole run with a panic; it now degrades to a
+/// recoverable error the experiment driver can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The node exists but is not the kind the accessor expected.
+    WrongNodeKind {
+        /// The offending node index.
+        node: usize,
+        /// What the caller expected the node to be.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::WrongNodeKind { node, expected } => {
+                write!(f, "node {node} is not a {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A packet-forwarding node the event loop can drive.
+///
+/// [`DipRouter`] is the canonical implementation (one packet at a time,
+/// Algorithm 1); the batched multi-worker dataplane plugs in through the
+/// same trait, so every five-protocol experiment runs unchanged on either.
+pub trait RouterNode {
+    /// Runs the router pipeline over `buf` in place, returning the verdict
+    /// and the architecture stats the PISA timing model consumes.
+    fn process_packet(
+        &mut self,
+        buf: &mut [u8],
+        in_port: u32,
+        now: SimTime,
+    ) -> (Verdict, ProcessStats);
+
+    /// Which MAC implementation the node models (timing input).
+    fn mac_choice(&self) -> MacChoice;
+
+    /// The node's installed FN registry, consulted by [`Network::lint`].
+    fn registry(&self) -> &FnRegistry;
+
+    /// Downcast hook so typed accessors like [`Network::router_mut`] can
+    /// recover the concrete node.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl RouterNode for DipRouter {
+    fn process_packet(
+        &mut self,
+        buf: &mut [u8],
+        in_port: u32,
+        now: SimTime,
+    ) -> (Verdict, ProcessStats) {
+        self.process(buf, in_port, now)
+    }
+
+    fn mac_choice(&self) -> MacChoice {
+        self.state().mac_choice
+    }
+
+    fn registry(&self) -> &FnRegistry {
+        DipRouter::registry(self)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
 
 /// A content producer attached to a host: answers interests from its
 /// catalog, optionally with OPT authentication (NDN+OPT).
@@ -104,7 +182,7 @@ impl Host {
 }
 
 enum NodeKind {
-    Router(Box<DipRouter>),
+    Router(Box<dyn RouterNode>),
     Host(Box<Host>),
 }
 
@@ -167,7 +245,7 @@ impl PartialOrd for QueuedEvent {
 /// let interest = dip_protocols::ndn::interest(&name, 64).to_bytes(&[]).unwrap();
 /// net.send(consumer, 0, interest, 0);
 /// net.run();
-/// assert_eq!(net.host(consumer).delivered[0].payload, b"content");
+/// assert_eq!(net.host(consumer).unwrap().delivered[0].payload, b"content");
 /// ```
 pub struct Network {
     nodes: Vec<NodeSlot>,
@@ -221,9 +299,15 @@ impl Network {
         Ok(n)
     }
 
-    /// Adds a router node.
+    /// Adds a classic per-packet router node.
     pub fn add_router(&mut self, router: DipRouter) -> NodeId {
-        self.nodes.push(NodeSlot { kind: NodeKind::Router(Box::new(router)), ports: Vec::new() });
+        self.add_router_node(Box::new(router))
+    }
+
+    /// Adds any [`RouterNode`] implementation (e.g. the batched
+    /// multi-worker dataplane).
+    pub fn add_router_node(&mut self, node: Box<dyn RouterNode>) -> NodeId {
+        self.nodes.push(NodeSlot { kind: NodeKind::Router(node), ports: Vec::new() });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -287,27 +371,39 @@ impl Network {
         &self.trace
     }
 
-    /// Mutable access to a router node.
-    pub fn router_mut(&mut self, id: NodeId) -> &mut DipRouter {
+    /// Mutable access to a classic [`DipRouter`] node.
+    ///
+    /// Errors with [`SimError::WrongNodeKind`] if the node is a host or a
+    /// non-`DipRouter` router implementation.
+    pub fn router_mut(&mut self, id: NodeId) -> Result<&mut DipRouter, SimError> {
+        let err = SimError::WrongNodeKind { node: id.0, expected: "DipRouter" };
         match &mut self.nodes[id.0].kind {
-            NodeKind::Router(r) => r,
-            NodeKind::Host(_) => panic!("node {} is a host", id.0),
+            NodeKind::Router(r) => r.as_any_mut().downcast_mut::<DipRouter>().ok_or(err),
+            NodeKind::Host(_) => Err(err),
+        }
+    }
+
+    /// Mutable access to any router node behind the [`RouterNode`] trait.
+    pub fn router_node_mut(&mut self, id: NodeId) -> Result<&mut dyn RouterNode, SimError> {
+        match &mut self.nodes[id.0].kind {
+            NodeKind::Router(r) => Ok(r.as_mut()),
+            NodeKind::Host(_) => Err(SimError::WrongNodeKind { node: id.0, expected: "router" }),
         }
     }
 
     /// Access to a host node.
-    pub fn host(&self, id: NodeId) -> &Host {
+    pub fn host(&self, id: NodeId) -> Result<&Host, SimError> {
         match &self.nodes[id.0].kind {
-            NodeKind::Host(h) => h,
-            NodeKind::Router(_) => panic!("node {} is a router", id.0),
+            NodeKind::Host(h) => Ok(h),
+            NodeKind::Router(_) => Err(SimError::WrongNodeKind { node: id.0, expected: "host" }),
         }
     }
 
     /// Mutable access to a host node.
-    pub fn host_mut(&mut self, id: NodeId) -> &mut Host {
+    pub fn host_mut(&mut self, id: NodeId) -> Result<&mut Host, SimError> {
         match &mut self.nodes[id.0].kind {
-            NodeKind::Host(h) => h,
-            NodeKind::Router(_) => panic!("node {} is a router", id.0),
+            NodeKind::Host(h) => Ok(h),
+            NodeKind::Router(_) => Err(SimError::WrongNodeKind { node: id.0, expected: "host" }),
         }
     }
 
@@ -386,8 +482,8 @@ impl Network {
         // Split the borrow: temporarily take the node kind out.
         match &mut self.nodes[node].kind {
             NodeKind::Router(router) => {
-                let (verdict, stats) = router.process(&mut packet, port, time);
-                let mac_choice = router.state().mac_choice;
+                let (verdict, stats) = router.process_packet(&mut packet, port, time);
+                let mac_choice = router.mac_choice();
                 let proc_ns = self.model.process_ns(&stats, packet.len(), mac_choice) as u64;
                 let done = time + proc_ns;
                 match verdict {
@@ -562,7 +658,7 @@ mod tests {
         let interest = dip_protocols::ndn::interest(&name, 64).to_bytes(&[]).unwrap();
         net.send(h0, 0, interest, 0);
         net.run();
-        let delivered = &net.host(h0).delivered;
+        let delivered = &net.host(h0).unwrap().delivered;
         assert_eq!(delivered.len(), 1);
         assert_eq!(delivered[0].payload, b"the content");
         assert!(!delivered[0].verified);
@@ -574,7 +670,7 @@ mod tests {
         let interest = dip_protocols::ndn_opt::interest(&name, 64).to_bytes(&[]).unwrap();
         net.send(h0, 0, interest, 0);
         net.run();
-        let delivered = &net.host(h0).delivered;
+        let delivered = &net.host(h0).unwrap().delivered;
         assert_eq!(delivered.len(), 1);
         assert!(delivered[0].verified, "NDN+OPT delivery must verify");
         assert_eq!(delivered[0].payload, b"the content");
@@ -623,7 +719,7 @@ mod tests {
         // Strip F_MAC from the router and the same program is flagged with
         // the hop index of the incapable node.
         let (mut net2, r0, ..) = ndn_triangle(true);
-        net2.router_mut(r0).registry_mut().uninstall(FnKey::Mac);
+        net2.router_mut(r0).unwrap().registry_mut().uninstall(FnKey::Mac);
         let report = net2.lint(&data);
         assert!(report.has_code(dip_verify::DiagCode::UnsupportedAtHop), "{report}");
     }
@@ -657,7 +753,7 @@ mod tests {
         let end = net.run();
         // Two link traversals each way at 1µs plus serialization + processing.
         assert!(end >= 4_000, "end time {end}");
-        assert!(net.host(h0).delivered[0].time >= 4_000);
+        assert!(net.host(h0).unwrap().delivered[0].time >= 4_000);
     }
 
     #[test]
@@ -665,11 +761,11 @@ mod tests {
         let (mut net, _, h0, h1, _, _) = ndn_triangle(false);
         let other = Name::parse("/unknown");
         // Add a route so the interest reaches the producer.
-        net.router_mut(NodeId(0)).state_mut().name_fib.add_route(&other, NextHop::port(1));
+        net.router_mut(NodeId(0)).unwrap().state_mut().name_fib.add_route(&other, NextHop::port(1));
         let interest = dip_protocols::ndn::interest(&other, 64).to_bytes(&[]).unwrap();
         net.send(h0, 0, interest, 0);
         net.run();
-        assert!(net.host(h0).delivered.is_empty());
+        assert!(net.host(h0).unwrap().delivered.is_empty());
         assert_eq!(net.trace().drops_with(dip_fnops::DropReason::NoRoute), 1);
         let _ = h1;
     }

@@ -34,7 +34,7 @@ pub mod topology;
 pub mod trace;
 
 pub use driver::{DriverStats, Job, ShardedRouter};
-pub use engine::{Host, Network, NodeId, Producer};
+pub use engine::{Host, Network, NodeId, Producer, RouterNode, SimError};
 pub use faults::FaultConfig;
 pub use tofino::TofinoModel;
 pub use trace::{Trace, TraceEvent};

@@ -74,13 +74,13 @@ mod tests {
         );
         // Every router forwards interests toward the producer (port 1).
         for &r in &routers {
-            net.router_mut(r).state_mut().name_fib.add_route(&name, NextHop::port(1));
+            net.router_mut(r).unwrap().state_mut().name_fib.add_route(&name, NextHop::port(1));
         }
         let interest = dip_protocols::ndn::interest(&name, 64).to_bytes(&[]).unwrap();
         net.send(consumer, 0, interest, 0);
         net.run();
-        assert_eq!(net.host(consumer).delivered.len(), 1);
-        assert_eq!(net.host(consumer).delivered[0].payload, b"c");
+        assert_eq!(net.host(consumer).unwrap().delivered.len(), 1);
+        assert_eq!(net.host(consumer).unwrap().delivered[0].payload, b"c");
     }
 
     #[test]

@@ -94,6 +94,21 @@ impl<K: std::hash::Hash + Eq + Clone, V> ContentStore<K, V> {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Read-only iteration over `(key, value, inserted_at)` in unspecified
+    /// order (diagnostics and state comparison).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V, Ticks)> {
+        self.entries.iter().map(|(k, e)| (k, &e.value, e.inserted_at))
+    }
+
+    /// Keys ordered least- to most-recently used — the exact eviction
+    /// order the store would follow if filled to capacity right now.
+    pub fn lru_order(&self) -> Vec<K> {
+        let mut pairs: Vec<(u64, &K)> =
+            self.entries.iter().map(|(k, e)| (e.last_used, k)).collect();
+        pairs.sort_unstable_by_key(|(used, _)| *used);
+        pairs.into_iter().map(|(_, k)| k.clone()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +155,40 @@ mod tests {
         assert_eq!(cs.purge_since(100), 2);
         assert!(cs.peek(&1).is_some());
         assert!(cs.peek(&2).is_none());
+    }
+
+    #[test]
+    fn purge_then_reinsert_preserves_lru_and_capacity() {
+        let mut cs: ContentStore<u32, u32> = ContentStore::new(3);
+        cs.insert(1, 10, 0);
+        cs.insert(2, 20, 10);
+        cs.insert(3, 30, 20);
+        cs.get(&1); // recency now: 2 (LRU), 3, 1 (MRU)
+        assert_eq!(cs.lru_order(), vec![2, 3, 1]);
+
+        // Operator response to poisoning at t=15: entry 3 goes.
+        assert_eq!(cs.purge_since(15), 1);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.lru_order(), vec![2, 1], "purge must not disturb survivors' recency");
+
+        // Reinsertions fill the freed slot before any eviction happens.
+        assert_eq!(cs.insert(4, 40, 30), None);
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs.lru_order(), vec![2, 1, 4]);
+
+        // At capacity again, eviction resumes from the true LRU (2), not
+        // from any stale bookkeeping left by the purge.
+        assert_eq!(cs.insert(5, 50, 40), Some(2));
+        assert_eq!(cs.lru_order(), vec![1, 4, 5]);
+
+        // A purged key reinserted is a fresh entry: MRU recency and a new
+        // insertion time, so a later purge window catches it again.
+        assert_eq!(cs.insert(3, 31, 50), Some(1));
+        assert_eq!(cs.lru_order(), vec![4, 5, 3]);
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs.purge_since(45), 1);
+        assert!(cs.peek(&3).is_none());
+        assert_eq!(cs.len(), 2);
     }
 
     #[test]

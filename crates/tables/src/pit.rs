@@ -138,6 +138,40 @@ impl<K: std::hash::Hash + Eq + Clone> Pit<K> {
         self.entries.retain(|_, e| e.expires_at > now);
         before - self.entries.len()
     }
+
+    /// Read-only iteration over every entry (diagnostics and state
+    /// comparison — e.g. checking that a flow-sharded dataplane's merged
+    /// PITs equal a sequential reference's). Iteration order is
+    /// unspecified; callers wanting a canonical view should sort.
+    pub fn iter(&self) -> impl Iterator<Item = PitEntryView<'_, K>> {
+        self.entries.iter().map(|(name, e)| PitEntryView {
+            name,
+            faces: &e.faces,
+            expires_at: e.expires_at,
+            nonces: &e.nonces,
+        })
+    }
+}
+
+/// A read-only view of one PIT entry, yielded by [`Pit::iter`].
+#[derive(Debug, Clone, Copy)]
+pub struct PitEntryView<'a, K> {
+    /// The pending content name.
+    pub name: &'a K,
+    /// Faces waiting for the data, in arrival order.
+    pub faces: &'a [Port],
+    /// Virtual time at which the entry lapses.
+    pub expires_at: Ticks,
+    nonces: &'a HashSet<u64>,
+}
+
+impl<K> PitEntryView<'_, K> {
+    /// The entry's recorded interest nonces, sorted (canonical form).
+    pub fn sorted_nonces(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.nonces.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 // The capacity check intentionally counts stale-but-uncollected entries:

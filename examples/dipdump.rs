@@ -35,11 +35,11 @@ fn main() {
         |_| router_secret,
         15_000,
     );
-    net.router_mut(routers[0]).state_mut().name_fib.add_route(&name, NextHop::port(1));
+    net.router_mut(routers[0]).unwrap().state_mut().name_fib.add_route(&name, NextHop::port(1));
 
     net.send(consumer, 0, dip::protocols::ndn_opt::interest(&name, 64).to_bytes(&[]).unwrap(), 0);
     net.run();
-    assert_eq!(net.host(consumer).delivered.len(), 1, "retrieval must succeed");
+    assert_eq!(net.host(consumer).unwrap().delivered.len(), 1, "retrieval must succeed");
 
     // --- Write the pcap. ---------------------------------------------------
     let mut file = Vec::new();

@@ -39,7 +39,7 @@ fn main() {
     );
     for &r in &routers {
         for n in &names {
-            net.router_mut(r).state_mut().name_fib.add_route(n, NextHop::port(1));
+            net.router_mut(r).unwrap().state_mut().name_fib.add_route(n, NextHop::port(1));
         }
     }
 
@@ -52,7 +52,7 @@ fn main() {
     net.run();
 
     println!();
-    for d in &net.host(consumer).delivered {
+    for d in &net.host(consumer).unwrap().delivered {
         println!(
             "<- {:>5.1} µs  verified={}  {:?}",
             d.time as f64 / 1000.0,
@@ -60,8 +60,8 @@ fn main() {
             String::from_utf8_lossy(&d.payload)
         );
     }
-    let all_verified = net.host(consumer).delivered.iter().all(|d| d.verified);
-    assert!(all_verified && net.host(consumer).delivered.len() == names.len());
+    let all_verified = net.host(consumer).unwrap().delivered.iter().all(|d| d.verified);
+    assert!(all_verified && net.host(consumer).unwrap().delivered.len() == names.len());
     println!(
         "\nAll {} items delivered with source authentication and path validation.",
         names.len()

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Repo-wide lint + test gate. Run before every push; CI runs the same.
 #
-#   fmt    — formatting matches rustfmt.toml
-#   clippy — all targets, warnings are errors
-#   test   — the full workspace suite, offline
+#   fmt     — formatting matches rustfmt.toml
+#   clippy  — all targets, warnings are errors
+#   benches — every benchmark harness compiles (they are exercised
+#             manually, so an ordinary test run never builds them)
+#   test    — the full workspace suite, offline
+#   determ  — the dataplane determinism property explicitly, so a failure
+#             is named in CI output rather than buried in the suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,7 +17,13 @@ cargo fmt --check
 echo "== cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "== cargo build --benches"
+cargo build --benches --offline
+
 echo "== cargo test -q"
 cargo test -q --workspace --offline
+
+echo "== cargo test --test dataplane_determinism"
+cargo test -q --test dataplane_determinism --offline
 
 echo "check.sh: all gates passed"

@@ -42,6 +42,7 @@
 //! | [`verify`] | `dip-verify` | `dipcheck`: static FN-program verification (structure, registries, data flow, resources) |
 //! | [`protocols`] | `dip-protocols` | IP, NDN, OPT, XIA and NDN+OPT realizations |
 //! | [`sim`] | `dip-sim` | discrete-event network simulator + Tofino/PISA timing model |
+//! | [`dataplane`] | `dip-dataplane` | multi-worker batched software dataplane: flow sharding, SPSC rings, program caches |
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results of every table and figure.
@@ -51,6 +52,7 @@
 
 pub use dip_core as core;
 pub use dip_crypto as crypto;
+pub use dip_dataplane as dataplane;
 pub use dip_fnops as fnops;
 pub use dip_protocols as protocols;
 pub use dip_sim as sim;

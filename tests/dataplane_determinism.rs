@@ -1,0 +1,241 @@
+//! Determinism property: the sharded, batched dataplane is
+//! behavior-equivalent to a sequential single-router run.
+//!
+//! For each of the five paper protocols (DIP-32, DIP-128, NDN, OPT, XIA)
+//! a deterministic workload is executed twice:
+//!
+//! * **reference** — one [`DipRouter`] processes every packet in
+//!   submission order on the caller thread;
+//! * **dataplane** — [`dip::dataplane::Dataplane`] with every
+//!   combination of worker count {1, 2, 4} and batch size {1, 8, 33},
+//!   workers fed over SPSC rings under lossless backpressure.
+//!
+//! Equivalence is checked three ways: identical verdicts in submission
+//! order, byte-identical packets after FN execution, and identical
+//! PIT / content-store state (the per-worker tables merged across shards
+//! must equal the reference router's). This holds because flow affinity
+//! keeps every flow's packets FIFO on one worker and DIP's per-flow
+//! state never crosses a flow boundary; the content store is sized so
+//! capacity eviction — a legitimately global-order-dependent behavior —
+//! never triggers.
+
+use dip::crypto::DetRng;
+use dip::dataplane::{Backpressure, Dataplane, DataplaneConfig};
+use dip::prelude::*;
+use dip::protocols::{ip, ndn, xia};
+use dip::tables::{Port, Ticks, XiaNextHop};
+use dip::wire::ipv4::Ipv4Addr;
+use dip::wire::ipv6::Ipv6Addr;
+
+/// One packet of workload: bytes as submitted, ingress port, arrival time.
+type Packet = (Vec<u8>, Port, Ticks);
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+const BATCHES: [usize; 3] = [1, 8, 33];
+
+/// PIT state as a comparable value: (name, faces, expiry, nonces), sorted.
+fn pit_digest(router: &DipRouter) -> Vec<(u32, Vec<Port>, Ticks, Vec<u64>)> {
+    let mut d: Vec<_> = router
+        .state()
+        .pit
+        .iter()
+        .map(|e| (*e.name, e.faces.to_vec(), e.expires_at, e.sorted_nonces()))
+        .collect();
+    d.sort();
+    d
+}
+
+/// Content-store state as a comparable value: (name, bytes, inserted_at).
+fn cs_digest(router: &DipRouter) -> Vec<(u32, Vec<u8>, Ticks)> {
+    let mut d: Vec<_> = router
+        .state()
+        .content_store
+        .as_ref()
+        .map(|cs| cs.iter().map(|(k, v, t)| (*k, v.clone(), t)).collect())
+        .unwrap_or_default();
+    d.sort();
+    d
+}
+
+/// Runs the workload on a single reference router and on the dataplane at
+/// every (workers × batch) point, asserting equivalence at each.
+fn assert_deterministic(proto: &str, factory: impl Fn(usize) -> DipRouter, packets: &[Packet]) {
+    // Sequential reference.
+    let mut reference = factory(0);
+    let expected: Vec<(Verdict, Vec<u8>)> = packets
+        .iter()
+        .map(|(bytes, in_port, now)| {
+            let mut buf = bytes.clone();
+            let (verdict, _) = reference.process(&mut buf, *in_port, *now);
+            (verdict, buf)
+        })
+        .collect();
+    let expected_pit = pit_digest(&reference);
+    let expected_cs = cs_digest(&reference);
+
+    for workers in WORKERS {
+        for batch in BATCHES {
+            let config = DataplaneConfig {
+                workers,
+                batch_size: batch,
+                ring_capacity: 64,
+                backpressure: Backpressure::Block,
+                record_outcomes: true,
+                ..Default::default()
+            };
+            let mut dp = Dataplane::start(config, &factory);
+            for (bytes, in_port, now) in packets {
+                let accepted = dp.submit(bytes.clone(), *in_port, *now);
+                assert!(accepted.is_some(), "lossless submit refused a packet");
+            }
+            let report = dp.shutdown();
+            let tag = format!("{proto} workers={workers} batch={batch}");
+
+            let outcomes = report.sorted_outcomes();
+            assert_eq!(outcomes.len(), expected.len(), "{tag}: packet count");
+            for (i, outcome) in outcomes.iter().enumerate() {
+                assert_eq!(outcome.seq, i as u64, "{tag}: submission order");
+                assert_eq!(outcome.verdict, expected[i].0, "{tag}: verdict of packet {i}");
+                assert_eq!(outcome.bytes, expected[i].1, "{tag}: bytes of packet {i}");
+            }
+
+            let mut pit: Vec<_> =
+                report.workers.iter().flat_map(|w| pit_digest(&w.router)).collect();
+            pit.sort();
+            assert_eq!(pit, expected_pit, "{tag}: merged PIT state");
+            let mut cs: Vec<_> = report.workers.iter().flat_map(|w| cs_digest(&w.router)).collect();
+            cs.sort();
+            assert_eq!(cs, expected_cs, "{tag}: merged content-store state");
+        }
+    }
+}
+
+#[test]
+fn dip32_sharded_equals_sequential() {
+    let factory = |_| {
+        let mut r = DipRouter::new(0, [7; 16]);
+        r.state_mut().ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
+        r.state_mut().ipv4_fib.add_route(Ipv4Addr::new(10, 9, 0, 0), 16, NextHop::port(2));
+        r
+    };
+    let mut rng = DetRng::seed_from_u64(0xd1001);
+    let packets: Vec<Packet> = (0..240u64)
+        .map(|i| {
+            // ~32 repeating flows, two route prefixes, some unrouted.
+            let flow = rng.gen_index(32) as u8;
+            let first = if rng.gen_bool(0.1) { 172 } else { 10 };
+            let repr = ip::dip32_packet(
+                Ipv4Addr::new(first, flow % 12, flow, 1),
+                Ipv4Addr::new(1, 1, 1, 1),
+                64,
+            );
+            (repr.to_bytes(&i.to_be_bytes()).unwrap(), flow as Port % 3, i)
+        })
+        .collect();
+    assert_deterministic("dip32", factory, &packets);
+}
+
+#[test]
+fn dip128_sharded_equals_sequential() {
+    let factory = |_| {
+        let mut r = DipRouter::new(0, [8; 16]);
+        r.state_mut().ipv6_fib.add_route(
+            Ipv6Addr::new([0xfdaa, 0, 0, 0, 0, 0, 0, 0]),
+            16,
+            NextHop::port(4),
+        );
+        r
+    };
+    let mut rng = DetRng::seed_from_u64(0xd1002);
+    let packets: Vec<Packet> = (0..160u64)
+        .map(|i| {
+            let flow = rng.gen_index(24) as u16;
+            let prefix = if rng.gen_bool(0.15) { 0xfdbb } else { 0xfdaa };
+            let repr = ip::dip128_packet(
+                Ipv6Addr::new([prefix, flow, 0, 0, 0, 0, 0, 2]),
+                Ipv6Addr::new([0xfdcc, 0, 0, 0, 0, 0, 0, 1]),
+                64,
+            );
+            (repr.to_bytes(&i.to_be_bytes()).unwrap(), 0, i)
+        })
+        .collect();
+    assert_deterministic("dip128", factory, &packets);
+}
+
+#[test]
+fn ndn_sharded_equals_sequential() {
+    let names: Vec<Name> = (0..24).map(|i| Name::parse(&format!("/det/content/{i}"))).collect();
+    let names_for_factory = names.clone();
+    let factory = move |_| {
+        let mut r = DipRouter::new(0, [9; 16]);
+        // Capacity far above the distinct-name count: no LRU eviction, so
+        // the merged per-shard stores must equal the reference store.
+        r.state_mut().enable_content_store(1024);
+        for name in &names_for_factory {
+            r.state_mut().name_fib.add_route(name, NextHop::port(1));
+        }
+        r
+    };
+    let mut rng = DetRng::seed_from_u64(0xd1003);
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut now = 0u64;
+    // Interleaved interests (repeats exercise PIT aggregation and
+    // duplicate suppression) and data (PIT consumption + CS insert); late
+    // interests for already-answered names hit the content store.
+    for round in 0..3 {
+        for _ in 0..80 {
+            now += 1;
+            let name = &names[rng.gen_index(names.len())];
+            if round > 0 && rng.gen_bool(0.35) {
+                let payload = name.compact32().to_be_bytes();
+                packets.push((ndn::data(name, 64).to_bytes(&payload).unwrap(), 9, now));
+            } else {
+                let face = rng.gen_index(4) as Port;
+                packets.push((ndn::interest(name, 64).to_bytes(&[]).unwrap(), face, now));
+            }
+        }
+    }
+    assert_deterministic("ndn", factory, &packets);
+}
+
+#[test]
+fn opt_sharded_equals_sequential() {
+    let factory = |_| {
+        let mut r = DipRouter::new(0, [0x42; 16]);
+        r.config_mut().default_port = Some(1);
+        r
+    };
+    let session = OptSession::establish([5; 16], &[6; 16], &[[0x42; 16]]);
+    let packets: Vec<Packet> = (0..120u32)
+        .map(|i| {
+            let payload = u64::from(i).to_be_bytes();
+            let repr = session.packet(&payload, i, 64);
+            (repr.to_bytes(&payload).unwrap(), 0, u64::from(i))
+        })
+        .collect();
+    assert_deterministic("opt", factory, &packets);
+}
+
+#[test]
+fn xia_sharded_equals_sequential() {
+    let ad = Xid::derive(b"det-ad");
+    let hid = Xid::derive(b"det-hid");
+    let local_cid = Xid::derive(b"cid-7");
+    let factory = move |_| {
+        let mut r = DipRouter::new(0, [3; 16]);
+        r.state_mut().xia.add_route(XidType::Ad, ad, XiaNextHop::Port(1));
+        r.state_mut().xia.add_route(XidType::Cid, local_cid, XiaNextHop::Local);
+        r
+    };
+    let mut rng = DetRng::seed_from_u64(0xd1005);
+    let packets: Vec<Packet> = (0..120u64)
+        .map(|i| {
+            // 16 distinct CIDs; cid-7 terminates locally, the rest fall
+            // back to the AD route.
+            let cid = Xid::derive(format!("cid-{}", rng.gen_index(16)).as_bytes());
+            let dag = Dag::direct_with_fallback(DagNode::sink(XidType::Cid, cid), ad, hid).unwrap();
+            (xia::packet(&dag, 64).to_bytes(b"stream").unwrap(), 0, i)
+        })
+        .collect();
+    assert_deterministic("xia", factory, &packets);
+}

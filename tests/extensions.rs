@@ -56,7 +56,7 @@ fn telemetry_reconstructs_the_path_in_the_simulator() {
         30_000, // 30 µs per link
     );
     for &r in &routers {
-        let rt = net.router_mut(r);
+        let rt = net.router_mut(r).unwrap();
         rt.state_mut().name_fib.add_route(&name, NextHop::port(1));
         rt.registry_mut().install(Arc::new(telemetry::TelemetryOp));
     }

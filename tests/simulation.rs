@@ -28,14 +28,14 @@ fn five_hop_chain_retrieval() {
         10_000,
     );
     for &r in &routers {
-        net.router_mut(r).state_mut().name_fib.add_route(&name, NextHop::port(1));
+        net.router_mut(r).unwrap().state_mut().name_fib.add_route(&name, NextHop::port(1));
     }
     net.send(consumer, 0, dip::protocols::ndn::interest(&name, 64).to_bytes(&[]).unwrap(), 0);
     net.run();
-    assert_eq!(net.host(consumer).delivered.len(), 1);
-    assert_eq!(net.host(consumer).delivered[0].payload, b"data-0");
+    assert_eq!(net.host(consumer).unwrap().delivered.len(), 1);
+    assert_eq!(net.host(consumer).unwrap().delivered[0].payload, b"data-0");
     // 10 link traversals at 10µs plus processing: at least 100µs.
-    assert!(net.host(consumer).delivered[0].time >= 100_000);
+    assert!(net.host(consumer).unwrap().delivered[0].time >= 100_000);
 }
 
 #[test]
@@ -51,7 +51,7 @@ fn router_content_store_shortcuts_the_path() {
         10_000,
     );
     for &r in &routers {
-        let rt = net.router_mut(r);
+        let rt = net.router_mut(r).unwrap();
         rt.state_mut().name_fib.add_route(&name, NextHop::port(1));
         rt.state_mut().enable_content_store(8);
     }
@@ -59,15 +59,15 @@ fn router_content_store_shortcuts_the_path() {
     let mk = |tag: u8| dip::protocols::ndn::interest(&name, 64).to_bytes(&[tag]).unwrap();
     net.send(consumer, 0, mk(1), 0);
     net.run();
-    assert_eq!(net.host(consumer).delivered.len(), 1);
+    assert_eq!(net.host(consumer).unwrap().delivered.len(), 1);
     assert_eq!(net.trace().cache_hits(), 0);
 
     // Second retrieval (distinct nonce) is served by the first router.
     net.send(consumer, 0, mk(2), net.now() + 1_000_000);
     net.run();
-    assert_eq!(net.host(consumer).delivered.len(), 2);
+    assert_eq!(net.host(consumer).unwrap().delivered.len(), 2);
     assert_eq!(net.trace().cache_hits(), 1);
-    assert_eq!(net.host(consumer).delivered[1].payload, b"data-0");
+    assert_eq!(net.host(consumer).unwrap().delivered[1].payload, b"data-0");
 }
 
 #[test]
@@ -86,7 +86,7 @@ fn lossy_link_drops_show_in_trace() {
     net.connect_with(producer, 0, r, 1, 1_000, 1_000_000_000, FaultConfig::lossy(100.0));
     net.send(consumer, 0, dip::protocols::ndn::interest(&name, 64).to_bytes(&[]).unwrap(), 0);
     net.run();
-    assert_eq!(net.host(consumer).delivered.len(), 0);
+    assert_eq!(net.host(consumer).unwrap().delivered.len(), 0);
     assert!(net.trace().link_drops() >= 1);
 }
 
@@ -98,13 +98,13 @@ fn heterogeneous_router_notifies_source_host() {
     let hosts = vec![Host::consumer(100), Host::consumer(101)];
     let (core, ids) = star(&mut net, [9; 16], hosts, 1_000);
     let limited = FnRegistry::with_keys(&[FnKey::Match32, FnKey::Source]);
-    *net.router_mut(core).registry_mut() = limited;
+    *net.router_mut(core).unwrap().registry_mut() = limited;
 
     let session = OptSession::establish([1; 16], &[2; 16], &[[9; 16]]);
     net.send(ids[0], 0, session.packet(b"x", 1, 64).to_bytes(b"x").unwrap(), 0);
     net.run();
 
-    let msgs = &net.host(ids[0]).control_messages;
+    let msgs = &net.host(ids[0]).unwrap().control_messages;
     assert_eq!(msgs.len(), 1);
     match &msgs[0] {
         dip::core::control::ControlMessage::FnUnsupported { key, node_id, .. } => {
@@ -125,7 +125,11 @@ fn star_many_consumers_share_one_producer() {
     hosts.push(Host::producer(99, catalog(std::slice::from_ref(&name))));
     let (core, ids) = star(&mut net, [1; 16], hosts, 2_000);
     let producer_port = (ids.len() - 1) as u32;
-    net.router_mut(core).state_mut().name_fib.add_route(&name, NextHop::port(producer_port));
+    net.router_mut(core)
+        .unwrap()
+        .state_mut()
+        .name_fib
+        .add_route(&name, NextHop::port(producer_port));
 
     for (i, id) in ids[..4].iter().enumerate() {
         let interest = dip::protocols::ndn::interest(&name, 64).to_bytes(&[i as u8]).unwrap();
@@ -133,7 +137,7 @@ fn star_many_consumers_share_one_producer() {
     }
     net.run();
     // PIT aggregation: all four consumers got the data...
-    let total: usize = ids[..4].iter().map(|id| net.host(*id).delivered.len()).sum();
+    let total: usize = ids[..4].iter().map(|id| net.host(*id).unwrap().delivered.len()).sum();
     assert_eq!(total, 4);
     // ...but the producer answered only once (later interests aggregated).
     let producer_sends = net
@@ -159,7 +163,7 @@ fn deterministic_given_a_seed() {
             7_000,
         );
         for &r in &routers {
-            net.router_mut(r).state_mut().name_fib.add_route(&name, NextHop::port(1));
+            net.router_mut(r).unwrap().state_mut().name_fib.add_route(&name, NextHop::port(1));
         }
         for i in 0..10u8 {
             net.send(
@@ -170,7 +174,7 @@ fn deterministic_given_a_seed() {
             );
         }
         net.run();
-        (net.now(), net.host(consumer).delivered.len(), net.trace().events().len())
+        (net.now(), net.host(consumer).unwrap().delivered.len(), net.trace().events().len())
     };
     assert_eq!(run(), run());
 }
