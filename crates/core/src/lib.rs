@@ -35,6 +35,7 @@ pub mod budget;
 pub mod chain;
 pub mod control;
 pub mod host;
+pub mod metrics;
 pub mod router;
 pub mod stack;
 pub mod tunnel;
@@ -42,5 +43,6 @@ pub mod tunnel;
 pub use budget::{BudgetMeter, ProcessingBudget};
 pub use chain::{parse_packet, CompiledChain, ParsedPacket};
 pub use control::ControlMessage;
+pub use metrics::RouterMetrics;
 pub use router::{DipRouter, ProcessStats, RouterConfig, UnknownFnPolicy, Verdict};
 pub use stack::{DipHost, ProtocolId};

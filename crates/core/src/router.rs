@@ -18,8 +18,10 @@
 use crate::budget::{BudgetMeter, ProcessingBudget};
 use crate::chain::{parse_packet, ChainEntry, CompiledChain, ParsedPacket};
 use crate::control::ControlMessage;
+use crate::metrics::RouterMetrics;
 use dip_fnops::{Action, DropReason, FnRegistry, OpCost, PacketCtx, RouterState};
 use dip_tables::{Port, Ticks};
+use dip_telemetry::{PacketOutcome, Registry};
 use dip_wire::triple::FnKey;
 use dip_wire::DipPacket;
 use std::collections::HashSet;
@@ -88,6 +90,23 @@ pub enum Verdict {
     Drop(DropReason),
 }
 
+impl Verdict {
+    /// Collapses the verdict into the workspace-wide accounting taxonomy:
+    /// every packet is exactly one of forwarded / consumed / dropped.
+    /// `Deliver`, `RespondCached`, and `Notify` all end the packet's life
+    /// at this node, so they count as [`PacketOutcome::Consumed`].
+    pub fn outcome(&self) -> PacketOutcome {
+        match self {
+            Verdict::Forward(_) => PacketOutcome::Forwarded,
+            Verdict::Deliver | Verdict::Consumed | Verdict::RespondCached(_) => {
+                PacketOutcome::Consumed
+            }
+            Verdict::Notify(_) => PacketOutcome::Consumed,
+            Verdict::Drop(reason) => PacketOutcome::Dropped(*reason),
+        }
+    }
+}
+
 /// Accounting for one processed packet.
 #[derive(Debug, Clone, Default)]
 pub struct ProcessStats {
@@ -134,6 +153,7 @@ pub struct DipRouter {
     state: RouterState,
     registry: FnRegistry,
     config: RouterConfig,
+    metrics: Option<RouterMetrics>,
 }
 
 impl DipRouter {
@@ -143,7 +163,23 @@ impl DipRouter {
             state: RouterState::new(node_id, local_secret),
             registry: FnRegistry::standard(),
             config: RouterConfig::default(),
+            metrics: None,
         }
+    }
+
+    /// Wires this router to a telemetry [`Registry`]: verdict counters,
+    /// execute-latency histogram, per-FN invocation counters, and the
+    /// PIT's expired-eviction counter, all under `labels`.
+    ///
+    /// Until called, processing records nothing and takes no `Instant`
+    /// samples.
+    pub fn attach_metrics(&mut self, registry: &Registry, labels: &[(&str, &str)]) {
+        self.state.pit.set_eviction_counter(registry.counter(
+            "dip_pit_expired_evictions_total",
+            "PIT entries removed because their lifetime elapsed",
+            labels,
+        ));
+        self.metrics = Some(RouterMetrics::new(registry, labels));
     }
 
     /// Replaces the registry (heterogeneous AS configurations, §2.4).
@@ -204,7 +240,11 @@ impl DipRouter {
     ) -> (Verdict, ProcessStats) {
         // Lines 1–3: parse basic header, triples, locations.
         let Some(parsed) = parse_packet(buf) else {
-            return (Verdict::Drop(DropReason::MalformedField), ProcessStats::default());
+            let verdict = Verdict::Drop(DropReason::MalformedField);
+            if let Some(metrics) = self.metrics.as_ref() {
+                metrics.count_verdict(&verdict);
+            }
+            return (verdict, ProcessStats::default());
         };
         let chain = CompiledChain::compile(
             &parsed.triples,
@@ -225,6 +265,26 @@ impl DipRouter {
     /// per packet, amortizing registry lookups and the §2.2 plan across
     /// the batch.
     pub fn process_parsed(
+        &mut self,
+        buf: &mut [u8],
+        parsed: &ParsedPacket,
+        chain: &CompiledChain,
+        in_port: Port,
+        now: Ticks,
+    ) -> (Verdict, ProcessStats) {
+        // Take the Instant only when someone is listening: unattached
+        // routers must not pay a clock read per packet.
+        let start = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let (verdict, stats) = self.process_parsed_inner(buf, parsed, chain, in_port, now);
+        if let (Some(metrics), Some(start)) = (self.metrics.as_ref(), start) {
+            metrics
+                .observe_execute_ns(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            metrics.count_verdict(&verdict);
+        }
+        (verdict, stats)
+    }
+
+    fn process_parsed_inner(
         &mut self,
         buf: &mut [u8],
         parsed: &ParsedPacket,
@@ -281,6 +341,9 @@ impl DipRouter {
             }
             stats.fns_executed += 1;
             stats.cost = meter.cost;
+            if let Some(metrics) = self.metrics.as_mut() {
+                metrics.count_op(triple.key);
+            }
             match op.execute(triple, &mut self.state, &mut ctx) {
                 Action::Continue => {}
                 Action::Forward(p) => {
@@ -482,6 +545,47 @@ mod tests {
         let mut pkt = repr.to_bytes(b"x").unwrap();
         let (verdict, _) = r.process(&mut pkt, 0, 0);
         assert_eq!(verdict, Verdict::Deliver);
+    }
+
+    #[test]
+    fn attached_metrics_count_verdicts_ops_and_latency() {
+        let registry = dip_telemetry::Registry::new();
+        let mut r = DipRouter::new(1, [1; 16]);
+        r.attach_metrics(&registry, &[("node", "1")]);
+        r.state_mut().ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(3));
+
+        let mut routed = dip32_packet([10, 1, 2, 3], [192, 168, 0, 1]);
+        assert_eq!(r.process(&mut routed, 0, 0).0, Verdict::Forward(vec![3]));
+        let mut unrouted = dip32_packet([99, 1, 2, 3], [192, 168, 0, 1]);
+        assert!(matches!(r.process(&mut unrouted, 0, 0).0, Verdict::Drop(_)));
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.sum_where("dip_router_verdicts_total", &[("verdict", "forward")]), 1);
+        assert_eq!(snap.sum_where("dip_router_verdicts_total", &[("verdict", "drop")]), 1);
+        // Match32 ran on both packets, Source only on the routed one (the
+        // unrouted packet dropped at the match stage).
+        assert_eq!(snap.sum_where("dip_fn_invocations_total", &[("fn", "Match32")]), 2);
+        assert_eq!(snap.sum_where("dip_fn_invocations_total", &[("fn", "Source")]), 1);
+        // Two process() calls -> two latency observations.
+        assert_eq!(snap.get("dip_router_execute_ns_count"), 2);
+        assert_eq!(
+            snap.get("dip_router_verdicts_total"),
+            2,
+            "each packet gets exactly one verdict"
+        );
+    }
+
+    #[test]
+    fn verdict_outcome_taxonomy() {
+        use dip_telemetry::PacketOutcome;
+        assert_eq!(Verdict::Forward(vec![1]).outcome(), PacketOutcome::Forwarded);
+        assert_eq!(Verdict::Deliver.outcome(), PacketOutcome::Consumed);
+        assert_eq!(Verdict::Consumed.outcome(), PacketOutcome::Consumed);
+        assert_eq!(Verdict::RespondCached(vec![]).outcome(), PacketOutcome::Consumed);
+        assert_eq!(
+            Verdict::Drop(DropReason::NoRoute).outcome(),
+            PacketOutcome::Dropped(DropReason::NoRoute)
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use batch::{PacketBatch, PacketSlot};
 pub use program::{Admission, CacheStats, ProgramCache};
 pub use router::DataplaneRouter;
 pub use runtime::{
-    Backpressure, Dataplane, DataplaneConfig, DataplaneReport, PacketOutcome, WorkerReport,
+    Backpressure, Dataplane, DataplaneConfig, DataplaneReport, PacketRecord, WorkerReport,
     WorkerStats,
 };
 pub use shard::FlowShard;

@@ -7,19 +7,23 @@
 //! with acquire/release pairs and no locks or CAS loops on the hot path.
 //!
 //! Backpressure is explicit: [`RingProducer::try_push`] hands the value
-//! back when the ring is full and the caller decides whether to spin
-//! (lossless) or count a drop ([`RingProducer::record_drop`]), exactly the
-//! choice a NIC driver makes per queue. Occupancy and drop counters are
-//! exported per ring so the benchmark can report where packets died.
+//! back when the ring is full (the lossless caller spins), while
+//! [`RingProducer::push_or_drop`] discards and counts in one step (NIC
+//! drop semantics) — counting is not a separate call the caller can
+//! forget. The drop counter is a [`dip_telemetry::Counter`] the caller
+//! may share (see [`spsc_counted`]), so ring drops land directly in a
+//! metrics registry; occupancy is exported per ring so the benchmark can
+//! report where packets died.
 //!
 //! This module is the only place in the workspace that uses `unsafe`; the
 //! invariants are spelled out on each block.
 
 #![allow(unsafe_code)]
 
+use dip_telemetry::Counter;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Pads a hot atomic to its own cache line so the producer and consumer
@@ -35,8 +39,6 @@ struct Shared<T> {
     head: CachePadded<AtomicUsize>,
     /// Next slot the producer will write. Written only by the producer.
     tail: CachePadded<AtomicUsize>,
-    /// Values the producer chose to discard on backpressure.
-    drops: AtomicU64,
 }
 
 // SAFETY: the ring is shared between exactly one producer and one consumer
@@ -62,12 +64,24 @@ impl<T> Drop for Shared<T> {
     }
 }
 
+/// Whether [`RingProducer::push_or_drop`] queued or discarded the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a Dropped outcome usually changes what the caller returns"]
+pub enum PushOutcome {
+    /// The value was enqueued.
+    Queued,
+    /// The ring was full: the value was dropped and the drop counted.
+    Dropped,
+}
+
 /// The producing half of an SPSC ring. Not cloneable: exactly one producer.
 pub struct RingProducer<T> {
     shared: Arc<Shared<T>>,
     /// Cached copy of the consumer's head, refreshed only when the ring
     /// looks full — most pushes touch no shared cache line but the tail.
     cached_head: usize,
+    /// Values discarded on backpressure; possibly shared with a registry.
+    drops: Arc<Counter>,
 }
 
 /// The consuming half of an SPSC ring. Not cloneable: exactly one consumer.
@@ -78,8 +92,19 @@ pub struct RingConsumer<T> {
 }
 
 /// Creates a ring holding at most `capacity` items (rounded up to a power
-/// of two, minimum 2).
+/// of two, minimum 2) with a private drop counter.
 pub fn spsc<T: Send>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>) {
+    spsc_counted(capacity, Arc::new(Counter::new()))
+}
+
+/// Like [`spsc`], but drops are counted on the caller's `drops` counter —
+/// typically a `dip_drops_total{reason="queue_full"}` instance from a
+/// telemetry registry, so ring drops appear in the unified ledger without
+/// a second bookkeeping path.
+pub fn spsc_counted<T: Send>(
+    capacity: usize,
+    drops: Arc<Counter>,
+) -> (RingProducer<T>, RingConsumer<T>) {
     let cap = capacity.max(2).next_power_of_two();
     let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
         (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
@@ -88,10 +113,9 @@ pub fn spsc<T: Send>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>) {
         slots,
         head: CachePadded(AtomicUsize::new(0)),
         tail: CachePadded(AtomicUsize::new(0)),
-        drops: AtomicU64::new(0),
     });
     (
-        RingProducer { shared: Arc::clone(&shared), cached_head: 0 },
+        RingProducer { shared: Arc::clone(&shared), cached_head: 0, drops },
         RingConsumer { shared, cached_tail: 0 },
     )
 }
@@ -116,14 +140,23 @@ impl<T> RingProducer<T> {
         Ok(())
     }
 
-    /// Counts one packet discarded under backpressure.
-    pub fn record_drop(&self) {
-        self.shared.drops.fetch_add(1, Ordering::Relaxed);
+    /// Enqueues `value`, or — when the ring is full — drops it and counts
+    /// the drop, in one step. Replaces the old `try_push` +
+    /// `record_drop` pair, which let callers silently forget the count.
+    pub fn push_or_drop(&mut self, value: T) -> PushOutcome {
+        match self.try_push(value) {
+            Ok(()) => PushOutcome::Queued,
+            Err(rejected) => {
+                drop(rejected);
+                self.drops.inc();
+                PushOutcome::Dropped
+            }
+        }
     }
 
     /// Total packets discarded under backpressure on this ring.
     pub fn drops(&self) -> u64 {
-        self.shared.drops.load(Ordering::Relaxed)
+        self.drops.get()
     }
 
     /// Items currently queued (racy snapshot; exact when quiescent).
@@ -194,14 +227,91 @@ mod tests {
     }
 
     #[test]
-    fn drop_counter_is_explicit() {
+    fn push_or_drop_counts_atomically() {
         let (mut tx, _rx) = spsc::<u8>(2);
-        tx.try_push(1).unwrap();
-        tx.try_push(2).unwrap();
-        if tx.try_push(3).is_err() {
-            tx.record_drop();
+        assert_eq!(tx.push_or_drop(1), PushOutcome::Queued);
+        assert_eq!(tx.push_or_drop(2), PushOutcome::Queued);
+        assert_eq!(tx.push_or_drop(3), PushOutcome::Dropped);
+        assert_eq!(tx.drops(), 1, "the failed push counted its own drop");
+    }
+
+    #[test]
+    fn shared_drop_counter_feeds_a_registry() {
+        let counter = Arc::new(Counter::new());
+        let (mut tx, _rx) = spsc_counted::<u8>(2, Arc::clone(&counter));
+        let _ = tx.push_or_drop(1);
+        let _ = tx.push_or_drop(2);
+        let _ = tx.push_or_drop(3);
+        let _ = tx.push_or_drop(4);
+        assert_eq!(counter.get(), 2, "drops land on the caller's counter");
+        assert_eq!(tx.drops(), 2);
+    }
+
+    #[test]
+    fn drops_plus_deliveries_plus_occupancy_balance() {
+        // The conservation law behind the unified accounting: every value
+        // handed to the producer is delivered, still queued, or counted as
+        // a drop — no silent loss, no double counting.
+        let (mut tx, mut rx) = spsc::<u32>(4);
+        let mut pushed = 0u64;
+        let mut queued = 0u64;
+        let mut popped = 0u64;
+        for i in 0..10 {
+            pushed += 1;
+            if tx.push_or_drop(i) == PushOutcome::Queued {
+                queued += 1;
+            }
         }
-        assert_eq!(tx.drops(), 1);
+        for _ in 0..2 {
+            assert!(rx.try_pop().is_some());
+            popped += 1;
+        }
+        for i in 10..13 {
+            pushed += 1;
+            if tx.push_or_drop(i) == PushOutcome::Queued {
+                queued += 1;
+            }
+        }
+        assert_eq!(queued, popped + tx.occupancy() as u64);
+        assert_eq!(pushed, tx.drops() + popped + tx.occupancy() as u64);
+        // Drain fully and re-check the balance at quiescence.
+        while rx.try_pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(tx.occupancy(), 0);
+        assert_eq!(pushed, tx.drops() + popped);
+    }
+
+    #[test]
+    fn cross_thread_balance_under_drop_pressure() {
+        let (mut tx, mut rx) = spsc::<u64>(8);
+        const N: u64 = 10_000;
+        let consumer = std::thread::spawn(move || {
+            let mut popped = 0u64;
+            let mut empty_streak = 0;
+            loop {
+                if rx.try_pop().is_some() {
+                    popped += 1;
+                    empty_streak = 0;
+                } else {
+                    empty_streak += 1;
+                    if empty_streak > 10_000 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            popped
+        });
+        let mut queued = 0u64;
+        for i in 0..N {
+            if tx.push_or_drop(i) == PushOutcome::Queued {
+                queued += 1;
+            }
+        }
+        let popped = consumer.join().unwrap();
+        assert_eq!(queued + tx.drops(), N, "every push queued or counted");
+        assert_eq!(popped + tx.occupancy() as u64, queued, "every queued item accounted");
     }
 
     #[test]
@@ -227,6 +337,29 @@ mod tests {
         drop(rx.try_pop());
         drop((tx, rx));
         assert_eq!(LIVE.load(Ordering::SeqCst), 0, "no leaks, no double drops");
+    }
+
+    #[test]
+    fn drain_on_drop_with_heap_owning_items_after_wraparound() {
+        // Non-trivial T: each item owns a heap allocation and holds an Arc
+        // whose strong count proves exactly-once destruction. Push/pop past
+        // the capacity boundary first so the queued range wraps the slot
+        // array, then drop the ring with items still queued.
+        let token = Arc::new(());
+        {
+            let (mut tx, mut rx) = spsc::<(Vec<u8>, Arc<()>)>(4);
+            for i in 0..6u8 {
+                // 6 pushes with interleaved pops: positions wrap the mask.
+                tx.try_push((vec![i; 64], Arc::clone(&token))).unwrap();
+                if i % 2 == 0 {
+                    let (buf, _t) = rx.try_pop().unwrap();
+                    assert_eq!(buf.len(), 64);
+                }
+            }
+            assert_eq!(tx.occupancy(), 3, "items left queued across the wrap point");
+            // Ring dropped here with 3 queued items.
+        }
+        assert_eq!(Arc::strong_count(&token), 1, "queued items dropped exactly once");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use dip_fnops::{DropReason, FnRegistry};
 use dip_sim::engine::RouterNode;
 use dip_sim::SimTime;
 use dip_tables::{Port, Ticks};
+use dip_telemetry::Registry;
 
 struct Shard {
     router: DipRouter,
@@ -116,6 +117,14 @@ impl RouterNode for DataplaneRouter {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn attach_metrics(&mut self, registry: &Registry, node: usize) {
+        let n = node.to_string();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let s = i.to_string();
+            shard.router.attach_metrics(registry, &[("node", n.as_str()), ("shard", s.as_str())]);
+        }
     }
 }
 

@@ -30,12 +30,13 @@
 
 use crate::batch::PacketBatch;
 use crate::program::{Admission, CacheStats, ProgramCache};
-use crate::ring::{spsc, RingConsumer, RingProducer};
+use crate::ring::{spsc_counted, PushOutcome, RingConsumer, RingProducer};
 use crate::shard::FlowShard;
 use crate::snapshot::{EpochCell, RouteSnapshot};
 use dip_core::{parse_packet, DipRouter, ParsedPacket, Verdict};
 use dip_fnops::DropReason;
 use dip_tables::{Port, Ticks};
+use dip_telemetry::{Counter, Gauge, Histogram, OutcomeCounters, Registry, Snapshot};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -96,8 +97,12 @@ impl Default for DataplaneConfig {
 }
 
 /// The recorded result of one packet (when `record_outcomes` is on).
+///
+/// Not to be confused with [`dip_telemetry::PacketOutcome`], the
+/// three-way accounting taxonomy: a record keeps the full verdict and
+/// final bytes for test-time comparison.
 #[derive(Debug, Clone)]
-pub struct PacketOutcome {
+pub struct PacketRecord {
     /// Global admission sequence number.
     pub seq: u64,
     /// The router's decision.
@@ -138,7 +143,7 @@ pub struct WorkerReport {
     pub stats: WorkerStats,
     /// Recorded outcomes in this worker's processing order (ascending
     /// `seq` per flow; merge with [`DataplaneReport::sorted_outcomes`]).
-    pub outcomes: Vec<PacketOutcome>,
+    pub outcomes: Vec<PacketRecord>,
     /// The worker's router, returned for state inspection (PIT/CS
     /// digests in the determinism test).
     pub router: DipRouter,
@@ -153,12 +158,15 @@ pub struct DataplaneReport {
     pub ring_drops: Vec<u64>,
     /// Packets accepted by `submit`.
     pub submitted: u64,
+    /// The telemetry registry the run reported into; snapshot it to check
+    /// the accounting identity (forwarded + consumed + drops == injected).
+    pub registry: Registry,
 }
 
 impl DataplaneReport {
     /// All recorded outcomes merged into global submission order.
-    pub fn sorted_outcomes(&self) -> Vec<&PacketOutcome> {
-        let mut all: Vec<&PacketOutcome> =
+    pub fn sorted_outcomes(&self) -> Vec<&PacketRecord> {
+        let mut all: Vec<&PacketRecord> =
             self.workers.iter().flat_map(|w| w.outcomes.iter()).collect();
         all.sort_by_key(|o| o.seq);
         all
@@ -178,6 +186,8 @@ impl DataplaneReport {
 struct WorkerHandle {
     producer: RingProducer<Job>,
     handle: JoinHandle<WorkerReport>,
+    /// `dip_ring_occupancy{worker=i}`; refreshed by `metrics_snapshot`.
+    occupancy: Arc<Gauge>,
 }
 
 /// A running multi-worker dataplane.
@@ -189,6 +199,7 @@ pub struct Dataplane {
     backpressure: Backpressure,
     seq: u64,
     submitted: u64,
+    registry: Registry,
 }
 
 impl Dataplane {
@@ -198,12 +209,28 @@ impl Dataplane {
     /// (each flow only ever sees one of them).
     pub fn start(config: DataplaneConfig, factory: impl Fn(usize) -> DipRouter) -> Self {
         let n = config.workers.max(1);
+        let registry = Registry::new();
         let routes = Arc::new(EpochCell::new(RouteSnapshot::default()));
         let stop = Arc::new(AtomicBool::new(false));
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
-            let (producer, consumer) = spsc::<Job>(config.ring_capacity);
-            let router = factory(i);
+            let w = i.to_string();
+            let labels: [(&str, &str); 1] = [("worker", w.as_str())];
+            let telemetry = WorkerTelemetry::register(&registry, &labels);
+            // The ring drop counter IS `dip_drops_total{reason=queue_full}`:
+            // a packet refused at the ring never reaches a worker, so it
+            // appears in the drop taxonomy and nowhere else.
+            let (producer, consumer) = spsc_counted::<Job>(
+                config.ring_capacity,
+                telemetry.outcomes.drop_counter(DropReason::QueueFull),
+            );
+            let occupancy =
+                registry.gauge("dip_ring_occupancy", "Jobs queued on the worker ring", &labels);
+            registry
+                .gauge("dip_ring_capacity", "Ring capacity (rounded to a power of two)", &labels)
+                .set(producer.capacity() as i64);
+            let mut router = factory(i);
+            router.attach_metrics(&registry, &labels);
             let cache = ProgramCache::new(
                 router.registry().clone(),
                 router.config().clone(),
@@ -215,10 +242,12 @@ impl Dataplane {
             let handle = std::thread::Builder::new()
                 .name(format!("dip-worker-{i}"))
                 .spawn(move || {
-                    worker_loop(router, cache, consumer, routes, stop, batch_size, record)
+                    worker_loop(
+                        router, cache, consumer, routes, stop, batch_size, record, telemetry,
+                    )
                 })
                 .expect("spawn dataplane worker");
-            workers.push(WorkerHandle { producer, handle });
+            workers.push(WorkerHandle { producer, handle, occupancy });
         }
         Dataplane {
             workers,
@@ -228,6 +257,7 @@ impl Dataplane {
             backpressure: config.backpressure,
             seq: 0,
             submitted: 0,
+            registry,
         }
     }
 
@@ -245,23 +275,28 @@ impl Dataplane {
         self.seq += 1;
         let mut job = Job { packet, seq, in_port, now };
         let producer = &mut self.workers[shard].producer;
-        loop {
-            match producer.try_push(job) {
-                Ok(()) => {
+        match self.backpressure {
+            // One call both enqueues-or-discards and keeps the drop
+            // counter consistent with what actually happened to the job.
+            Backpressure::Drop => match producer.push_or_drop(job) {
+                PushOutcome::Queued => {
                     self.submitted += 1;
-                    return Some(seq);
+                    Some(seq)
                 }
-                Err(back) => match self.backpressure {
-                    Backpressure::Drop => {
-                        producer.record_drop();
-                        return None;
+                PushOutcome::Dropped => None,
+            },
+            Backpressure::Block => loop {
+                match producer.try_push(job) {
+                    Ok(()) => {
+                        self.submitted += 1;
+                        return Some(seq);
                     }
-                    Backpressure::Block => {
+                    Err(back) => {
                         job = back;
                         std::thread::yield_now();
                     }
-                },
-            }
+                }
+            },
         }
     }
 
@@ -276,6 +311,22 @@ impl Dataplane {
         self.workers.iter().map(|w| w.producer.occupancy()).collect()
     }
 
+    /// The telemetry registry every worker (and its router) reports into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Refreshes the ring-occupancy gauges and snapshots the registry.
+    ///
+    /// Safe to call while the dataplane runs: counters are monotonic, so
+    /// the snapshot is a consistent lower bound even mid-batch.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        for w in &self.workers {
+            w.occupancy.set(w.producer.occupancy() as i64);
+        }
+        self.registry.snapshot()
+    }
+
     /// Drains the rings, stops the workers, and collects their reports.
     pub fn shutdown(self) -> DataplaneReport {
         self.stop.store(true, Ordering::Release);
@@ -284,11 +335,89 @@ impl Dataplane {
         for w in self.workers {
             ring_drops.push(w.producer.drops());
             reports.push(w.handle.join().expect("dataplane worker panicked"));
+            w.occupancy.set(0);
         }
-        DataplaneReport { workers: reports, ring_drops, submitted: self.submitted }
+        DataplaneReport {
+            workers: reports,
+            ring_drops,
+            submitted: self.submitted,
+            registry: self.registry,
+        }
     }
 }
 
+/// Packets-per-batch histogram bounds: powers of two up to a generous
+/// batch size.
+const BATCH_FILL_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// The counters one worker thread reports into the dataplane [`Registry`].
+///
+/// Registered on the dispatcher thread (so registration order is
+/// deterministic), then moved into the worker.
+struct WorkerTelemetry {
+    outcomes: OutcomeCounters,
+    batches: Arc<Counter>,
+    batch_fill: Arc<Histogram>,
+    fns_executed: Arc<Counter>,
+    epoch_refreshes: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_rejected: Arc<Counter>,
+    /// Cache totals already exported; `sync_cache` publishes the delta.
+    cache_seen: CacheStats,
+}
+
+impl WorkerTelemetry {
+    fn register(registry: &Registry, labels: &[(&str, &str)]) -> Self {
+        WorkerTelemetry {
+            outcomes: OutcomeCounters::register(registry, labels),
+            batches: registry.counter("dip_worker_batches_total", "Batches executed", labels),
+            batch_fill: registry.histogram(
+                "dip_worker_batch_fill",
+                "Packets per executed batch",
+                labels,
+                &BATCH_FILL_BOUNDS,
+            ),
+            fns_executed: registry.counter(
+                "dip_worker_fns_executed_total",
+                "Router-executed FN operations",
+                labels,
+            ),
+            epoch_refreshes: registry.counter(
+                "dip_worker_epoch_refreshes_total",
+                "Route-snapshot swaps picked up at batch boundaries",
+                labels,
+            ),
+            cache_hits: registry.counter(
+                "dip_program_cache_hits_total",
+                "Program-cache hits",
+                labels,
+            ),
+            cache_misses: registry.counter(
+                "dip_program_cache_misses_total",
+                "Program-cache misses (compile + admission on first sight)",
+                labels,
+            ),
+            cache_rejected: registry.counter(
+                "dip_program_cache_rejected_total",
+                "Programs refused admission by dipcheck",
+                labels,
+            ),
+            cache_seen: CacheStats::default(),
+        }
+    }
+
+    /// Publishes the program-cache counters as deltas against the last
+    /// sync, so mid-run snapshots see live values.
+    fn sync_cache(&mut self, stats: CacheStats) {
+        self.cache_hits.add(stats.hits - self.cache_seen.hits);
+        self.cache_misses.add(stats.misses - self.cache_seen.misses);
+        self.cache_rejected.add(stats.rejected - self.cache_seen.rejected);
+        self.cache_seen = stats;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     mut router: DipRouter,
     mut cache: ProgramCache,
@@ -297,6 +426,7 @@ fn worker_loop(
     stop: Arc<AtomicBool>,
     batch_size: usize,
     record_outcomes: bool,
+    mut telemetry: WorkerTelemetry,
 ) -> WorkerReport {
     let mut reader = routes.reader();
     let mut batch = PacketBatch::new(batch_size);
@@ -310,6 +440,7 @@ fn worker_loop(
         if reader.refresh() {
             reader.get().apply(router.state_mut());
             stats.epoch_refreshes += 1;
+            telemetry.epoch_refreshes.inc();
         }
         while !batch.is_full() {
             match ring.try_pop() {
@@ -327,6 +458,8 @@ fn worker_loop(
             continue;
         }
         stats.batches += 1;
+        telemetry.batches.inc();
+        telemetry.batch_fill.observe(batch.len() as u64);
         // Resolve phase: parse + program resolution for the whole batch.
         // The memo starts fresh per batch, so a batch full of one program
         // — the common case — costs a single map probe; the rest of the
@@ -363,6 +496,8 @@ fn worker_loop(
             };
             stats.processed += 1;
             stats.fns_executed += u64::from(pstats.fns_executed);
+            telemetry.fns_executed.add(u64::from(pstats.fns_executed));
+            telemetry.outcomes.record(verdict.outcome());
             match &verdict {
                 Verdict::Forward(_) => stats.forwarded += 1,
                 Verdict::Deliver | Verdict::Consumed | Verdict::RespondCached(_) => {
@@ -372,7 +507,7 @@ fn worker_loop(
                 Verdict::Drop(_) => stats.dropped += 1,
             }
             if record_outcomes {
-                outcomes.push(PacketOutcome {
+                outcomes.push(PacketRecord {
                     seq: slot.seq,
                     verdict,
                     bytes: slot.buf.clone(),
@@ -381,8 +516,10 @@ fn worker_loop(
             }
         }
         batch.recycle_all();
+        telemetry.sync_cache(cache.stats());
     }
     stats.cache = cache.stats();
+    telemetry.sync_cache(stats.cache);
     WorkerReport { stats, outcomes, router }
 }
 
@@ -498,6 +635,61 @@ mod tests {
         assert_eq!(merged[0].verdict, Verdict::Drop(DropReason::NoRoute));
         assert_eq!(merged[1].verdict, Verdict::Forward(vec![7]), "epoch swap took effect");
         assert!(report.workers.iter().any(|w| w.stats.epoch_refreshes > 0));
+    }
+
+    #[test]
+    fn registry_accounts_for_every_submitted_packet() {
+        // Mixed traffic under Drop backpressure: routed, unrouted and
+        // malformed packets plus ring drops must partition the injected
+        // total exactly — the tentpole accounting identity.
+        let config = DataplaneConfig {
+            workers: 2,
+            batch_size: 4,
+            ring_capacity: 8,
+            backpressure: Backpressure::Drop,
+            ..Default::default()
+        };
+        let mut dp = Dataplane::start(config, factory);
+        let mut injected = 0u64;
+        for i in 0..2_000 {
+            let pkt = match i % 3 {
+                0 => dip32(i),
+                1 => dip_protocols::ip::dip32_packet(
+                    Ipv4Addr::new(99, 0, (i >> 8) as u8, i as u8),
+                    Ipv4Addr::new(1, 1, 1, 1),
+                    64,
+                )
+                .to_bytes(&[])
+                .unwrap(),
+                _ => vec![0xff; 6],
+            };
+            dp.submit(pkt, 0, 0);
+            injected += 1;
+        }
+        // A live snapshot must not panic or tear (counters are monotonic).
+        let live = dp.metrics_snapshot();
+        assert!(live.get("dip_ring_capacity") > 0);
+        let report = dp.shutdown();
+        let snap = report.registry.snapshot();
+        let forwarded = snap.sum_where("dip_packets_total", &[("outcome", "forwarded")]);
+        let consumed = snap.sum_where("dip_packets_total", &[("outcome", "consumed")]);
+        let drops = snap.get("dip_drops_total");
+        assert_eq!(
+            forwarded + consumed + drops,
+            injected,
+            "every injected packet must be forwarded, consumed, or dropped exactly once"
+        );
+        // Ring drops live only in the drop taxonomy, never in
+        // packets_total (they never reached a worker).
+        assert_eq!(
+            snap.sum_where("dip_drops_total", &[("reason", "queue_full")]),
+            report.total_ring_drops()
+        );
+        assert_eq!(
+            snap.sum_where("dip_packets_total", &[("outcome", "dropped")])
+                + snap.sum_where("dip_drops_total", &[("reason", "queue_full")]),
+            drops
+        );
     }
 
     #[test]

@@ -225,41 +225,10 @@ impl<'a> PacketCtx<'a> {
     }
 }
 
-/// Why a packet was discarded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DropReason {
-    /// No FIB entry matched the destination / name.
-    NoRoute,
-    /// Data arrived with no pending interest (§3: "discards the packet").
-    PitMiss,
-    /// Duplicate interest nonce (loop suppression).
-    DuplicateInterest,
-    /// PIT capacity exhausted (§2.4 state budget).
-    StateBudgetExhausted,
-    /// An authentication tag failed verification.
-    AuthenticationFailed,
-    /// A MAC/mark operation ran before `F_parm` provided a key.
-    MissingDynamicKey,
-    /// A field could not be parsed (bad DAG, short field, ...).
-    MalformedField,
-    /// Hop limit reached zero.
-    HopLimitExceeded,
-    /// DAG navigation found no routable node on any fallback.
-    DagUnroutable,
-    /// A source label failed `F_pass` verification.
-    BadSourceLabel,
-    /// A policing operation (e.g. a NetFence-style rate limiter) dropped
-    /// the packet.
-    RateLimited,
-    /// The per-packet processing budget was exceeded (§2.4).
-    ProcessingBudgetExceeded,
-    /// An FN requiring participation is not supported here (§2.4).
-    UnsupportedFn,
-    /// Static admission (`dipcheck`) refused the packet's FN program
-    /// before execution — a dataplane shard never runs a chain with
-    /// error-severity diagnostics.
-    ProgramRejected,
-}
+// The drop taxonomy lives in `dip-telemetry` (the workspace-wide outcome
+// accounting crate); re-exported here so `dip_fnops::DropReason` — the
+// path every op module and downstream crate uses — keeps working.
+pub use dip_telemetry::DropReason;
 
 /// What an operation decided about the packet.
 ///

@@ -23,9 +23,15 @@ pub struct FibOp;
 
 /// Extracts the compact name from a field: a 32-bit field is the compact
 /// name itself; a wider field is TLV-decoded and hashed.
+///
+/// Returns `None` (callers drop with `MalformedField`) instead of
+/// panicking on short input: `read_field` guarantees 4 bytes for a 32-bit
+/// field today, but a packet-reachable path must not rely on a caller
+/// invariant for memory safety.
 pub(crate) fn field_to_names(bytes: &[u8], field_len: u16) -> Option<(u32, Option<Name>)> {
     if field_len == 32 {
-        Some((u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]), None))
+        let b = bytes.get(..4)?;
+        Some((u32::from_be_bytes([b[0], b[1], b[2], b[3]]), None))
     } else {
         let (name, _) = Name::decode_tlv(bytes).ok()?;
         Some((name.compact32(), Some(name)))

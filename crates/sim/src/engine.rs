@@ -19,11 +19,13 @@ use dip_crypto::DetRng;
 use dip_fnops::context::MacChoice;
 use dip_fnops::{FnRegistry, RouterState};
 use dip_protocols::opt::OptSession;
+use dip_telemetry::{Counter, OutcomeCounters, PacketOutcome, Registry, Snapshot};
 use dip_wire::packet::DipRepr;
 use dip_wire::triple::FnKey;
 use dip_wire::DipPacket;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Identifies a node in the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,6 +83,12 @@ pub trait RouterNode {
     /// Downcast hook so typed accessors like [`Network::router_mut`] can
     /// recover the concrete node.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Wires the node's internal counters (verdicts, FN invocations, PIT
+    /// evictions, …) to the network's [`Registry`] under a `node` label.
+    /// Called once by [`Network::add_router_node`]; the default is a
+    /// no-op for implementations without internal telemetry.
+    fn attach_metrics(&mut self, _registry: &Registry, _node: usize) {}
 }
 
 impl RouterNode for DipRouter {
@@ -103,6 +111,11 @@ impl RouterNode for DipRouter {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn attach_metrics(&mut self, registry: &Registry, node: usize) {
+        let n = node.to_string();
+        DipRouter::attach_metrics(self, registry, &[("node", n.as_str())]);
     }
 }
 
@@ -197,6 +210,38 @@ struct LinkEnd {
 struct NodeSlot {
     kind: NodeKind,
     ports: Vec<Option<LinkEnd>>,
+    /// Per-hop accounting: `dip_packets_total{node=…}` / `dip_drops_total`.
+    outcomes: OutcomeCounters,
+    /// Packets put on a link by this node (`dip_node_sent_total`).
+    sent: Arc<Counter>,
+    /// Packets lost to link faults on egress (`dip_link_dropped_total`).
+    link_dropped: Arc<Counter>,
+}
+
+impl NodeSlot {
+    fn new(kind: NodeKind, registry: &Registry, node: usize) -> Self {
+        let n = node.to_string();
+        let kind_label = match kind {
+            NodeKind::Router(_) => "router",
+            NodeKind::Host(_) => "host",
+        };
+        let labels = [("node", n.as_str()), ("kind", kind_label)];
+        NodeSlot {
+            kind,
+            ports: Vec::new(),
+            outcomes: OutcomeCounters::register(registry, &labels),
+            sent: registry.counter(
+                "dip_node_sent_total",
+                "Packets transmitted onto links",
+                &labels,
+            ),
+            link_dropped: registry.counter(
+                "dip_link_dropped_total",
+                "Packets lost to egress link faults",
+                &labels,
+            ),
+        }
+    }
 }
 
 #[derive(PartialEq, Eq)]
@@ -259,6 +304,7 @@ pub struct Network {
     pub max_events: u64,
     events_processed: u64,
     capture: Option<Vec<(SimTime, Vec<u8>)>>,
+    registry: Registry,
 }
 
 impl Network {
@@ -275,7 +321,24 @@ impl Network {
             max_events: 1_000_000,
             events_processed: 0,
             capture: None,
+            registry: Registry::new(),
         }
+    }
+
+    /// The telemetry registry every node reports into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of every counter in the network.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// The full metrics state in Prometheus text exposition format
+    /// (`dipdump --metrics` prints exactly this).
+    pub fn metrics_report(&self) -> String {
+        self.registry.render_prometheus()
     }
 
     /// Starts capturing every transmitted packet (for pcap export).
@@ -305,16 +368,19 @@ impl Network {
     }
 
     /// Adds any [`RouterNode`] implementation (e.g. the batched
-    /// multi-worker dataplane).
-    pub fn add_router_node(&mut self, node: Box<dyn RouterNode>) -> NodeId {
-        self.nodes.push(NodeSlot { kind: NodeKind::Router(node), ports: Vec::new() });
-        NodeId(self.nodes.len() - 1)
+    /// multi-worker dataplane) and wires it to the network registry.
+    pub fn add_router_node(&mut self, mut node: Box<dyn RouterNode>) -> NodeId {
+        let idx = self.nodes.len();
+        node.attach_metrics(&self.registry, idx);
+        self.nodes.push(NodeSlot::new(NodeKind::Router(node), &self.registry, idx));
+        NodeId(idx)
     }
 
     /// Adds a host node.
     pub fn add_host(&mut self, host: Host) -> NodeId {
-        self.nodes.push(NodeSlot { kind: NodeKind::Host(Box::new(host)), ports: Vec::new() });
-        NodeId(self.nodes.len() - 1)
+        let idx = self.nodes.len();
+        self.nodes.push(NodeSlot::new(NodeKind::Host(Box::new(host)), &self.registry, idx));
+        NodeId(idx)
     }
 
     /// Connects `a.port_a` ↔ `b.port_b` with symmetric characteristics.
@@ -443,6 +509,7 @@ impl Network {
             return;
         };
         self.trace.push(at, TraceEvent::Sent { node, port, len: packet.len() });
+        self.nodes[node].sent.inc();
         if let Some(cap) = self.capture.as_mut() {
             cap.push((at, packet.clone()));
         }
@@ -451,6 +518,7 @@ impl Network {
         let (peer, peer_port, faults) = (end.peer, end.peer_port, end.faults);
         if !faults.apply(&mut self.rng, &mut packet) {
             self.trace.push(at, TraceEvent::LinkDropped { node, port });
+            self.nodes[node].link_dropped.inc();
             return;
         }
         self.seq += 1;
@@ -486,6 +554,7 @@ impl Network {
                 let mac_choice = router.mac_choice();
                 let proc_ns = self.model.process_ns(&stats, packet.len(), mac_choice) as u64;
                 let done = time + proc_ns;
+                self.nodes[node].outcomes.record(verdict.outcome());
                 match verdict {
                     Verdict::Forward(ports) => {
                         for p in ports {
@@ -528,6 +597,14 @@ impl Network {
             }
             NodeKind::Host(host) => {
                 let action = host_receive(host, &mut packet, time);
+                // A host consumes everything it doesn't refuse: replies
+                // (the interest died here, a new data packet is born),
+                // deliveries, and control messages all end the packet.
+                let outcome = match &action {
+                    HostAction::Dropped(reason) => PacketOutcome::Dropped(*reason),
+                    _ => PacketOutcome::Consumed,
+                };
+                self.nodes[node].outcomes.record(outcome);
                 match action {
                     HostAction::Reply(reply) => self.transmit(node, port, reply, time),
                     HostAction::Delivered { verified, len } => {
@@ -735,6 +812,68 @@ mod tests {
         // With no routers, lint degrades to a single standard-registry hop.
         let repr = dip_protocols::ndn::interest(&Name::parse("/x"), 64);
         assert!(net.lint(&repr).is_clean());
+    }
+
+    #[test]
+    fn per_hop_metrics_account_for_every_packet() {
+        let (mut net, _r0, h0, _h1, name, _) = ndn_triangle(false);
+        let interest = dip_protocols::ndn::interest(&name, 64).to_bytes(&[]).unwrap();
+        net.send(h0, 0, interest, 0);
+        net.run();
+        let snap = net.metrics_snapshot();
+        // The router (node 0) forwarded both the interest and the data.
+        assert_eq!(
+            snap.sum_where("dip_packets_total", &[("node", "0"), ("outcome", "forwarded")]),
+            2
+        );
+        // The producer (node 2) consumed the interest (replying with
+        // data); the consumer (node 1) consumed the delivery.
+        assert_eq!(
+            snap.sum_where("dip_packets_total", &[("node", "2"), ("outcome", "consumed")]),
+            1
+        );
+        assert_eq!(
+            snap.sum_where("dip_packets_total", &[("node", "1"), ("outcome", "consumed")]),
+            1
+        );
+        assert_eq!(snap.get("dip_drops_total"), 0);
+        // add_router wired the DipRouter's own verdict counters too.
+        assert_eq!(snap.sum_where("dip_router_verdicts_total", &[("verdict", "forward")]), 2);
+        // And the Prometheus rendering carries the same families.
+        let report = net.metrics_report();
+        assert!(report.contains("# TYPE dip_packets_total counter"), "{report}");
+        assert!(report.contains("dip_node_sent_total"), "{report}");
+    }
+
+    #[test]
+    fn link_faults_are_counted_per_node() {
+        let name = Name::parse("/faulty");
+        let mut net = Network::new(3);
+        let mut r = DipRouter::new(0, [1; 16]);
+        r.state_mut().name_fib.add_route(&name, NextHop::port(1));
+        let r0 = net.add_router(r);
+        let h0 = net.add_host(Host::consumer(10));
+        net.connect(h0, 0, r0, 0, 1_000);
+        // Router egress port 1 drops everything on the floor.
+        let h1 = net.add_host(Host::producer(11, HashMap::new()));
+        net.connect_with(
+            h1,
+            0,
+            r0,
+            1,
+            1_000,
+            10_000_000_000,
+            FaultConfig { drop_chance: 1.0, corrupt_chance: 0.0 },
+        );
+        let interest = dip_protocols::ndn::interest(&name, 64).to_bytes(&[]).unwrap();
+        net.send(h0, 0, interest, 0);
+        net.run();
+        let snap = net.metrics_snapshot();
+        assert_eq!(snap.sum_where("dip_link_dropped_total", &[("node", "0")]), 1);
+        assert_eq!(
+            snap.sum_where("dip_packets_total", &[("node", "0"), ("outcome", "forwarded")]),
+            1
+        );
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //!   prescribes against state-exhaustion attacks (experiment E9).
 
 use crate::{Port, Ticks};
-use std::collections::hash_map::Entry;
+use dip_telemetry::Counter;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Result of recording an interest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,13 +54,30 @@ pub struct Pit<K: std::hash::Hash + Eq + Clone> {
     entries: HashMap<K, PitEntry>,
     capacity: usize,
     ttl: Ticks,
+    /// Expired entries removed (on lookup, revival, capacity sweep, or
+    /// explicit GC). Private by default; [`Pit::set_eviction_counter`]
+    /// wires it into a telemetry registry.
+    evictions: Arc<Counter>,
 }
 
 impl<K: std::hash::Hash + Eq + Clone> Pit<K> {
     /// Creates a PIT with a capacity bound and per-entry TTL (virtual
     /// ticks).
     pub fn new(capacity: usize, ttl: Ticks) -> Self {
-        Pit { entries: HashMap::new(), capacity, ttl }
+        Pit { entries: HashMap::new(), capacity, ttl, evictions: Arc::new(Counter::new()) }
+    }
+
+    /// Routes expired-entry eviction counts into `counter` (typically a
+    /// `dip_pit_expired_evictions_total` instance from a telemetry
+    /// registry) instead of the private default counter.
+    pub fn set_eviction_counter(&mut self, counter: Arc<Counter>) {
+        self.evictions = counter;
+    }
+
+    /// Expired entries evicted so far (any path: lookup, revival,
+    /// at-capacity sweep, explicit [`Pit::expire`]).
+    pub fn expired_evictions(&self) -> u64 {
+        self.evictions.get()
     }
 
     /// Number of live entries (including any not yet garbage-collected).
@@ -81,48 +99,59 @@ impl<K: std::hash::Hash + Eq + Clone> Pit<K> {
         nonce: u64,
         now: Ticks,
     ) -> Result<PitOutcome, PitError> {
-        let len = self.entries.len();
-        match self.entries.entry(name) {
-            Entry::Occupied(mut e) => {
-                let entry = e.get_mut();
-                if entry.expires_at <= now {
-                    // Stale entry: treat as fresh.
-                    *entry = PitEntry {
-                        faces: vec![face],
-                        nonces: HashSet::from([nonce]),
-                        expires_at: now + self.ttl,
-                    };
-                    return Ok(PitOutcome::Forward);
-                }
-                if !entry.nonces.insert(nonce) {
-                    return Ok(PitOutcome::DuplicateNonce);
-                }
-                entry.expires_at = now + self.ttl;
-                if !entry.faces.contains(&face) {
-                    entry.faces.push(face);
-                }
-                Ok(PitOutcome::Aggregated)
-            }
-            Entry::Vacant(v) => {
-                if len >= self.capacity {
-                    return Err(PitError::CapacityExhausted);
-                }
-                v.insert(PitEntry {
+        if let Some(entry) = self.entries.get_mut(&name) {
+            if entry.expires_at <= now {
+                // Stale entry: evict (counted) and treat as fresh.
+                self.evictions.inc();
+                *entry = PitEntry {
                     faces: vec![face],
                     nonces: HashSet::from([nonce]),
                     expires_at: now + self.ttl,
-                });
-                Ok(PitOutcome::Forward)
+                };
+                return Ok(PitOutcome::Forward);
+            }
+            if !entry.nonces.insert(nonce) {
+                return Ok(PitOutcome::DuplicateNonce);
+            }
+            entry.expires_at = now + self.ttl;
+            if !entry.faces.contains(&face) {
+                entry.faces.push(face);
+            }
+            return Ok(PitOutcome::Aggregated);
+        }
+        if self.entries.len() >= self.capacity {
+            // At capacity: garbage-collect expired entries before
+            // refusing — stale entries must not pin the §2.4 budget until
+            // someone calls `expire()` by hand. Only *live* entries count
+            // against an attacker's budget.
+            if self.expire(now) == 0 {
+                return Err(PitError::CapacityExhausted);
             }
         }
+        self.entries.insert(
+            name,
+            PitEntry {
+                faces: vec![face],
+                nonces: HashSet::from([nonce]),
+                expires_at: now + self.ttl,
+            },
+        );
+        Ok(PitOutcome::Forward)
     }
 
     /// Consumes the entry for `name` on a data packet, returning the faces
     /// to forward the data to, or `None` on a PIT miss (drop the data, §3).
+    ///
+    /// An expired entry is a miss; it is removed eagerly (and counted as
+    /// an eviction) rather than left to consume capacity.
     pub fn consume(&mut self, name: &K, now: Ticks) -> Option<Vec<Port>> {
         match self.entries.remove(name) {
             Some(e) if e.expires_at > now => Some(e.faces),
-            Some(_) => None, // expired: a miss
+            Some(_) => {
+                // Expired: a miss, evicted on lookup.
+                self.evictions.inc();
+                None
+            }
             None => None,
         }
     }
@@ -132,11 +161,14 @@ impl<K: std::hash::Hash + Eq + Clone> Pit<K> {
         self.entries.get(name).is_some_and(|e| e.expires_at > now)
     }
 
-    /// Garbage-collects expired entries; returns how many were removed.
+    /// Garbage-collects expired entries; returns how many were removed
+    /// (each one counted as an eviction).
     pub fn expire(&mut self, now: Ticks) -> usize {
         let before = self.entries.len();
         self.entries.retain(|_, e| e.expires_at > now);
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        self.evictions.add(removed as u64);
+        removed
     }
 
     /// Read-only iteration over every entry (diagnostics and state
@@ -174,8 +206,10 @@ impl<K> PitEntryView<'_, K> {
     }
 }
 
-// The capacity check intentionally counts stale-but-uncollected entries:
-// an attacker cannot bypass the budget by racing the garbage collector.
+// The capacity check sweeps expired entries before refusing an insert, so
+// only *live* entries can pin the §2.4 budget: an attacker cannot bypass
+// the limit (live entries are never evicted early), and a victim's fresh
+// interests are never blocked by garbage a lazy collector hasn't visited.
 
 #[cfg(test)]
 mod tests {
@@ -243,6 +277,58 @@ mod tests {
         // Expiry frees room.
         p.expire(1000);
         assert_eq!(p.record_interest(99, 1, 1, 1000), Ok(PitOutcome::Forward));
+    }
+
+    #[test]
+    fn expired_entries_do_not_block_inserts() {
+        // Regression: expired-but-resident entries used to consume
+        // capacity until an explicit expire() call.
+        let mut p = pit();
+        for name in 0..4 {
+            p.record_interest(name, 1, 1, 0).unwrap();
+        }
+        // All four entries lapse at t=100. A fresh name at t=150 must
+        // sweep them and succeed rather than err.
+        assert_eq!(p.record_interest(99, 1, 1, 150), Ok(PitOutcome::Forward));
+        assert_eq!(p.len(), 1, "expired entries swept at capacity");
+        assert_eq!(p.expired_evictions(), 4);
+    }
+
+    #[test]
+    fn live_entries_still_enforce_capacity() {
+        let mut p = pit();
+        for name in 0..4 {
+            p.record_interest(name, 1, 1, 50).unwrap();
+        }
+        // All live at t=60: the budget holds and nothing is evicted.
+        assert_eq!(p.record_interest(99, 1, 1, 60), Err(PitError::CapacityExhausted));
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.expired_evictions(), 0);
+    }
+
+    #[test]
+    fn consume_evicts_expired_entry_and_counts_it() {
+        let mut p = pit();
+        p.record_interest(42, 3, 1, 0).unwrap();
+        assert_eq!(p.consume(&42, 100), None, "expired entry is a miss");
+        assert_eq!(p.len(), 0, "miss evicted the entry");
+        assert_eq!(p.expired_evictions(), 1);
+        // Revival after expiry is also a counted eviction.
+        p.record_interest(7, 1, 1, 0).unwrap();
+        p.record_interest(7, 2, 2, 500).unwrap();
+        assert_eq!(p.expired_evictions(), 2);
+    }
+
+    #[test]
+    fn eviction_counter_can_be_shared() {
+        use dip_telemetry::Counter;
+        use std::sync::Arc;
+        let shared = Arc::new(Counter::new());
+        let mut p = pit();
+        p.set_eviction_counter(Arc::clone(&shared));
+        p.record_interest(1, 1, 1, 0).unwrap();
+        p.expire(1000);
+        assert_eq!(shared.get(), 1);
     }
 
     #[test]

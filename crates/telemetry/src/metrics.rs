@@ -1,0 +1,209 @@
+//! The three metric primitives: counter, gauge, fixed-bucket histogram.
+//!
+//! All three are plain atomics with `Relaxed` ordering — metrics are
+//! monotone evidence, not synchronization — so incrementing one on the
+//! dataplane hot path costs a single uncontended atomic add.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A value that can go up and down (occupancy, table size).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// A fixed-bucket histogram of `u64` observations (latencies in
+/// nanoseconds, batch sizes, packet lengths).
+///
+/// Buckets are defined by their inclusive upper bounds; an observation
+/// lands in the first bucket whose bound is `>= value`, or in the
+/// implicit `+Inf` overflow bucket. Bounds are fixed at construction so
+/// `observe` is a binary search plus one atomic add.
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// One slot per bound plus the `+Inf` overflow slot.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given inclusive upper bounds (sorted and
+    /// deduplicated; an empty slice leaves only the `+Inf` bucket).
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds, buckets, sum: AtomicU64::new(0), count: AtomicU64::new(0) }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The configured bucket upper bounds (without `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, cumulative (Prometheus `le` semantics): element
+    /// `i` counts observations `<= bounds[i]`; the final element equals
+    /// [`Histogram::count`] (the `+Inf` bucket).
+    pub fn cumulative_buckets(&self) -> Vec<u64> {
+        let mut total = 0;
+        self.buckets
+            .iter()
+            .map(|b| {
+                total += b.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("bounds", &self.bounds)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        g.add(5);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_bounds() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(5); // <= 10
+        h.observe(10); // <= 10 (inclusive)
+        h.observe(11); // <= 100
+        h.observe(1000); // +Inf
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5 + 10 + 11 + 1000);
+        assert_eq!(h.cumulative_buckets(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn histogram_sorts_and_dedups_bounds() {
+        let h = Histogram::new(&[100, 10, 100]);
+        assert_eq!(h.bounds(), &[10, 100]);
+        let empty = Histogram::new(&[]);
+        empty.observe(7);
+        assert_eq!(empty.cumulative_buckets(), vec![1], "only the +Inf bucket");
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -60,4 +60,41 @@ mod tests {
     fn all_zero_checksum() {
         assert_eq!(internet_checksum(&[]), 0xffff);
     }
+
+    #[test]
+    fn data_summing_to_all_ones_stores_zero_and_verifies() {
+        // Degenerate case on the low end: when the data words fold to
+        // 0xffff, the stored checksum is 0x0000 — and that buffer must
+        // still verify (0x0000 in the field adds nothing to the sum).
+        let mut pkt = [0xff, 0xff, 0x00, 0x00];
+        assert_eq!(internet_checksum(&pkt), 0x0000);
+        pkt[2..4].copy_from_slice(&0u16.to_be_bytes());
+        assert!(verify(&pkt));
+    }
+
+    #[test]
+    fn all_zero_data_stores_all_ones_and_verifies() {
+        // Degenerate case on the high end: all-zero data folds to 0, so
+        // the stored checksum is 0xffff — the one's-complement "negative
+        // zero". The filled buffer must verify.
+        let mut pkt = [0u8; 20];
+        assert_eq!(internet_checksum(&pkt), 0xffff);
+        pkt[10..12].copy_from_slice(&0xffffu16.to_be_bytes());
+        assert!(verify(&pkt));
+    }
+
+    #[test]
+    fn odd_length_verify_roundtrip() {
+        // A buffer whose length is odd: the final byte pads with an
+        // implied zero. Fill-verify must hold, and flipping the trailing
+        // (pad-adjacent) byte must break it.
+        let mut pkt: Vec<u8> = (0..21u8).map(|i| i.wrapping_mul(37)).collect();
+        pkt[10..12].fill(0);
+        let ck = internet_checksum(&pkt);
+        pkt[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&pkt));
+        let last = pkt.len() - 1;
+        pkt[last] ^= 0x80;
+        assert!(!verify(&pkt), "corrupting the odd trailing byte must be detected");
+    }
 }

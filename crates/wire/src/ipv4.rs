@@ -145,6 +145,23 @@ mod tests {
     }
 
     #[test]
+    fn emit_into_dirty_buffer_still_verifies() {
+        // Recompute-on-emit must not be poisoned by whatever the buffer
+        // held before — in particular a stale checksum in bytes 10..12
+        // (the reuse pattern: emitting over a previously parsed header).
+        let mut buf = [0xde; IPV4_HEADER_LEN];
+        buf[10] = 0xde;
+        buf[11] = 0xad;
+        sample().emit(&mut buf).unwrap();
+        assert!(checksum::verify(&buf), "emit must zero the checksum field before summing");
+        assert!(Ipv4Repr::parse(&buf).is_ok());
+        // And the result is identical to emitting into a clean buffer.
+        let mut clean = [0u8; IPV4_HEADER_LEN];
+        sample().emit(&mut clean).unwrap();
+        assert_eq!(buf, clean);
+    }
+
+    #[test]
     fn rejects_v6() {
         let mut bytes = sample().to_bytes(&[]).unwrap();
         bytes[0] = 0x65;

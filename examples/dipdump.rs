@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --example dipdump`
 //! Optionally pass an output path: `cargo run --example dipdump -- /tmp/x.pcap`
+//! Pass `--metrics` to also print the network's telemetry registry in
+//! Prometheus text exposition format after the dissection.
 
 use dip::prelude::*;
 use dip::sim::engine::{Host, Network};
@@ -16,7 +18,13 @@ use dip::wire::pretty::dissect;
 use std::collections::HashMap;
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "dipdump.pcap".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let show_metrics = args.iter().any(|a| a == "--metrics");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "dipdump.pcap".to_string());
 
     // --- A short secure content retrieval, captured. ----------------------
     let name = Name::parse("/hotnets/org/dip");
@@ -58,4 +66,10 @@ fn main() {
     }
 
     println!("(open {out_path} in Wireshark: link type DLT_USER0, raw DIP bytes)");
+
+    // --- Per-hop telemetry (--metrics). ------------------------------------
+    if show_metrics {
+        println!("\n--- metrics (Prometheus text exposition) ---");
+        print!("{}", net.metrics_report());
+    }
 }

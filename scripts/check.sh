@@ -8,6 +8,9 @@
 #   test    — the full workspace suite, offline
 #   determ  — the dataplane determinism property explicitly, so a failure
 #             is named in CI output rather than buried in the suite
+#   telem   — the telemetry substrate, the ring drop/delivery/occupancy
+#             balance, and the PIT expiry fixes by name, plus a grep gate:
+#             the DropReason taxonomy lives in dip-telemetry only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,5 +28,25 @@ cargo test -q --workspace --offline
 
 echo "== cargo test --test dataplane_determinism"
 cargo test -q --test dataplane_determinism --offline
+
+echo "== telemetry + accounting gates (named)"
+cargo test -q -p dip-telemetry --offline
+cargo test -q -p dip-dataplane --offline \
+    ring::tests::drops_plus_deliveries_plus_occupancy_balance
+cargo test -q -p dip-dataplane --offline \
+    ring::tests::cross_thread_balance_under_drop_pressure
+cargo test -q -p dip-dataplane --offline \
+    runtime::tests::registry_accounts_for_every_submitted_packet
+cargo test -q -p dip-tables --offline \
+    pit::tests::expired_entries_do_not_block_inserts
+cargo test -q -p dip-tables --offline \
+    pit::tests::consume_evicts_expired_entry_and_counts_it
+cargo test -q --test adversarial_inputs --offline
+
+echo "== drop taxonomy lives only in dip-telemetry"
+if grep -rn "enum DropReason" crates src --include='*.rs' | grep -v '^crates/telemetry/'; then
+    echo "error: private DropReason definition outside crates/telemetry" >&2
+    exit 1
+fi
 
 echo "check.sh: all gates passed"

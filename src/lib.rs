@@ -43,6 +43,7 @@
 //! | [`protocols`] | `dip-protocols` | IP, NDN, OPT, XIA and NDN+OPT realizations |
 //! | [`sim`] | `dip-sim` | discrete-event network simulator + Tofino/PISA timing model |
 //! | [`dataplane`] | `dip-dataplane` | multi-worker batched software dataplane: flow sharding, SPSC rings, program caches |
+//! | [`telemetry`] | `dip-telemetry` | zero-dependency metrics: counters/gauges/histograms, the packet-outcome taxonomy, Prometheus + JSON rendering |
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results of every table and figure.
@@ -57,6 +58,7 @@ pub use dip_fnops as fnops;
 pub use dip_protocols as protocols;
 pub use dip_sim as sim;
 pub use dip_tables as tables;
+pub use dip_telemetry as telemetry;
 pub use dip_verify as verify;
 pub use dip_wire as wire;
 

@@ -91,6 +91,25 @@ fn assert_deterministic(proto: &str, factory: impl Fn(usize) -> DipRouter, packe
             let report = dp.shutdown();
             let tag = format!("{proto} workers={workers} batch={batch}");
 
+            // Telemetry accounting identity: the registry must account
+            // for every injected packet exactly once — forwarded,
+            // consumed, or dropped with a reason (no ring drops under
+            // lossless backpressure).
+            let snap = report.registry.snapshot();
+            let forwarded = snap.sum_where("dip_packets_total", &[("outcome", "forwarded")]);
+            let consumed = snap.sum_where("dip_packets_total", &[("outcome", "consumed")]);
+            let drops = snap.get("dip_drops_total");
+            assert_eq!(
+                forwarded + consumed + drops,
+                packets.len() as u64,
+                "{tag}: forwarded + consumed + drops must equal injected"
+            );
+            assert_eq!(
+                snap.sum_where("dip_drops_total", &[("reason", "queue_full")]),
+                0,
+                "{tag}: lossless backpressure cannot ring-drop"
+            );
+
             let outcomes = report.sorted_outcomes();
             assert_eq!(outcomes.len(), expected.len(), "{tag}: packet count");
             for (i, outcome) in outcomes.iter().enumerate() {
