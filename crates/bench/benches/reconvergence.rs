@@ -1,0 +1,172 @@
+//! Control-plane reconvergence scaling: ring topologies of increasing
+//! size converge from a cold start, lose one link mid-run, and reroute a
+//! probe packet the long way around. One JSON line per topology size:
+//!
+//! ```text
+//! {"bench":"reconvergence","nodes":8,"cold_floods":...,"fail_floods":...,
+//!  "hellos":...,"spf_runs":...,"cold_convergence_ns_mean":...,
+//!  "fail_convergence_ns_mean":...,"probe_delivered":1,"elapsed_ns":...}
+//! ```
+//!
+//! Convergence time is virtual (simulator) time from the first
+//! unprocessed topology change to snapshot publication, read back from
+//! the `dip_ctrl_convergence_ns` histogram; `elapsed_ns` is host wall
+//! time for the whole scenario. The accounting identity is asserted on
+//! every run.
+//!
+//! `DIP_BENCH_SAMPLES` overrides the sample rounds (best wall time
+//! reported).
+
+use dip_bench::JsonLine;
+use dip_controlplane::{AgentConfig, ControlAgent, ControlNode};
+use dip_core::DipRouter;
+use dip_protocols::ip;
+use dip_sim::engine::{Host, Network, NodeId};
+use dip_telemetry::Snapshot;
+use dip_wire::ipv4::Ipv4Addr;
+use std::time::Instant;
+
+/// Ring sizes: LSA age (hop count) caps at 16, so the worst-case flood
+/// radius N/2 must stay below it.
+const SIZES: [usize; 3] = [4, 8, 16];
+
+struct Scenario {
+    net: Network,
+    routers: Vec<NodeId>,
+    consumer: NodeId,
+}
+
+/// N routers in a ring (port 0 → next, port 1 → previous), a consumer
+/// host off router 0 and the announced prefix off the antipodal router —
+/// so cutting the ring next to router 0 forces the long way around.
+fn build(n: usize) -> Scenario {
+    let mut net = Network::new(0x5eed);
+    let routers: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let mut node = ControlNode::new(
+                DipRouter::new(i as u64 + 1, [i as u8 + 1; 16]),
+                ControlAgent::new(i as u64 + 1, vec![0, 1, 2], AgentConfig::default()),
+            );
+            if i == n / 2 {
+                node.agent_mut().announce_v4(Ipv4Addr::new(10, 0, 0, 0), 8, 2);
+            }
+            net.add_router_node(Box::new(node))
+        })
+        .collect();
+    for i in 0..n {
+        net.connect(routers[i], 0, routers[(i + 1) % n], 1, 1_000);
+    }
+    let consumer = net.add_host(Host::consumer(1_000));
+    net.connect(consumer, 0, routers[0], 2, 1_000);
+    let sink = net.add_host(Host::consumer(2_000));
+    net.connect(sink, 0, routers[n / 2], 2, 1_000);
+    Scenario { net, routers, consumer }
+}
+
+fn convergence_stats(snap: &Snapshot) -> (u64, u64) {
+    (snap.get("dip_ctrl_convergence_ns_count"), snap.get("dip_ctrl_convergence_ns_sum"))
+}
+
+fn mean(count: u64, sum: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    }
+}
+
+struct RunResult {
+    elapsed_ns: u64,
+    cold_floods: u64,
+    fail_floods: u64,
+    hellos: u64,
+    spf_runs: u64,
+    cold_mean_ns: f64,
+    fail_mean_ns: f64,
+    probe_delivered: u64,
+}
+
+fn run_once(n: usize) -> RunResult {
+    let Scenario { mut net, routers, consumer } = build(n);
+    let t0 = Instant::now();
+
+    // Cold start: converge and verify a probe crosses the short arc.
+    for &r in &routers {
+        net.schedule_control_ticks(r, 0, 50_000, 1_500_000);
+    }
+    let probe = |phase: u8| {
+        ip::dip32_packet(Ipv4Addr::new(10, 0, 0, phase), Ipv4Addr::new(192, 168, 0, 1), 64)
+            .to_bytes(&[phase])
+            .unwrap()
+    };
+    net.send(consumer, 0, probe(1), 1_400_000);
+    net.run();
+    let cold = net.metrics_snapshot();
+    let (cold_count, cold_sum) = convergence_stats(&cold);
+    let cold_floods = cold.get("dip_ctrl_lsa_flood_total");
+
+    // Cut the ring right next to router 0: the short arc dies and
+    // traffic must go the long way around.
+    net.link_down(routers[0], 0);
+    for &r in &routers {
+        net.schedule_control_ticks(r, 1_600_000, 50_000, 3_500_000);
+    }
+    net.send(consumer, 0, probe(2), 4_000_000);
+    net.run();
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+
+    let snap = net.metrics_snapshot();
+    let (count, sum) = convergence_stats(&snap);
+    assert_eq!(
+        snap.get("dip_packets_total"),
+        snap.get("dip_node_sent_total") - snap.get("dip_link_dropped_total"),
+        "accounting identity"
+    );
+    let probe_delivered = (net.trace().delivered(false) + net.trace().delivered(true)) as u64;
+
+    RunResult {
+        elapsed_ns,
+        cold_floods,
+        fail_floods: snap.get("dip_ctrl_lsa_flood_total") - cold_floods,
+        hellos: snap.get("dip_ctrl_hello_total"),
+        spf_runs: snap.get("dip_ctrl_spf_runs_total"),
+        cold_mean_ns: mean(cold_count, cold_sum),
+        fail_mean_ns: mean(count - cold_count, sum - cold_sum),
+        probe_delivered,
+    }
+}
+
+fn main() {
+    let samples: usize =
+        std::env::var("DIP_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+
+    // Warm-up.
+    run_once(SIZES[0]);
+
+    for &n in &SIZES {
+        let mut best: Option<RunResult> = None;
+        for _ in 0..samples {
+            let r = run_once(n);
+            if best.as_ref().is_none_or(|b| r.elapsed_ns < b.elapsed_ns) {
+                best = Some(r);
+            }
+        }
+        let r = best.expect("at least one sample");
+        assert!(
+            r.probe_delivered >= 2,
+            "both probes must be delivered (got {})",
+            r.probe_delivered
+        );
+        JsonLine::new("reconvergence")
+            .u64("nodes", n as u64)
+            .u64("cold_floods", r.cold_floods)
+            .u64("fail_floods", r.fail_floods)
+            .u64("hellos", r.hellos)
+            .u64("spf_runs", r.spf_runs)
+            .f64("cold_convergence_ns_mean", r.cold_mean_ns)
+            .f64("fail_convergence_ns_mean", r.fail_mean_ns)
+            .u64("probe_delivered", r.probe_delivered)
+            .u64("elapsed_ns", r.elapsed_ns)
+            .emit();
+    }
+}

@@ -77,7 +77,7 @@ fn run(secure: bool, tamper: bool) -> RunResult {
             0,
             LINK_NS,
             10_000_000_000,
-            FaultConfig { drop_chance: 0.0, corrupt_chance: 1.0 },
+            FaultConfig { corrupt_chance: 1.0, ..FaultConfig::default() },
         );
     }
 

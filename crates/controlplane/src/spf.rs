@@ -1,0 +1,134 @@
+//! Dijkstra shortest-path-first over the link-state database.
+//!
+//! Edges count only when *both* endpoints advertise them (the OSPF
+//! two-way check): after a link failure one side's re-originated LSA is
+//! enough to remove the edge network-wide, even before the far side
+//! notices. Iteration is over `BTreeMap`s and ties break on the smaller
+//! node id, so the routing produced from identical LSDBs is identical on
+//! every node and across runs.
+
+use dip_core::control::Lsa;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// One SPF result entry for a destination node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpfRoute {
+    /// Total path cost from the root.
+    pub cost: u64,
+    /// The root's neighbor on the shortest path (first hop).
+    pub first_hop: u64,
+}
+
+/// Runs Dijkstra from `root` over `lsdb`, returning the first hop and
+/// cost for every reachable node other than the root.
+pub fn shortest_paths(lsdb: &BTreeMap<u64, Lsa>, root: u64) -> BTreeMap<u64, SpfRoute> {
+    // Adjacency with the two-way check: a→b exists only when b also
+    // advertises a.
+    let advertises = |from: u64, to: u64| -> Option<u64> {
+        lsdb.get(&from)?.links.iter().find(|l| l.neighbor == to).map(|l| u64::from(l.cost))
+    };
+
+    let mut routes: BTreeMap<u64, SpfRoute> = BTreeMap::new();
+    let mut done: BTreeMap<u64, u64> = BTreeMap::new();
+    // (cost, node, first_hop): ties resolve to the smallest node id,
+    // then the smallest first-hop id — fully deterministic.
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+    heap.push(Reverse((0, root, root)));
+
+    while let Some(Reverse((cost, node, first_hop))) = heap.pop() {
+        if done.contains_key(&node) {
+            continue;
+        }
+        done.insert(node, cost);
+        if node != root {
+            routes.insert(node, SpfRoute { cost, first_hop });
+        }
+        let Some(lsa) = lsdb.get(&node) else { continue };
+        for link in &lsa.links {
+            if done.contains_key(&link.neighbor) {
+                continue;
+            }
+            // Two-way check: the neighbor must advertise `node` back.
+            if advertises(link.neighbor, node).is_none() {
+                continue;
+            }
+            let next_cost = cost.saturating_add(u64::from(link.cost));
+            let hop = if node == root { link.neighbor } else { first_hop };
+            heap.push(Reverse((next_cost, link.neighbor, hop)));
+        }
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_core::control::{Announcements, LsaLink};
+
+    fn lsa(origin: u64, links: &[(u64, u32)]) -> Lsa {
+        Lsa {
+            origin,
+            seq: 1,
+            age: 0,
+            links: links.iter().map(|&(neighbor, cost)| LsaLink { neighbor, cost }).collect(),
+            announce: Announcements::default(),
+        }
+    }
+
+    fn symmetric(edges: &[(u64, u64, u32)]) -> BTreeMap<u64, Lsa> {
+        let mut adj: BTreeMap<u64, Vec<(u64, u32)>> = BTreeMap::new();
+        for &(a, b, cost) in edges {
+            adj.entry(a).or_default().push((b, cost));
+            adj.entry(b).or_default().push((a, cost));
+        }
+        adj.into_iter().map(|(n, links)| (n, lsa(n, &links))).collect()
+    }
+
+    #[test]
+    fn picks_the_cheaper_path() {
+        // 0—1 costs 10; 0—2—1 costs 2.
+        let lsdb = symmetric(&[(0, 1, 10), (0, 2, 1), (2, 1, 1)]);
+        let routes = shortest_paths(&lsdb, 0);
+        assert_eq!(routes[&1], SpfRoute { cost: 2, first_hop: 2 });
+        assert_eq!(routes[&2], SpfRoute { cost: 1, first_hop: 2 });
+    }
+
+    #[test]
+    fn one_sided_edges_are_ignored() {
+        // 1 advertises 0, but 0 does not advertise 1: no edge.
+        let mut lsdb = BTreeMap::new();
+        lsdb.insert(0, lsa(0, &[]));
+        lsdb.insert(1, lsa(1, &[(0, 1)]));
+        assert!(shortest_paths(&lsdb, 0).is_empty());
+    }
+
+    #[test]
+    fn equal_cost_ties_break_on_smaller_first_hop() {
+        // Diamond: 0—1—3 and 0—2—3, all cost 1. First hop to 3 must be
+        // the deterministic choice, node 1.
+        let lsdb = symmetric(&[(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)]);
+        let routes = shortest_paths(&lsdb, 0);
+        assert_eq!(routes[&3], SpfRoute { cost: 2, first_hop: 1 });
+    }
+
+    #[test]
+    fn unreachable_nodes_are_absent() {
+        let mut lsdb = symmetric(&[(0, 1, 1)]);
+        lsdb.insert(9, lsa(9, &[(8, 1)]));
+        let routes = shortest_paths(&lsdb, 0);
+        assert_eq!(routes.len(), 1);
+        assert!(!routes.contains_key(&9));
+    }
+
+    #[test]
+    fn removing_an_edge_reroutes() {
+        let full = symmetric(&[(0, 1, 1), (0, 2, 1), (2, 3, 1), (3, 1, 1)]);
+        assert_eq!(shortest_paths(&full, 0)[&1].first_hop, 1);
+        // Drop 0—1 from node 0's LSA only: the two-way check kills the
+        // edge and traffic shifts to the 2—3 detour.
+        let mut partial = full.clone();
+        partial.insert(0, lsa(0, &[(2, 1)]));
+        assert_eq!(shortest_paths(&partial, 0)[&1], SpfRoute { cost: 3, first_hop: 2 });
+    }
+}

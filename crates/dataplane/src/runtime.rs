@@ -306,6 +306,13 @@ impl Dataplane {
         self.routes.publish(snapshot);
     }
 
+    /// The epoch cell the workers read routes from — hand this to a
+    /// control plane (`ControlNode::mirror_into`) so its published
+    /// snapshots reach the threaded workers directly.
+    pub fn routes_cell(&self) -> Arc<EpochCell<RouteSnapshot>> {
+        Arc::clone(&self.routes)
+    }
+
     /// Current occupancy of each worker's ring.
     pub fn ring_occupancy(&self) -> Vec<usize> {
         self.workers.iter().map(|w| w.producer.occupancy()).collect()

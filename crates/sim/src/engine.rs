@@ -89,6 +89,23 @@ pub trait RouterNode {
     /// Called once by [`Network::add_router_node`]; the default is a
     /// no-op for implementations without internal telemetry.
     fn attach_metrics(&mut self, _registry: &Registry, _node: usize) {}
+
+    /// Periodic control-plane timer, driven by
+    /// [`Network::schedule_control_ticks`]: the node returns zero or more
+    /// `(port, packet)` pairs to transmit (HELLOs, LSA floods,
+    /// retransmissions). The default is a no-op for pure dataplane nodes.
+    fn control_tick(&mut self, _now: SimTime) -> Vec<(u32, Vec<u8>)> {
+        Vec::new()
+    }
+
+    /// Drains packets the node *originated* while processing the last
+    /// packet (LSA acks, triggered floods): unlike
+    /// [`Verdict::Forward`], which re-transmits the processed buffer,
+    /// these are new packets addressed to specific ports. Called by the
+    /// event loop right after every `process_packet`.
+    fn drain_control(&mut self) -> Vec<(u32, Vec<u8>)> {
+        Vec::new()
+    }
 }
 
 impl RouterNode for DipRouter {
@@ -205,6 +222,9 @@ struct LinkEnd {
     latency_ns: u64,
     bandwidth_bps: u64,
     faults: FaultConfig,
+    /// Administrative state: a downed link drops every packet at egress
+    /// (counted as `dip_link_dropped_total`) until brought back up.
+    up: bool,
 }
 
 struct NodeSlot {
@@ -244,13 +264,25 @@ impl NodeSlot {
     }
 }
 
+/// What a queued event does when it fires.
+#[derive(PartialEq, Eq)]
+enum EventKind {
+    /// A packet arriving at `port`.
+    Packet { port: u32, packet: Vec<u8> },
+    /// A periodic control-plane timer at the node; re-arms itself every
+    /// `interval` until `horizon` so [`Network::run`] still terminates.
+    ControlTick { interval: SimTime, horizon: SimTime },
+    /// Administrative link state change on the node's `port` (applied to
+    /// both directions of the link).
+    LinkAdmin { port: u32, up: bool },
+}
+
 #[derive(PartialEq, Eq)]
 struct QueuedEvent {
     time: SimTime,
     seq: u64,
     node: usize,
-    port: u32,
-    packet: Vec<u8>,
+    kind: EventKind,
 }
 
 impl Ord for QueuedEvent {
@@ -418,13 +450,80 @@ impl Network {
         set(
             &mut self.nodes[a.0],
             port_a,
-            LinkEnd { peer: b.0, peer_port: port_b, latency_ns, bandwidth_bps, faults },
+            LinkEnd {
+                peer: b.0,
+                peer_port: port_b,
+                latency_ns,
+                bandwidth_bps,
+                faults: faults.clone(),
+                up: true,
+            },
         );
         set(
             &mut self.nodes[b.0],
             port_b,
-            LinkEnd { peer: a.0, peer_port: port_a, latency_ns, bandwidth_bps, faults },
+            LinkEnd { peer: a.0, peer_port: port_a, latency_ns, bandwidth_bps, faults, up: true },
         );
+    }
+
+    /// Administratively sets both directions of the link on `a.port_a`.
+    /// A downed link drops every packet at egress time; packets already
+    /// in flight still arrive (the wire drains).
+    pub fn set_link_state(&mut self, a: NodeId, port_a: u32, up: bool) {
+        let Some(Some(end)) = self.nodes[a.0].ports.get(port_a as usize) else {
+            return;
+        };
+        let (peer, peer_port) = (end.peer, end.peer_port);
+        if let Some(Some(end)) = self.nodes[a.0].ports.get_mut(port_a as usize) {
+            end.up = up;
+        }
+        if let Some(Some(end)) = self.nodes[peer].ports.get_mut(peer_port as usize) {
+            end.up = up;
+        }
+    }
+
+    /// Takes the link on `a.port_a` down (both directions), immediately.
+    pub fn link_down(&mut self, a: NodeId, port_a: u32) {
+        self.set_link_state(a, port_a, false);
+    }
+
+    /// Brings the link on `a.port_a` back up (both directions).
+    pub fn link_up(&mut self, a: NodeId, port_a: u32) {
+        self.set_link_state(a, port_a, true);
+    }
+
+    /// Schedules an administrative link-down at virtual time `at` — the
+    /// deterministic mid-run failure the reconvergence scenarios script.
+    pub fn schedule_link_down(&mut self, at: SimTime, a: NodeId, port_a: u32) {
+        self.push_event(at, a.0, EventKind::LinkAdmin { port: port_a, up: false });
+    }
+
+    /// Schedules an administrative link-up at virtual time `at`.
+    pub fn schedule_link_up(&mut self, at: SimTime, a: NodeId, port_a: u32) {
+        self.push_event(at, a.0, EventKind::LinkAdmin { port: port_a, up: true });
+    }
+
+    /// Arms a periodic control-plane timer on a router node: starting at
+    /// `start`, [`RouterNode::control_tick`] fires every `interval` until
+    /// `horizon` (inclusive), transmitting whatever `(port, packet)`
+    /// pairs the node emits. The horizon bounds the event stream so
+    /// [`Network::run`] still terminates.
+    pub fn schedule_control_ticks(
+        &mut self,
+        node: NodeId,
+        start: SimTime,
+        interval: SimTime,
+        horizon: SimTime,
+    ) {
+        let interval = interval.max(1);
+        if start <= horizon {
+            self.push_event(start, node.0, EventKind::ControlTick { interval, horizon });
+        }
+    }
+
+    fn push_event(&mut self, time: SimTime, node: usize, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { time, seq: self.seq, node, kind }));
     }
 
     /// Current virtual time.
@@ -515,20 +614,14 @@ impl Network {
         }
         let ser_ns = (packet.len() as u64 * 8).saturating_mul(1_000_000_000) / end.bandwidth_bps;
         let arrival = at + ser_ns + end.latency_ns;
-        let (peer, peer_port, faults) = (end.peer, end.peer_port, end.faults);
-        if !faults.apply(&mut self.rng, &mut packet) {
+        let (peer, peer_port, up) = (end.peer, end.peer_port, end.up);
+        let faults = end.faults.clone();
+        if !up || !faults.apply(&mut self.rng, &mut packet, at) {
             self.trace.push(at, TraceEvent::LinkDropped { node, port });
             self.nodes[node].link_dropped.inc();
             return;
         }
-        self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent {
-            time: arrival,
-            seq: self.seq,
-            node: peer,
-            port: peer_port,
-            packet,
-        }));
+        self.push_event(arrival, peer, EventKind::Packet { port: peer_port, packet });
     }
 
     /// Runs until no events remain (or `max_events` is hit). Returns the
@@ -546,15 +639,38 @@ impl Network {
     }
 
     fn dispatch(&mut self, ev: QueuedEvent) {
-        let QueuedEvent { time, node, port, mut packet, .. } = ev;
+        let QueuedEvent { time, node, kind, .. } = ev;
+        match kind {
+            EventKind::Packet { port, packet } => self.dispatch_packet(time, node, port, packet),
+            EventKind::ControlTick { interval, horizon } => {
+                if let NodeKind::Router(router) = &mut self.nodes[node].kind {
+                    let emits = router.control_tick(time);
+                    for (port, packet) in emits {
+                        self.transmit(node, port, packet, time);
+                    }
+                }
+                let next = time.saturating_add(interval);
+                if next <= horizon {
+                    self.push_event(next, node, EventKind::ControlTick { interval, horizon });
+                }
+            }
+            EventKind::LinkAdmin { port, up } => self.set_link_state(NodeId(node), port, up),
+        }
+    }
+
+    fn dispatch_packet(&mut self, time: SimTime, node: usize, port: u32, mut packet: Vec<u8>) {
         // Split the borrow: temporarily take the node kind out.
         match &mut self.nodes[node].kind {
             NodeKind::Router(router) => {
                 let (verdict, stats) = router.process_packet(&mut packet, port, time);
+                let emitted = router.drain_control();
                 let mac_choice = router.mac_choice();
                 let proc_ns = self.model.process_ns(&stats, packet.len(), mac_choice) as u64;
                 let done = time + proc_ns;
                 self.nodes[node].outcomes.record(verdict.outcome());
+                for (p, pkt) in emitted {
+                    self.transmit(node, p, pkt, done);
+                }
                 match verdict {
                     Verdict::Forward(ports) => {
                         for p in ports {
@@ -775,7 +891,7 @@ mod tests {
             1,
             1_000,
             10_000_000_000,
-            FaultConfig { drop_chance: 0.0, corrupt_chance: 1.0 },
+            FaultConfig { corrupt_chance: 1.0, ..FaultConfig::default() },
         );
         let interest = dip_protocols::ndn_opt::interest(&name, 64).to_bytes(&[]).unwrap();
         net.send(h0, 0, interest, 0);
@@ -863,7 +979,7 @@ mod tests {
             1,
             1_000,
             10_000_000_000,
-            FaultConfig { drop_chance: 1.0, corrupt_chance: 0.0 },
+            FaultConfig { drop_chance: 1.0, ..FaultConfig::default() },
         );
         let interest = dip_protocols::ndn::interest(&name, 64).to_bytes(&[]).unwrap();
         net.send(h0, 0, interest, 0);

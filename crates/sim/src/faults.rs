@@ -1,21 +1,33 @@
-//! Per-link fault injection (drop / corrupt), in the style of smoltcp's
-//! example harness — used to demonstrate protocol behaviour under adverse
-//! conditions and to drive the security experiments.
+//! Per-link fault injection (drop / corrupt / scheduled outages), in the
+//! style of smoltcp's example harness — used to demonstrate protocol
+//! behaviour under adverse conditions, to drive the security experiments,
+//! and to script the reproducible link failures the control-plane
+//! reconvergence tests rely on.
 
+use crate::SimTime;
 use dip_crypto::DetRng;
 
 /// Fault configuration for one link direction.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Probabilistic faults (`drop_chance`, `corrupt_chance`) consume the
+/// network's deterministic RNG; scheduled outages (`down_windows`) are
+/// purely time-driven and consume no randomness at all, so a
+/// reconvergence scenario replays identically under any seed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultConfig {
     /// Probability in `[0,1]` that a packet is silently dropped.
     pub drop_chance: f64,
     /// Probability in `[0,1]` that one random byte is flipped.
     pub corrupt_chance: f64,
+    /// Half-open `[from, until)` windows of virtual time during which the
+    /// link is administratively dead: every packet in a window is dropped
+    /// before the probabilistic faults are even consulted.
+    pub down_windows: Vec<(SimTime, SimTime)>,
 }
 
 impl Default for FaultConfig {
     fn default() -> Self {
-        FaultConfig { drop_chance: 0.0, corrupt_chance: 0.0 }
+        FaultConfig { drop_chance: 0.0, corrupt_chance: 0.0, down_windows: Vec::new() }
     }
 }
 
@@ -27,12 +39,33 @@ impl FaultConfig {
 
     /// A lossy link dropping `pct` percent of packets.
     pub fn lossy(pct: f64) -> Self {
-        FaultConfig { drop_chance: pct / 100.0, corrupt_chance: 0.0 }
+        FaultConfig { drop_chance: pct / 100.0, ..FaultConfig::default() }
     }
 
-    /// Applies faults to a packet in flight. Returns `false` when the
-    /// packet is dropped; may flip one byte in place.
-    pub fn apply(&self, rng: &mut DetRng, packet: &mut [u8]) -> bool {
+    /// A reliable link that is dead during `[from, until)`.
+    pub fn outage(from: SimTime, until: SimTime) -> Self {
+        FaultConfig::reliable().with_outage(from, until)
+    }
+
+    /// Adds a scheduled dead window `[from, until)`.
+    pub fn with_outage(mut self, from: SimTime, until: SimTime) -> Self {
+        self.down_windows.push((from, until));
+        self
+    }
+
+    /// Whether a scheduled window covers `now`.
+    pub fn is_down_at(&self, now: SimTime) -> bool {
+        self.down_windows.iter().any(|&(from, until)| now >= from && now < until)
+    }
+
+    /// Applies faults to a packet in flight at virtual time `now`.
+    /// Returns `false` when the packet is dropped; may flip one byte in
+    /// place. Scheduled outages are checked first and draw nothing from
+    /// `rng`, keeping window-scripted runs bit-identical across seeds.
+    pub fn apply(&self, rng: &mut DetRng, packet: &mut [u8], now: SimTime) -> bool {
+        if self.is_down_at(now) {
+            return false;
+        }
         if self.drop_chance > 0.0 && rng.gen_bool(self.drop_chance.clamp(0.0, 1.0)) {
             return false;
         }
@@ -57,7 +90,7 @@ mod tests {
         let cfg = FaultConfig::reliable();
         let mut pkt = vec![1, 2, 3];
         for _ in 0..100 {
-            assert!(cfg.apply(&mut rng, &mut pkt));
+            assert!(cfg.apply(&mut rng, &mut pkt, 0));
         }
         assert_eq!(pkt, vec![1, 2, 3]);
     }
@@ -65,17 +98,17 @@ mod tests {
     #[test]
     fn full_drop_drops_everything() {
         let mut rng = DetRng::seed_from_u64(1);
-        let cfg = FaultConfig { drop_chance: 1.0, corrupt_chance: 0.0 };
+        let cfg = FaultConfig { drop_chance: 1.0, ..FaultConfig::default() };
         let mut pkt = vec![0u8; 4];
-        assert!(!cfg.apply(&mut rng, &mut pkt));
+        assert!(!cfg.apply(&mut rng, &mut pkt, 0));
     }
 
     #[test]
     fn corruption_flips_exactly_one_bit() {
         let mut rng = DetRng::seed_from_u64(7);
-        let cfg = FaultConfig { drop_chance: 0.0, corrupt_chance: 1.0 };
+        let cfg = FaultConfig { corrupt_chance: 1.0, ..FaultConfig::default() };
         let mut pkt = vec![0u8; 16];
-        assert!(cfg.apply(&mut rng, &mut pkt));
+        assert!(cfg.apply(&mut rng, &mut pkt, 0));
         let flipped: u32 = pkt.iter().map(|b| b.count_ones()).sum();
         assert_eq!(flipped, 1);
     }
@@ -87,10 +120,37 @@ mod tests {
         let mut dropped = 0;
         for _ in 0..10_000 {
             let mut pkt = vec![0u8; 4];
-            if !cfg.apply(&mut rng, &mut pkt) {
+            if !cfg.apply(&mut rng, &mut pkt, 0) {
                 dropped += 1;
             }
         }
         assert!((1200..1800).contains(&dropped), "dropped {dropped} of 10000");
+    }
+
+    #[test]
+    fn outage_window_is_half_open_and_deterministic() {
+        let cfg = FaultConfig::outage(100, 200);
+        assert!(!cfg.is_down_at(99));
+        assert!(cfg.is_down_at(100));
+        assert!(cfg.is_down_at(199));
+        assert!(!cfg.is_down_at(200));
+
+        let mut pkt = vec![0u8; 4];
+        // Two different seeds agree on every window decision and draw
+        // nothing from the stream: the next random value is identical.
+        for seed in [1u64, 2] {
+            let mut rng = DetRng::seed_from_u64(seed);
+            assert!(!cfg.apply(&mut rng, &mut pkt, 150));
+            assert!(cfg.apply(&mut rng, &mut pkt, 250));
+            let mut fresh = DetRng::seed_from_u64(seed);
+            assert_eq!(rng.gen_index(1 << 16), fresh.gen_index(1 << 16));
+        }
+    }
+
+    #[test]
+    fn multiple_windows_compose() {
+        let cfg = FaultConfig::reliable().with_outage(10, 20).with_outage(40, 50);
+        let down: Vec<SimTime> = (0..60).filter(|&t| cfg.is_down_at(t)).collect();
+        assert_eq!(down, (10..20).chain(40..50).collect::<Vec<_>>());
     }
 }

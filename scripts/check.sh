@@ -11,6 +11,10 @@
 #   telem   — the telemetry substrate, the ring drop/delivery/occupancy
 #             balance, and the PIT expiry fixes by name, plus a grep gate:
 #             the DropReason taxonomy lives in dip-telemetry only
+#   ctrl    — the control-plane reconvergence scenario by name, plus a
+#             grep gate: RouteSnapshot values are built only by the
+#             control plane (and tests/benches) — dataplane code must
+#             never assemble its own routing state
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +46,25 @@ cargo test -q -p dip-tables --offline \
 cargo test -q -p dip-tables --offline \
     pit::tests::consume_evicts_expired_entry_and_counts_it
 cargo test -q --test adversarial_inputs --offline
+
+echo "== control-plane reconvergence gate (named)"
+cargo test -q --test controlplane --offline
+cargo test -q -p dip-controlplane --offline
+
+echo "== RouteSnapshot construction is pinned to the control plane"
+# Routing state is compiled by dip-controlplane and swapped in whole;
+# nothing else may assemble a RouteSnapshot. Permitted: the definition
+# site (snapshot.rs), the epoch-cell plumbing and its tests (runtime.rs),
+# and test/bench/example code.
+if grep -rn 'RouteSnapshot::default()\|RouteSnapshot::capture\|RouteSnapshot {' \
+        crates src --include='*.rs' \
+    | grep -v '^crates/controlplane/' \
+    | grep -v '^crates/dataplane/src/snapshot\.rs:' \
+    | grep -v '^crates/dataplane/src/runtime\.rs:' \
+    | grep -v '^crates/bench/'; then
+    echo "error: RouteSnapshot constructed outside the control plane" >&2
+    exit 1
+fi
 
 echo "== drop taxonomy lives only in dip-telemetry"
 if grep -rn "enum DropReason" crates src --include='*.rs' | grep -v '^crates/telemetry/'; then

@@ -43,6 +43,7 @@
 //! | [`protocols`] | `dip-protocols` | IP, NDN, OPT, XIA and NDN+OPT realizations |
 //! | [`sim`] | `dip-sim` | discrete-event network simulator + Tofino/PISA timing model |
 //! | [`dataplane`] | `dip-dataplane` | multi-worker batched software dataplane: flow sharding, SPSC rings, program caches |
+//! | [`controlplane`] | `dip-controlplane` | distributed routing: HELLO adjacencies, LSA flooding, Dijkstra SPF, epoch-swap route publication |
 //! | [`telemetry`] | `dip-telemetry` | zero-dependency metrics: counters/gauges/histograms, the packet-outcome taxonomy, Prometheus + JSON rendering |
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
@@ -51,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub use dip_controlplane as controlplane;
 pub use dip_core as core;
 pub use dip_crypto as crypto;
 pub use dip_dataplane as dataplane;
