@@ -1,0 +1,68 @@
+//! Max-sustainable-throughput sweep: protocol mix × workers → MST.
+//!
+//! Runs the `dip-workload` open-loop MST search for every single-protocol
+//! mix (the five paper protocols + NDN+OPT) and the equal-weight all-mix,
+//! against the threaded dataplane at 1 and 2 workers, and reports one
+//! JSON line per `(mix, workers)` point:
+//!
+//! ```text
+//! {"bench":"workload_slo","mix":"ndn:1","workers":2,"mst_pps":...,
+//!  "p50_ns":...,"p99_ns":...,"drop_frac":...,"content_hash":"..."}
+//! ```
+//!
+//! The search is fully deterministic (virtual-time queue model over the
+//! Tofino service times), so these numbers are comparable across runs
+//! and machines — they move only when the pipeline's modeled cost or the
+//! workload generator changes. `DIP_WORKLOAD_PKTS` overrides the
+//! per-trial packet count for smoke runs.
+
+use dip_bench::JsonLine;
+use dip_workload::{
+    find_mst, EngineKind, Mix, MstConfig, OpenLoopConfig, TrafficClass, WorkloadSpec,
+};
+
+const SEED: u64 = 7;
+const WORKERS: [usize; 2] = [1, 2];
+
+fn mixes() -> Vec<Mix> {
+    let mut all: Vec<Mix> = TrafficClass::ALL.iter().map(|c| Mix::single(*c)).collect();
+    all.push(Mix::all());
+    all
+}
+
+fn main() {
+    let packets: usize =
+        std::env::var("DIP_WORKLOAD_PKTS").ok().and_then(|v| v.parse().ok()).unwrap_or(1024);
+    for mix in mixes() {
+        for workers in WORKERS {
+            let spec = WorkloadSpec { seed: SEED, mix: mix.clone(), ..Default::default() };
+            let cfg = MstConfig {
+                open_loop: OpenLoopConfig {
+                    engine: EngineKind::Dataplane { workers, batch_size: 32 },
+                    queue_capacity: 256,
+                    ..Default::default()
+                },
+                packets_per_trial: packets,
+                max_iters: 12,
+                ..Default::default()
+            };
+            let result = find_mst(&spec, &cfg);
+            let (p50, p99, drop_frac, queue_full) = result
+                .mst_trial()
+                .map(|t| (t.p50_ns, t.p99_ns, t.drop_frac, t.queue_full))
+                .unwrap_or((0, 0, 1.0, 0));
+            JsonLine::new("workload_slo")
+                .str("mix", &mix.label())
+                .u64("workers", workers as u64)
+                .u64("seed", SEED)
+                .u64("trials", result.trials.len() as u64)
+                .u64("mst_pps", result.mst_pps)
+                .u64("p50_ns", p50)
+                .u64("p99_ns", p99)
+                .f64p("drop_frac", drop_frac, 6)
+                .u64("queue_full", queue_full)
+                .str("content_hash", &format!("{:016x}", result.content_hash))
+                .emit();
+        }
+    }
+}

@@ -81,6 +81,19 @@ impl JsonLine {
         self
     }
 
+    /// Appends a float field rendered with `decimals` decimal places
+    /// (small fractions like drop rates vanish at the default single
+    /// decimal); NaN/infinity fall back to `null`.
+    pub fn f64p(mut self, key: &str, value: f64, decimals: usize) -> Self {
+        self.push_key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value:.decimals$}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
     /// Closes the object and returns the line.
     pub fn finish(mut self) -> String {
         self.buf.push('}');

@@ -266,6 +266,21 @@ impl Dataplane {
         self.workers.len()
     }
 
+    /// The worker shard `packet` would be dispatched to — exposed so
+    /// load-generation drivers (the `dip-workload` open-loop queue model)
+    /// can mirror the dispatcher's flow placement without re-implementing
+    /// the hash.
+    pub fn shard_of(&self, packet: &[u8]) -> usize {
+        self.shard.shard_of(packet)
+    }
+
+    /// Capacity of worker `worker`'s ring after power-of-two rounding —
+    /// the bound a driver-side queue model must apply to count
+    /// injection-side `queue_full` drops the way the real ring would.
+    pub fn ring_capacity(&self, worker: usize) -> usize {
+        self.workers[worker].producer.capacity()
+    }
+
     /// Flow-hashes `packet` to its worker and enqueues it. Returns the
     /// assigned sequence number, or `None` when the ring was full under
     /// [`Backpressure::Drop`].

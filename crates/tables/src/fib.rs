@@ -1,9 +1,16 @@
 //! Forwarding information bases for the three addressing families DIP
 //! routes on: 32-bit addresses, 128-bit addresses, and content names.
+//!
+//! Each FIB also offers `populate_synthetic(n, seed)` — a deterministic
+//! CRAM-style "large database" generator (random prefixes of realistic
+//! length mixes, seeded from the in-repo [`DetRng`]) so benchmarks and
+//! the workload harness exercise lookup structures at production table
+//! sizes without shipping routing dumps.
 
 use crate::bit_trie::{BitTrie, Prefix};
 use crate::name_trie::NameTrie;
 use crate::Port;
+use dip_crypto::DetRng;
 use dip_wire::ipv4::Ipv4Addr;
 use dip_wire::ipv6::Ipv6Addr;
 use dip_wire::ndn::Name;
@@ -68,6 +75,39 @@ impl Ipv4Fib {
             .map(|(p, nh)| (Ipv4Addr::from_u32((p.bits >> 96) as u32), p.len, *nh))
             .collect()
     }
+
+    /// Installs `n` deterministic synthetic routes: random prefixes of
+    /// length 8..=28 (the realistic BGP-table band) pointing at ports
+    /// 1..=64. Identical `(n, seed)` always produce the identical table;
+    /// colliding prefixes overwrite, so [`Ipv4Fib::len`] may end slightly
+    /// below `n`.
+    pub fn populate_synthetic(&mut self, n: usize, seed: u64) {
+        let mut rng = DetRng::seed_from_u64(seed ^ 0x5f32_7537_9e01_a4c1);
+        for _ in 0..n {
+            let len = rng.gen_range_inclusive(8, 28) as u8;
+            let addr = (rng.next_u32()) & prefix_mask32(len);
+            let port = rng.gen_range_inclusive(1, 64) as Port;
+            self.add_route(Ipv4Addr::from_u32(addr), len, NextHop::port(port));
+        }
+    }
+}
+
+/// The network mask for a /`len` 32-bit prefix.
+fn prefix_mask32(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+/// The network mask for a /`len` 128-bit prefix.
+fn prefix_mask128(len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        u128::MAX << (128 - len)
+    }
 }
 
 /// FIB over 128-bit addresses (`F_128_match`).
@@ -114,6 +154,20 @@ impl Ipv6Fib {
             .into_iter()
             .map(|(p, nh)| (Ipv6Addr::from_u128(p.bits), p.len, *nh))
             .collect()
+    }
+
+    /// Installs `n` deterministic synthetic routes: random prefixes of
+    /// length 16..=64 (the allocated-space band) pointing at ports 1..=64.
+    /// Identical `(n, seed)` always produce the identical table.
+    pub fn populate_synthetic(&mut self, n: usize, seed: u64) {
+        let mut rng = DetRng::seed_from_u64(seed ^ 0x243f_6a88_85a3_08d3);
+        for _ in 0..n {
+            let len = rng.gen_range_inclusive(16, 64) as u8;
+            let bits = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            let addr = bits & prefix_mask128(len);
+            let port = rng.gen_range_inclusive(1, 64) as Port;
+            self.add_route(Ipv6Addr::from_u128(addr), len, NextHop::port(port));
+        }
     }
 }
 
@@ -173,6 +227,22 @@ impl NameFib {
     /// Lists every installed route as `(name, next_hop)`.
     pub fn routes(&self) -> Vec<(Name, NextHop)> {
         self.trie.entries().into_iter().map(|(n, nh)| (n, *nh)).collect()
+    }
+
+    /// Installs `n` deterministic synthetic name-prefix routes of depth
+    /// 2..=4 under `/syn`, pointing at ports 1..=64. Identical `(n, seed)`
+    /// always produce the identical table (colliding names overwrite).
+    pub fn populate_synthetic(&mut self, n: usize, seed: u64) {
+        let mut rng = DetRng::seed_from_u64(seed ^ 0x1319_8a2e_0370_7344);
+        for _ in 0..n {
+            let depth = rng.gen_range_inclusive(2, 4);
+            let mut text = String::from("/syn");
+            for _ in 0..depth {
+                text.push_str(&format!("/{:04x}", rng.next_u32() & 0xffff));
+            }
+            let port = rng.gen_range_inclusive(1, 64) as Port;
+            self.add_route(&Name::parse(&text), NextHop::port(port));
+        }
     }
 }
 
@@ -251,6 +321,105 @@ mod tests {
         let dump = names.routes();
         assert_eq!(dump.len(), 2);
         assert!(dump.contains(&(Name::parse("/a/b"), NextHop::port(4))));
+    }
+
+    #[test]
+    fn synthetic_population_is_deterministic() {
+        let mut a = Ipv4Fib::new();
+        let mut b = Ipv4Fib::new();
+        a.populate_synthetic(500, 7);
+        b.populate_synthetic(500, 7);
+        let (mut ra, mut rb) = (a.routes(), b.routes());
+        ra.sort_by_key(|(addr, len, _)| (addr.to_u32(), *len));
+        rb.sort_by_key(|(addr, len, _)| (addr.to_u32(), *len));
+        assert_eq!(ra, rb);
+        assert!(a.len() > 450, "few collisions at n=500: {}", a.len());
+
+        let mut c = Ipv4Fib::new();
+        c.populate_synthetic(500, 8);
+        assert_ne!(a.len(), 0);
+        let mut rc = c.routes();
+        rc.sort_by_key(|(addr, len, _)| (addr.to_u32(), *len));
+        assert_ne!(ra, rc, "different seeds give different tables");
+    }
+
+    /// The CRAM-style gate: at n = 100k synthetic routes, trie LPM must
+    /// agree with a brute-force longest-match scan over the route dump on
+    /// 1k random lookups.
+    #[test]
+    fn v4_lpm_matches_linear_scan_oracle_at_100k() {
+        let mut fib = Ipv4Fib::new();
+        fib.populate_synthetic(100_000, 0xC0FFEE);
+        let routes = fib.routes();
+        let matches = |addr: u32, p: u32, len: u8| len == 0 || (addr ^ p) >> (32 - len) == 0;
+        let mut rng = dip_crypto::DetRng::seed_from_u64(0x10_0c0b);
+        for _ in 0..1_000 {
+            // Half the probes under a synthetic prefix (guaranteed-ish
+            // hits), half uniform (mostly misses).
+            let addr = if rng.gen_bool(0.5) {
+                let (p, len, _) = routes[rng.gen_index(routes.len())];
+                p.to_u32() | (rng.next_u32() & !prefix_mask32(len))
+            } else {
+                rng.next_u32()
+            };
+            let oracle = routes
+                .iter()
+                .filter(|(p, len, _)| matches(addr, p.to_u32(), *len))
+                .max_by_key(|(_, len, _)| *len)
+                .map(|(_, _, nh)| *nh);
+            assert_eq!(fib.lookup(Ipv4Addr::from_u32(addr)), oracle, "addr {addr:#010x}");
+        }
+    }
+
+    #[test]
+    fn v6_lpm_matches_linear_scan_oracle() {
+        let mut fib = Ipv6Fib::new();
+        fib.populate_synthetic(20_000, 0xC0FFEE);
+        let routes = fib.routes();
+        let matches = |addr: u128, p: u128, len: u8| len == 0 || (addr ^ p) >> (128 - len) == 0;
+        let mut rng = dip_crypto::DetRng::seed_from_u64(0x10_0c0c);
+        for _ in 0..500 {
+            let addr = if rng.gen_bool(0.5) {
+                let (p, len, _) = routes[rng.gen_index(routes.len())];
+                let low = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                p.to_u128() | (low & !prefix_mask128(len))
+            } else {
+                ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+            };
+            let oracle = routes
+                .iter()
+                .filter(|(p, len, _)| matches(addr, p.to_u128(), *len))
+                .max_by_key(|(_, len, _)| *len)
+                .map(|(_, _, nh)| *nh);
+            assert_eq!(fib.lookup(Ipv6Addr::from_u128(addr)), oracle, "addr {addr:#034x}");
+        }
+    }
+
+    #[test]
+    fn name_lpm_matches_linear_scan_oracle() {
+        let mut fib = NameFib::new();
+        fib.populate_synthetic(5_000, 0xC0FFEE);
+        let routes = fib.routes();
+        let mut rng = dip_crypto::DetRng::seed_from_u64(0x10_0c0d);
+        for _ in 0..500 {
+            // Probe a child of an installed prefix, or a random name.
+            let name = if rng.gen_bool(0.5) {
+                let p = &routes[rng.gen_index(routes.len())].0;
+                p.child(format!("{:04x}", rng.next_u32() & 0xffff).as_bytes())
+            } else {
+                Name::parse(&format!(
+                    "/syn/{:04x}/{:04x}",
+                    rng.next_u32() & 0xffff,
+                    rng.next_u32() & 0xffff
+                ))
+            };
+            let oracle = routes
+                .iter()
+                .filter(|(p, _)| p.is_prefix_of(&name))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(_, nh)| *nh);
+            assert_eq!(fib.lookup(&name), oracle, "name {name:?}");
+        }
     }
 
     #[test]

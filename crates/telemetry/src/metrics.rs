@@ -132,6 +132,40 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket holding the target rank — the same estimator
+    /// Prometheus' `histogram_quantile` uses, so the worst-case relative
+    /// error is bounded by the bucket's relative width (for the log-spaced
+    /// bounds the workload harness registers, `ratio - 1`).
+    ///
+    /// Edge behavior, pinned by tests: an empty histogram estimates `0`;
+    /// a rank landing in the `+Inf` overflow bucket clamps to the highest
+    /// finite bound; a histogram with no finite bounds falls back to the
+    /// mean (`sum / count`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        if self.bounds.is_empty() {
+            return self.sum() / count;
+        }
+        // 1-based rank of the target observation.
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let cumulative = self.cumulative_buckets();
+        // First bucket whose cumulative count reaches the rank.
+        let idx = cumulative.partition_point(|&c| c < rank);
+        if idx >= self.bounds.len() {
+            return self.bounds[self.bounds.len() - 1];
+        }
+        let hi = self.bounds[idx];
+        let lo = if idx == 0 { 0 } else { self.bounds[idx - 1] };
+        let below = if idx == 0 { 0 } else { cumulative[idx - 1] };
+        let in_bucket = cumulative[idx] - below;
+        let frac = (rank - below) as f64 / in_bucket as f64;
+        lo + ((hi - lo) as f64 * frac).round() as u64
+    }
 }
 
 impl std::fmt::Debug for Histogram {
@@ -185,6 +219,93 @@ mod tests {
         let empty = Histogram::new(&[]);
         empty.observe(7);
         assert_eq!(empty.cumulative_buckets(), vec![1], "only the +Inf bucket");
+    }
+
+    /// Log-spaced bounds with ratio `2^(1/4)` from 1 to ~2^20, the shape
+    /// the latency histograms use.
+    fn log_bounds() -> Vec<u64> {
+        let mut bounds = Vec::new();
+        let mut v = 1.0f64;
+        while v < (1u64 << 20) as f64 {
+            bounds.push(v.round() as u64);
+            v *= 2f64.powf(0.25);
+        }
+        bounds
+    }
+
+    /// Exact quantile of a sorted sample at the rank `quantile()` targets.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_width() {
+        // A deterministic heavy-tailed-ish sample: quadratic growth spread
+        // over three decades, known exactly.
+        let sample: Vec<u64> = (1..=5_000u64).map(|i| 50 + (i * i) / 40).collect();
+        let h = Histogram::new(&log_bounds());
+        for &v in &sample {
+            h.observe(v);
+        }
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        // Bucket ratio 2^(1/4): worst-case relative error (ratio - 1) plus
+        // integer-rounding slack on the bound values.
+        let max_rel = 2f64.powf(0.25) - 1.0 + 0.02;
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let est = h.quantile(q) as f64;
+            let exact = exact_quantile(&sorted, q) as f64;
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= max_rel,
+                "q={q}: estimate {est} vs exact {exact}, relative error {rel:.4} > {max_rel:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_is_exact_at_bucket_boundaries() {
+        // All mass exactly on a bound: the top of the bucket is the exact
+        // answer for every quantile at or above the mass.
+        let h = Histogram::new(&[10, 100, 1000]);
+        for _ in 0..50 {
+            h.observe(100);
+        }
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.quantile(0.99), 100, "within (10,100], rank 50 of 50 → top of bucket");
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_pinned() {
+        // Empty histogram → 0.
+        let h = Histogram::new(&[10, 100]);
+        assert_eq!(h.quantile(0.5), 0);
+        // Overflow bucket clamps to the highest finite bound.
+        h.observe(1_000_000);
+        assert_eq!(h.quantile(0.99), 100);
+        // No finite bounds → mean fallback.
+        let inf_only = Histogram::new(&[]);
+        inf_only.observe(30);
+        inf_only.observe(50);
+        assert_eq!(inf_only.quantile(0.9), 40);
+        // Out-of-range q clamps.
+        let one = Histogram::new(&[8]);
+        one.observe(8);
+        assert_eq!(one.quantile(-1.0), one.quantile(0.0));
+        assert_eq!(one.quantile(2.0), 8);
+    }
+
+    #[test]
+    fn quantile_interpolates_linearly_within_a_bucket() {
+        // 100 observations uniformly inside (0, 100]: the estimator assumes
+        // uniform mass, so q=0.25 → 25, q=0.75 → 75 exactly.
+        let h = Histogram::new(&[100, 1000]);
+        for i in 1..=100 {
+            h.observe(i);
+        }
+        assert_eq!(h.quantile(0.25), 25);
+        assert_eq!(h.quantile(0.75), 75);
     }
 
     #[test]

@@ -221,9 +221,13 @@ impl Registry {
     /// A point-in-time flat view of every metric.
     ///
     /// Counters and gauges yield one sample each; histograms yield
-    /// `name_count` and `name_sum` (bucket detail stays in the Prometheus
-    /// rendering). Gauges clamp at zero — every gauge in this workspace
-    /// (occupancy, capacity) is non-negative.
+    /// `name_count` and `name_sum` plus the interpolated quantile
+    /// estimates `name_p50` / `name_p90` / `name_p99` / `name_p999`
+    /// ([`Histogram::quantile`]), so consumers (`dipload`, the benches)
+    /// read percentiles instead of recomputing them from buckets (full
+    /// bucket detail stays in the Prometheus rendering). Gauges clamp at
+    /// zero — every gauge in this workspace (occupancy, capacity) is
+    /// non-negative.
     pub fn snapshot(&self) -> Snapshot {
         let families = self.families.lock().expect("telemetry registry poisoned");
         let mut samples = Vec::new();
@@ -251,6 +255,15 @@ impl Registry {
                             labels: i.labels.clone(),
                             value: h.sum(),
                         });
+                        for (suffix, q) in
+                            [("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("p999", 0.999)]
+                        {
+                            samples.push(Sample {
+                                name: format!("{}_{}", f.name, suffix),
+                                labels: i.labels.clone(),
+                                value: h.quantile(q),
+                            });
+                        }
                     }
                 }
             }
@@ -414,6 +427,11 @@ mod tests {
         assert_eq!(snap.sum_where("drops", &[("reason", "pit_miss")]), 3);
         assert_eq!(snap.get("lat_count"), 1);
         assert_eq!(snap.get("lat_sum"), 4);
+        // Quantile estimates ride along in the flat snapshot: the single
+        // observation fills bucket (0,10], so every quantile interpolates
+        // to the top of that bucket.
+        assert_eq!(snap.get("lat_p50"), 10);
+        assert_eq!(snap.get("lat_p99"), 10);
         assert_eq!(snap.get("absent"), 0);
         let json = snap.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));

@@ -1,0 +1,241 @@
+//! Statistical workload models, all seeded from the in-repo [`DetRng`].
+//!
+//! Three ingredients the networking-measurement literature agrees real
+//! traffic needs: skewed content popularity (Zipf), heavy-tailed flow
+//! sizes (Pareto), and bursty arrivals (Poisson baseline, on/off MMPP
+//! for bursts). Each model is a plain struct drawing from a caller-owned
+//! RNG, so a generator's entire randomness is one seed.
+
+use dip_crypto::DetRng;
+
+/// Zipf(s) popularity over a catalog of `n` items: item `k` (0-based)
+/// carries weight `1/(k+1)^s`. Sampling inverts the precomputed
+/// cumulative weight table with a binary search — O(log n) per draw,
+/// exact (no rejection), deterministic.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Normalized cumulative weights; `cum[n-1] == 1.0`.
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `n ≥ 1` items with exponent `s ≥ 0`
+    /// (`s = 0` degrades to uniform — the degradation the determinism
+    /// suite's sanity check guards against).
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        Zipf { cum }
+    }
+
+    /// Catalog size.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Whether the catalog is empty (never: `new` clamps to 1).
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// Draws one item index in `0..len()`.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.next_f64();
+        self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1)
+    }
+
+    /// The theoretical probability of the most popular item,
+    /// `1 / H_{n,s}` — what the top-1 empirical frequency must approach.
+    pub fn theoretical_top1(&self) -> f64 {
+        self.cum[0]
+    }
+}
+
+/// Bounded Pareto flow sizes: `xm / U^(1/alpha)` capped at `cap`, the
+/// classic heavy-tailed "mice and elephants" size mix.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPareto {
+    /// Tail exponent (smaller ⇒ heavier tail); typical traffic ≈ 1.1–1.5.
+    pub alpha: f64,
+    /// Minimum size.
+    pub xm: u64,
+    /// Hard cap (keeps a single elephant from dominating a short trial).
+    pub cap: u64,
+}
+
+impl BoundedPareto {
+    /// A bounded Pareto with shape `alpha`, minimum `xm`, cap `cap`.
+    pub fn new(alpha: f64, xm: u64, cap: u64) -> Self {
+        BoundedPareto { alpha: alpha.max(0.05), xm: xm.max(1), cap: cap.max(xm.max(1)) }
+    }
+
+    /// Draws one size in `xm ..= cap`.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let u = rng.next_f64().max(1e-12);
+        let v = self.xm as f64 / u.powf(1.0 / self.alpha);
+        (v as u64).clamp(self.xm, self.cap)
+    }
+}
+
+/// When packets arrive relative to the offered rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Deterministic equal spacing (a hardware traffic generator).
+    Uniform,
+    /// Poisson: i.i.d. exponential inter-arrival gaps.
+    Poisson,
+    /// Two-state on/off MMPP: exponential dwell times with the given
+    /// means; arrivals are Poisson during ON periods at a rate inflated
+    /// by `(on+off)/on` so the long-run average still meets the offered
+    /// rate. This is the burst generator — queues see idle valleys and
+    /// compressed bursts at identical average load.
+    OnOff {
+        /// Mean ON-period length in nanoseconds.
+        mean_on_ns: u64,
+        /// Mean OFF-period length in nanoseconds.
+        mean_off_ns: u64,
+    },
+}
+
+/// A stateful arrival-time generator: successive calls to
+/// [`ArrivalGen::next_ns`] yield the non-decreasing timestamps of an
+/// arrival process with long-run average `rate_pps`.
+#[derive(Debug)]
+pub struct ArrivalGen {
+    model: ArrivalModel,
+    /// Mean gap at the offered rate, ns.
+    mean_gap_ns: f64,
+    rng: DetRng,
+    now_ns: f64,
+    /// Remaining ON time (OnOff only).
+    on_left_ns: f64,
+}
+
+impl ArrivalGen {
+    /// A generator for `model` at `rate_pps` packets per second, drawing
+    /// from `rng` (hand in a dedicated stream so arrival draws never
+    /// perturb content draws).
+    pub fn new(model: ArrivalModel, rate_pps: u64, rng: DetRng) -> Self {
+        let rate = rate_pps.max(1) as f64;
+        ArrivalGen { model, mean_gap_ns: 1e9 / rate, rng, now_ns: 0.0, on_left_ns: 0.0 }
+    }
+
+    /// Draws an exponential variate with the given mean.
+    fn exp(rng: &mut DetRng, mean: f64) -> f64 {
+        let u = rng.next_f64();
+        -(1.0 - u).max(1e-12).ln() * mean
+    }
+
+    /// The next arrival timestamp in nanoseconds.
+    pub fn next_ns(&mut self) -> u64 {
+        match self.model {
+            ArrivalModel::Uniform => {
+                self.now_ns += self.mean_gap_ns;
+            }
+            ArrivalModel::Poisson => {
+                self.now_ns += Self::exp(&mut self.rng, self.mean_gap_ns);
+            }
+            ArrivalModel::OnOff { mean_on_ns, mean_off_ns } => {
+                // Inflate the in-burst rate so ON fraction × burst rate
+                // equals the offered average.
+                let duty = mean_on_ns as f64 / (mean_on_ns + mean_off_ns).max(1) as f64;
+                let burst_gap = self.mean_gap_ns * duty;
+                let mut gap = Self::exp(&mut self.rng, burst_gap);
+                // Walk through as many OFF periods as the gap spans.
+                while gap > self.on_left_ns {
+                    gap -= self.on_left_ns;
+                    self.now_ns += self.on_left_ns + Self::exp(&mut self.rng, mean_off_ns as f64);
+                    self.on_left_ns = Self::exp(&mut self.rng, mean_on_ns as f64);
+                }
+                self.on_left_ns -= gap;
+                self.now_ns += gap;
+            }
+        }
+        self.now_ns as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let zipf = Zipf::new(100, 1.1);
+        let mut a = DetRng::seed_from_u64(7);
+        let mut b = DetRng::seed_from_u64(7);
+        let draws_a: Vec<usize> = (0..1_000).map(|_| zipf.sample(&mut a)).collect();
+        let draws_b: Vec<usize> = (0..1_000).map(|_| zipf.sample(&mut b)).collect();
+        assert_eq!(draws_a, draws_b);
+        let top1 = draws_a.iter().filter(|&&k| k == 0).count() as f64 / 1_000.0;
+        assert!(top1 > 3.0 / 100.0, "top-1 {top1} should beat uniform by far");
+        assert!((zipf.theoretical_top1() - top1).abs() < 0.06, "top-1 {top1} near theory");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        assert!((zipf.theoretical_top1() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_respects_bounds_and_has_a_tail() {
+        let p = BoundedPareto::new(1.2, 4, 1 << 14);
+        let mut rng = DetRng::seed_from_u64(3);
+        let sizes: Vec<u64> = (0..5_000).map(|_| p.sample(&mut rng)).collect();
+        assert!(sizes.iter().all(|&s| (4..=1 << 14).contains(&s)));
+        let big = sizes.iter().filter(|&&s| s > 100).count();
+        let small = sizes.iter().filter(|&&s| s <= 8).count();
+        assert!(big > 50, "tail exists: {big}");
+        assert!(small > 2_000, "mice dominate: {small}");
+    }
+
+    #[test]
+    fn arrivals_hit_the_offered_rate() {
+        for model in [
+            ArrivalModel::Uniform,
+            ArrivalModel::Poisson,
+            ArrivalModel::OnOff { mean_on_ns: 200_000, mean_off_ns: 200_000 },
+        ] {
+            let mut gen = ArrivalGen::new(model, 1_000_000, DetRng::seed_from_u64(11));
+            let n = 20_000;
+            let mut last = 0;
+            for _ in 0..n {
+                let t = gen.next_ns();
+                assert!(t >= last, "timestamps non-decreasing under {model:?}");
+                last = t;
+            }
+            // 1M pps for 20k packets ≈ 20 ms; allow 25% slack for the
+            // bursty model's variance.
+            let expected = 20_000_000.0;
+            let err = (last as f64 - expected).abs() / expected;
+            assert!(err < 0.25, "{model:?}: span {last} vs expected {expected}, err {err:.3}");
+        }
+    }
+
+    #[test]
+    fn onoff_actually_bursts() {
+        let mut gen = ArrivalGen::new(
+            ArrivalModel::OnOff { mean_on_ns: 100_000, mean_off_ns: 900_000 },
+            100_000,
+            DetRng::seed_from_u64(5),
+        );
+        let times: Vec<u64> = (0..2_000).map(|_| gen.next_ns()).collect();
+        let gaps: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        let bursty_gaps = gaps.iter().filter(|&&g| (g as f64) < mean / 5.0).count();
+        assert!(
+            bursty_gaps > gaps.len() / 3,
+            "in-burst gaps must be far below the mean: {bursty_gaps}/{}",
+            gaps.len()
+        );
+    }
+}

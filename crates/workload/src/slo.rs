@@ -1,0 +1,221 @@
+//! SLO evaluation and the max-sustainable-throughput (MST) search.
+//!
+//! "How fast is the router" is ill-posed under open-loop load: offered
+//! rate is an input, and past saturation the latency model diverges while
+//! drops climb. The well-posed question is the classic sustained-rate
+//! one: **the highest offered rate at which the SLO still holds** (p99
+//! sojourn below a bound, drop fraction below a bound). [`find_mst`]
+//! answers it by bisection on the offered rate: every trial replays the
+//! same seed (content is rate-independent, so every trial offers the
+//! *same packets* at a different tempo), the accounting identity is
+//! asserted on every trial — failing ones included — and the whole search
+//! is deterministic, so one `(spec, config)` pair always converges to the
+//! same MST.
+
+use crate::openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+use crate::trace::WorkloadSpec;
+
+/// The service-level objective a trial must meet.
+#[derive(Debug, Clone, Copy)]
+pub struct Slo {
+    /// Modeled p99 sojourn bound, nanoseconds.
+    pub p99_ns: u64,
+    /// Maximum tolerated drop fraction (all reasons).
+    pub max_drop_frac: f64,
+}
+
+impl Default for Slo {
+    fn default() -> Self {
+        Slo { p99_ns: 1_000_000, max_drop_frac: 0.001 }
+    }
+}
+
+/// MST search knobs.
+#[derive(Debug, Clone)]
+pub struct MstConfig {
+    /// The objective.
+    pub slo: Slo,
+    /// How each trial drives the engine.
+    pub open_loop: OpenLoopConfig,
+    /// Packets offered per trial.
+    pub packets_per_trial: usize,
+    /// Lower bracket (a rate assumed sustainable).
+    pub lo_pps: u64,
+    /// Upper bracket (a rate assumed unsustainable).
+    pub hi_pps: u64,
+    /// Bisection iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for MstConfig {
+    fn default() -> Self {
+        MstConfig {
+            slo: Slo::default(),
+            open_loop: OpenLoopConfig::default(),
+            packets_per_trial: 2048,
+            lo_pps: 1_000,
+            hi_pps: 1_000_000_000,
+            max_iters: 24,
+        }
+    }
+}
+
+/// One bisection trial, kept for the audit trail.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// Offered rate.
+    pub offered_pps: u64,
+    /// Modeled median sojourn.
+    pub p50_ns: u64,
+    /// Modeled p99 sojourn.
+    pub p99_ns: u64,
+    /// Fraction of offered packets dropped.
+    pub drop_frac: f64,
+    /// Overload drops (`queue_full`) alone.
+    pub queue_full: u64,
+    /// Whether the SLO held.
+    pub passed: bool,
+    /// Rate-dependent trace fingerprint.
+    pub trace_hash: u64,
+}
+
+/// The search outcome.
+#[derive(Debug, Clone)]
+pub struct MstResult {
+    /// Highest rate that met the SLO (0 when even `lo_pps` failed).
+    pub mst_pps: u64,
+    /// Every trial, in execution order.
+    pub trials: Vec<Trial>,
+    /// The rate-independent content fingerprint shared by every trial.
+    pub content_hash: u64,
+}
+
+impl MstResult {
+    /// The trial that ran at the reported MST, if the search passed at
+    /// all.
+    pub fn mst_trial(&self) -> Option<&Trial> {
+        self.trials.iter().rfind(|t| t.passed && t.offered_pps == self.mst_pps)
+    }
+}
+
+fn evaluate(report: &OpenLoopReport, slo: &Slo) -> Trial {
+    // ISSUE contract: the identity is validated on EVERY trial. A
+    // violation is a harness or engine bug, never a legitimate "fail the
+    // SLO" outcome — surface it loudly instead of folding it into MST.
+    assert!(
+        report.identity_holds,
+        "accounting identity violated at {} pps: forwarded {} + consumed {} + dropped {} != injected {}",
+        report.offered_pps, report.forwarded, report.consumed, report.dropped, report.injected
+    );
+    let drop_frac = report.drop_frac();
+    Trial {
+        offered_pps: report.offered_pps,
+        p50_ns: report.p50_ns,
+        p99_ns: report.p99_ns,
+        drop_frac,
+        queue_full: report.queue_full,
+        passed: report.p99_ns <= slo.p99_ns && drop_frac <= slo.max_drop_frac,
+        trace_hash: report.trace_hash,
+    }
+}
+
+/// Bisects offered rate for the highest SLO-passing value.
+///
+/// Convergence: stops when the bracket narrows below `lo/64` (a ~1.6%
+/// relative tolerance) or after `max_iters` trials, whichever first.
+/// Deterministic: same `(spec, cfg)` ⇒ same trials ⇒ same MST.
+pub fn find_mst(spec: &WorkloadSpec, cfg: &MstConfig) -> MstResult {
+    let mut trials: Vec<Trial> = Vec::new();
+    let mut content_hash = 0;
+    let mut run = |rate: u64, trials: &mut Vec<Trial>| -> bool {
+        let report = run_open_loop(spec, rate, cfg.packets_per_trial, &cfg.open_loop);
+        debug_assert!(content_hash == 0 || content_hash == report.content_hash);
+        content_hash = report.content_hash;
+        let trial = evaluate(&report, &cfg.slo);
+        let passed = trial.passed;
+        trials.push(trial);
+        passed
+    };
+
+    let mut lo = cfg.lo_pps.max(1);
+    let mut hi = cfg.hi_pps.max(lo + 1);
+    if !run(lo, &mut trials) {
+        return MstResult { mst_pps: 0, trials, content_hash };
+    }
+    if run(hi, &mut trials) {
+        // The bracket never contained the knee; report hi rather than
+        // pretending precision we don't have.
+        return MstResult { mst_pps: hi, trials, content_hash };
+    }
+    let mut iters = 0;
+    while hi - lo > (lo / 64).max(1) && iters < cfg.max_iters {
+        let mid = lo + (hi - lo) / 2;
+        if run(mid, &mut trials) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        iters += 1;
+    }
+    MstResult { mst_pps: lo, trials, content_hash }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            table_size: 300,
+            catalog_size: 64,
+            pit_preseed: 512,
+            ..Default::default()
+        }
+    }
+
+    fn cfg() -> MstConfig {
+        // Trials must offer more packets than the queue holds, or
+        // overload can never surface as queue_full drops.
+        MstConfig {
+            packets_per_trial: 512,
+            open_loop: OpenLoopConfig { queue_capacity: 64, ..Default::default() },
+            max_iters: 12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mst_exists_between_the_brackets() {
+        let r = find_mst(&spec(7), &cfg());
+        assert!(r.mst_pps > 0, "some rate must pass: {:?}", r.trials);
+        assert!(r.mst_pps < 1_000_000_000, "the default hi bracket must fail");
+        assert!(r.trials.iter().any(|t| !t.passed), "search saw the knee");
+        let mst = r.mst_trial().expect("passing trial recorded");
+        assert!(mst.p99_ns <= 1_000_000 && mst.drop_frac <= 0.001);
+    }
+
+    #[test]
+    fn mst_is_reproducible() {
+        let a = find_mst(&spec(7), &cfg());
+        let b = find_mst(&spec(7), &cfg());
+        assert_eq!(a.mst_pps, b.mst_pps);
+        assert_eq!(a.content_hash, b.content_hash);
+        assert_eq!(a.trials.len(), b.trials.len());
+        for (x, y) in a.trials.iter().zip(&b.trials) {
+            assert_eq!(
+                (x.offered_pps, x.trace_hash, x.passed),
+                (y.offered_pps, y.trace_hash, y.passed)
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_slo_reports_zero() {
+        let mut c = cfg();
+        c.slo.p99_ns = 1;
+        let r = find_mst(&spec(7), &c);
+        assert_eq!(r.mst_pps, 0);
+        assert_eq!(r.trials.len(), 1, "search stops after the failed lower bracket");
+    }
+}

@@ -15,6 +15,10 @@
 #             grep gate: RouteSnapshot values are built only by the
 #             control plane (and tests/benches) — dataplane code must
 #             never assemble its own routing state
+#   load    — the workload harness: build dipload, run the workload
+#             determinism suite by name, MST smoke across every protocol
+#             writing BENCH_workload.json, plus a grep gate: quantile
+#             math lives in dip-telemetry only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,6 +67,36 @@ if grep -rn 'RouteSnapshot::default()\|RouteSnapshot::capture\|RouteSnapshot {' 
     | grep -v '^crates/dataplane/src/runtime\.rs:' \
     | grep -v '^crates/bench/'; then
     echo "error: RouteSnapshot constructed outside the control plane" >&2
+    exit 1
+fi
+
+echo "== workload determinism gate (named)"
+cargo test -q --test workload_determinism --offline
+cargo test -q -p dip-workload --offline
+
+echo "== dipload MST smoke (all protocols -> BENCH_workload.json)"
+cargo build -q --release --bin dipload --offline
+# Small trials keep the smoke around two seconds while still bisecting
+# to a real knee for every protocol; the JSON lines are the repo's bench
+# trajectory, appended-to by CI and diffed by humans.
+./target/release/dipload --protocol all --seed 7 --packets 512 --queue 64 --iters 10 \
+    > BENCH_workload.json
+lines=$(wc -l < BENCH_workload.json)
+if [ "$lines" -ne 6 ]; then
+    echo "error: expected 6 MST lines (5 protocols + ndn_opt), got $lines" >&2
+    exit 1
+fi
+if grep -v '"mst_pps":' BENCH_workload.json; then
+    echo "error: BENCH_workload.json line missing mst_pps" >&2
+    exit 1
+fi
+
+echo "== quantile math lives only in dip-telemetry"
+# Latency quantiles are estimated once, in the histogram (linear
+# interpolation inside log-spaced buckets); drivers and benches must read
+# them, not re-derive them.
+if grep -rn 'fn quantile' crates src --include='*.rs' | grep -v '^crates/telemetry/'; then
+    echo "error: quantile implementation outside crates/telemetry" >&2
     exit 1
 fi
 

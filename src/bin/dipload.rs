@@ -1,0 +1,180 @@
+//! `dipload` — deterministic load generation and MST search, as a command.
+//!
+//! For each requested protocol (or `all` six: the five paper protocols
+//! plus NDN+OPT) it runs the open-loop max-sustainable-throughput search
+//! and prints one `dip_bench` JSON line:
+//!
+//! ```text
+//! {"bench":"workload_mst","protocol":"ndn","seed":7,...,
+//!  "offered_pps":...,"mst_pps":...,"p50_ns":...,"p99_ns":...,
+//!  "drop_frac":...,"content_hash":"..."}
+//! ```
+//!
+//! Everything is seeded: re-running with the same arguments reproduces
+//! the identical MST, trial sequence, and trace hashes.
+//!
+//! ```text
+//! usage: dipload [--protocol all|ipv4,ndn,...] [--seed N] [--engine router|dataplane]
+//!                [--workers N] [--batch N] [--packets N] [--iters N]
+//!                [--lo PPS] [--hi PPS] [--queue N] [--p99-ns N] [--drop-frac F]
+//!                [--arrival uniform|poisson|onoff]
+//! ```
+
+use dip::workload::{
+    find_mst, ArrivalModel, EngineKind, Mix, MstConfig, OpenLoopConfig, TrafficClass, WorkloadSpec,
+};
+use dip_bench::JsonLine;
+
+struct Args {
+    protocols: Vec<TrafficClass>,
+    seed: u64,
+    engine: EngineKind,
+    packets: usize,
+    iters: usize,
+    lo: u64,
+    hi: u64,
+    queue: usize,
+    p99_ns: u64,
+    drop_frac: f64,
+    arrival: ArrivalModel,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("dipload: {err}");
+    eprintln!(
+        "usage: dipload [--protocol all|ipv4,ipv6,ndn,opt,xia,ndn_opt] [--seed N]\n\
+         \u{20}              [--engine router|dataplane] [--workers N] [--batch N]\n\
+         \u{20}              [--packets N] [--iters N] [--lo PPS] [--hi PPS] [--queue N]\n\
+         \u{20}              [--p99-ns N] [--drop-frac F] [--arrival uniform|poisson|onoff]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        protocols: TrafficClass::ALL.to_vec(),
+        seed: 7,
+        engine: EngineKind::Router,
+        packets: 2048,
+        iters: 18,
+        lo: 1_000,
+        hi: 1_000_000_000,
+        queue: 1024,
+        p99_ns: 1_000_000,
+        drop_frac: 0.001,
+        arrival: ArrivalModel::Poisson,
+    };
+    let (mut workers, mut batch) = (2usize, 32usize);
+    let mut engine_name = String::from("router");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = || -> String {
+            i += 1;
+            argv.get(i).cloned().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag {
+            "--protocol" => {
+                let v = value();
+                if v != "all" {
+                    args.protocols = v
+                        .split(',')
+                        .map(|s| {
+                            TrafficClass::parse(s)
+                                .unwrap_or_else(|| usage(&format!("unknown protocol {s:?}")))
+                        })
+                        .collect();
+                }
+            }
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--engine" => engine_name = value(),
+            "--workers" => workers = value().parse().unwrap_or_else(|_| usage("bad --workers")),
+            "--batch" => batch = value().parse().unwrap_or_else(|_| usage("bad --batch")),
+            "--packets" => {
+                args.packets = value().parse().unwrap_or_else(|_| usage("bad --packets"))
+            }
+            "--iters" => args.iters = value().parse().unwrap_or_else(|_| usage("bad --iters")),
+            "--lo" => args.lo = value().parse().unwrap_or_else(|_| usage("bad --lo")),
+            "--hi" => args.hi = value().parse().unwrap_or_else(|_| usage("bad --hi")),
+            "--queue" => args.queue = value().parse().unwrap_or_else(|_| usage("bad --queue")),
+            "--p99-ns" => args.p99_ns = value().parse().unwrap_or_else(|_| usage("bad --p99-ns")),
+            "--drop-frac" => {
+                args.drop_frac = value().parse().unwrap_or_else(|_| usage("bad --drop-frac"))
+            }
+            "--arrival" => {
+                args.arrival = match value().as_str() {
+                    "uniform" => ArrivalModel::Uniform,
+                    "poisson" => ArrivalModel::Poisson,
+                    "onoff" => ArrivalModel::OnOff { mean_on_ns: 100_000, mean_off_ns: 300_000 },
+                    other => usage(&format!("unknown arrival model {other:?}")),
+                }
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    args.engine = match engine_name.as_str() {
+        "router" => EngineKind::Router,
+        "dataplane" => EngineKind::Dataplane { workers, batch_size: batch },
+        other => usage(&format!("unknown engine {other:?}")),
+    };
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = MstConfig {
+        slo: dip::workload::Slo { p99_ns: args.p99_ns, max_drop_frac: args.drop_frac },
+        open_loop: OpenLoopConfig {
+            engine: args.engine,
+            queue_capacity: args.queue,
+            ..Default::default()
+        },
+        packets_per_trial: args.packets,
+        lo_pps: args.lo,
+        hi_pps: args.hi,
+        max_iters: args.iters,
+    };
+    let (engine_label, workers) = match args.engine {
+        EngineKind::Router => ("router", 1),
+        EngineKind::Dataplane { workers, .. } => ("dataplane", workers),
+    };
+    for class in &args.protocols {
+        let spec = WorkloadSpec {
+            seed: args.seed,
+            mix: Mix::single(*class),
+            arrival: args.arrival,
+            ..Default::default()
+        };
+        let result = find_mst(&spec, &cfg);
+        let mut line = JsonLine::new("workload_mst")
+            .str("protocol", class.label())
+            .u64("seed", args.seed)
+            .str("engine", engine_label)
+            .u64("workers", workers as u64)
+            .u64("trials", result.trials.len() as u64)
+            .u64("mst_pps", result.mst_pps);
+        match result.mst_trial() {
+            Some(t) => {
+                line = line
+                    .u64("offered_pps", t.offered_pps)
+                    .u64("p50_ns", t.p50_ns)
+                    .u64("p99_ns", t.p99_ns)
+                    .f64p("drop_frac", t.drop_frac, 6)
+                    .u64("queue_full", t.queue_full)
+                    .str("trace_hash", &format!("{:016x}", t.trace_hash));
+            }
+            None => {
+                line = line
+                    .u64("offered_pps", 0)
+                    .u64("p50_ns", 0)
+                    .u64("p99_ns", 0)
+                    .f64p("drop_frac", 1.0, 6)
+                    .u64("queue_full", 0)
+                    .str("trace_hash", "none");
+            }
+        }
+        line.str("content_hash", &format!("{:016x}", result.content_hash)).emit();
+    }
+}

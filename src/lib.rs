@@ -45,6 +45,7 @@
 //! | [`dataplane`] | `dip-dataplane` | multi-worker batched software dataplane: flow sharding, SPSC rings, program caches |
 //! | [`controlplane`] | `dip-controlplane` | distributed routing: HELLO adjacencies, LSA flooding, Dijkstra SPF, epoch-swap route publication |
 //! | [`telemetry`] | `dip-telemetry` | zero-dependency metrics: counters/gauges/histograms, the packet-outcome taxonomy, Prometheus + JSON rendering |
+//! | [`workload`] | `dip-workload` | deterministic load generation: Zipf/Pareto/MMPP traffic models, open/closed-loop drivers, SLO + max-sustainable-throughput search |
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results of every table and figure.
@@ -63,6 +64,7 @@ pub use dip_tables as tables;
 pub use dip_telemetry as telemetry;
 pub use dip_verify as verify;
 pub use dip_wire as wire;
+pub use dip_workload as workload;
 
 /// The most commonly used items in one import.
 pub mod prelude {
