@@ -29,10 +29,12 @@
 
 use crate::router::{RouterConfig, UnknownFnPolicy};
 use dip_fnops::parallel::plan;
-use dip_fnops::{FieldOp, FnRegistry, OpCost};
+use dip_fnops::{FieldOp, FnRegistry, HoistState, OpCost};
+use dip_verify::opt::{analyze, ProgramFacts, Rewrite};
+use dip_verify::FnProgram;
 use dip_wire::triple::FnTriple;
 use dip_wire::{DipPacket, BASIC_HEADER_LEN, FN_TRIPLE_LEN};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The per-packet parse result: lines 1–3 of Algorithm 1.
 #[derive(Debug, Clone)]
@@ -112,13 +114,78 @@ pub(crate) enum ChainEntry {
     },
 }
 
+/// One unit of a dipopt-optimized execution plan.
+///
+/// The plan replays the *original* budget-charge sequence exactly —
+/// eliminated operations leave a charge-only residue at their original
+/// position — so the budget meter makes identical drop decisions on the
+/// optimized and interpreted paths. Only the timing-model cost (`model`)
+/// reflects the optimization.
+pub(crate) enum OptUnit {
+    /// Host-tagged FN: skipped, counted.
+    Host,
+    /// No module installed; `index` preserves the original chain position
+    /// for the FN-unsupported notification.
+    Unsupported {
+        /// Wire encoding of the missing key.
+        key: u16,
+        /// Whether to notify rather than skip.
+        notify: bool,
+        /// Original chain index (goes into the notification verbatim).
+        index: usize,
+    },
+    /// Residue of an eliminated operation: charge the budget, run nothing.
+    Charge {
+        /// The eliminated op's original cost.
+        cost: OpCost,
+    },
+    /// An operation that still executes.
+    Run {
+        /// The selecting triple.
+        triple: FnTriple,
+        /// The operation module.
+        op: Arc<dyn FieldOp>,
+        /// Original cost, charged against the budget (replayed accounting).
+        charge: OpCost,
+        /// Optimized timing-model cost: fused/hoisted, zero for non-lead
+        /// members of a fused group (the lead carries the merged cost).
+        model: OpCost,
+        /// Index into the plan's hoist slots when setup was hoisted.
+        hoist: Option<usize>,
+    },
+}
+
+/// Per-rewrite-kind counts, surfaced to dataplane telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptSummary {
+    /// Operations removed from the per-packet path.
+    pub ops_eliminated: u32,
+    /// Adjacent-pair fusions applied.
+    pub fusions: u32,
+    /// Packet-invariant setups hoisted to once per chain.
+    pub hoists: u32,
+}
+
+/// A dipopt-optimized execution plan attached to a compiled chain.
+pub(crate) struct OptimizedPlan {
+    pub(crate) units: Vec<OptUnit>,
+    /// Lazily materialized hoisted state, one slot per hoisted op. Built on
+    /// first execution from the router's state; see the validity note on
+    /// [`CompiledChain`].
+    pub(crate) hoists: Vec<OnceLock<Option<HoistState>>>,
+    pub(crate) summary: OptSummary,
+}
+
 /// A fully resolved FN chain: registry lookups, costs, the unknown-FN
 /// policy, and the parallel plan, computed once for all packets carrying
 /// the same program.
 ///
 /// A chain is only valid for the `(registry, config)` pair it was compiled
 /// against — callers that mutate either must recompile (the dataplane's
-/// program cache is per-worker for exactly this reason).
+/// program cache is per-worker for exactly this reason). A chain compiled
+/// with [`CompiledChain::compile_optimized`] additionally caches hoisted
+/// state derived from the executing router's secrets, so it must not be
+/// shared across routers or across secret rotation.
 pub struct CompiledChain {
     pub(crate) entries: Vec<ChainEntry>,
     /// Number of router-executed (non-host) triples.
@@ -126,6 +193,9 @@ pub struct CompiledChain {
     /// Plan depth under the §2.2 modular-parallelism planner, when
     /// requested at compile time.
     pub(crate) parallel_depth: Option<usize>,
+    /// The dipopt plan, when compiled via `compile_optimized` and at least
+    /// one rewrite was proven safe.
+    pub(crate) optimized: Option<OptimizedPlan>,
 }
 
 impl CompiledChain {
@@ -162,7 +232,118 @@ impl CompiledChain {
         }
         let router_triples: Vec<FnTriple> = triples.iter().filter(|t| !t.host).copied().collect();
         let parallel_depth = compute_plan.then(|| plan(&router_triples, registry).depth());
-        CompiledChain { entries, router_fns: router_triples.len(), parallel_depth }
+        CompiledChain { entries, router_fns: router_triples.len(), parallel_depth, optimized: None }
+    }
+
+    /// Like [`compile`](CompiledChain::compile), then runs the dipopt
+    /// analysis and, when at least one rewrite is proven safe, attaches an
+    /// optimized execution plan. Returns the chain together with the
+    /// analysis facts (for telemetry / introspection).
+    ///
+    /// `loc_len` and `parallel` come from the parsed packet and complete
+    /// the [`FnProgram`] the analysis runs on.
+    pub fn compile_optimized(
+        triples: &[FnTriple],
+        registry: &FnRegistry,
+        config: &RouterConfig,
+        compute_plan: bool,
+        loc_len: usize,
+        parallel: bool,
+    ) -> (Self, ProgramFacts) {
+        let mut chain = Self::compile(triples, registry, config, compute_plan);
+        let facts = analyze(&FnProgram::new(triples.to_vec(), loc_len, parallel), registry);
+        if facts.optimizes() {
+            chain.optimized = Some(Self::build_plan(&chain, &facts));
+        }
+        (chain, facts)
+    }
+
+    fn build_plan(chain: &CompiledChain, facts: &ProgramFacts) -> OptimizedPlan {
+        let n = chain.entries.len();
+        let mut eliminated = vec![false; n];
+        let mut model_override: Vec<Option<OpCost>> = vec![None; n];
+        let mut hoist_slot: Vec<Option<usize>> = vec![None; n];
+        // fused_with[j] = Some(i) links j to the previous member of its group.
+        let mut fused_with: Vec<Option<usize>> = vec![None; n];
+        let mut hoist_count = 0usize;
+        for rw in &facts.rewrites {
+            match rw {
+                Rewrite::EliminateRedundantParse { parse, into, fused_model } => {
+                    eliminated[*parse] = true;
+                    model_override[*into] = Some(*fused_model);
+                }
+                Rewrite::EliminateDeadKeyWrite { index } => eliminated[*index] = true,
+                Rewrite::FuseAdjacent { first, second } => fused_with[*second] = Some(*first),
+                Rewrite::HoistKeySchedule { index, hoisted_model } => {
+                    model_override[*index] = Some(*hoisted_model);
+                    hoist_slot[*index] = Some(hoist_count);
+                    hoist_count += 1;
+                }
+            }
+        }
+        // Resolve fused groups: the lead (a member with no predecessor)
+        // carries the fused cost of the whole group; later members go to
+        // zero in the timing model. Execution order is untouched.
+        let mut model: Vec<OpCost> = (0..n)
+            .map(|i| match &chain.entries[i] {
+                ChainEntry::Op { cost, .. } => model_override[i].unwrap_or(*cost),
+                _ => OpCost::default(),
+            })
+            .collect();
+        for j in 0..n {
+            if let Some(i) = fused_with[j] {
+                // Walk back to the group lead.
+                let mut lead = i;
+                while let Some(prev) = fused_with[lead] {
+                    lead = prev;
+                }
+                model[lead] = model[lead].fuse(model[j]);
+                model[j] = OpCost::default();
+            }
+        }
+        let units = chain
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| match entry {
+                ChainEntry::Host => OptUnit::Host,
+                ChainEntry::Unsupported { key, notify } => {
+                    OptUnit::Unsupported { key: *key, notify: *notify, index: i }
+                }
+                ChainEntry::Op { triple, op, cost } => {
+                    if eliminated[i] {
+                        OptUnit::Charge { cost: *cost }
+                    } else {
+                        OptUnit::Run {
+                            triple: *triple,
+                            op: Arc::clone(op),
+                            charge: *cost,
+                            model: model[i],
+                            hoist: hoist_slot[i],
+                        }
+                    }
+                }
+            })
+            .collect();
+        OptimizedPlan {
+            units,
+            hoists: (0..hoist_count).map(|_| OnceLock::new()).collect(),
+            summary: OptSummary {
+                ops_eliminated: facts.ops_eliminated() as u32,
+                fusions: facts.fusions() as u32,
+                hoists: facts.hoists() as u32,
+            },
+        }
+    }
+
+    /// Whether a dipopt plan is attached.
+    pub fn is_optimized(&self) -> bool {
+        self.optimized.is_some()
+    }
+
+    /// Per-rewrite-kind counts of the attached plan, if any.
+    pub fn opt_summary(&self) -> Option<OptSummary> {
+        self.optimized.as_ref().map(|p| p.summary)
     }
 
     /// Number of chain steps (= number of FN triples, host ones included).
@@ -196,6 +377,7 @@ impl std::fmt::Debug for CompiledChain {
             .field("len", &self.entries.len())
             .field("router_fns", &self.router_fns)
             .field("parallel_depth", &self.parallel_depth)
+            .field("optimized", &self.opt_summary())
             .finish()
     }
 }
@@ -275,6 +457,94 @@ mod tests {
         let bare = FnRegistry::with_keys(&[FnKey::Match32]);
         let chain = CompiledChain::compile(&triples, &bare, &config, false);
         assert!(matches!(chain.entries[2], ChainEntry::Unsupported { notify: true, .. }));
+    }
+
+    #[test]
+    fn compile_optimized_builds_replayed_charges() {
+        let registry = FnRegistry::standard();
+        let config = RouterConfig::default();
+        // XIA program: the F_DAG parse is eliminated but still charged.
+        let triples =
+            vec![FnTriple::router(0, 720, FnKey::Dag), FnTriple::router(0, 720, FnKey::Intent)];
+        let (chain, facts) =
+            CompiledChain::compile_optimized(&triples, &registry, &config, false, 90, false);
+        assert!(facts.optimizes());
+        assert!(chain.is_optimized());
+        let plan = chain.optimized.as_ref().unwrap();
+        assert_eq!(plan.units.len(), 2);
+        let dag_cost = registry.get(FnKey::Dag).unwrap().cost(720);
+        assert!(matches!(&plan.units[0], OptUnit::Charge { cost } if *cost == dag_cost));
+        match &plan.units[1] {
+            OptUnit::Run { charge, model, hoist, .. } => {
+                assert_eq!(*charge, registry.get(FnKey::Intent).unwrap().cost(720));
+                assert_eq!(*model, OpCost::lookup(1, 2));
+                assert!(hoist.is_none());
+            }
+            _ => panic!("second unit must run"),
+        }
+        assert_eq!(
+            chain.opt_summary().unwrap(),
+            OptSummary { ops_eliminated: 1, fusions: 0, hoists: 0 }
+        );
+    }
+
+    #[test]
+    fn compile_optimized_fuses_and_hoists() {
+        let registry = FnRegistry::standard();
+        let config = RouterConfig::default();
+        // dip32: disjoint readers fuse — the lead carries the merged model.
+        let triples =
+            vec![FnTriple::router(0, 32, FnKey::Match32), FnTriple::router(32, 32, FnKey::Source)];
+        let (chain, _) =
+            CompiledChain::compile_optimized(&triples, &registry, &config, false, 8, false);
+        let plan = chain.optimized.as_ref().unwrap();
+        match (&plan.units[0], &plan.units[1]) {
+            (OptUnit::Run { model: lead, .. }, OptUnit::Run { model: member, .. }) => {
+                // lookup(1,1) fused with stages(1): shared stage, one lookup.
+                assert_eq!(*lead, OpCost::lookup(1, 1));
+                assert_eq!(*member, OpCost::default());
+            }
+            _ => panic!("both units must run"),
+        }
+
+        // Lone OPT derivation chain with a consumer: parm survives and is
+        // hoisted with one lazy slot.
+        let triples = vec![
+            FnTriple::router(128, 128, FnKey::Parm),
+            FnTriple::router(0, 416, FnKey::Mac),
+            FnTriple::router(288, 128, FnKey::Mark),
+        ];
+        let (chain, facts) =
+            CompiledChain::compile_optimized(&triples, &registry, &config, false, 68, false);
+        assert_eq!(facts.hoists(), 1);
+        let plan = chain.optimized.as_ref().unwrap();
+        assert_eq!(plan.hoists.len(), 1);
+        match &plan.units[0] {
+            OptUnit::Run { charge, model, hoist, .. } => {
+                assert_eq!(*charge, OpCost::cipher(1, 3, 0), "budget replays the original");
+                assert_eq!(*model, OpCost::cipher(1, 2, 0), "timing model sees the hoist");
+                assert_eq!(*hoist, Some(0));
+            }
+            _ => panic!("parm must run"),
+        }
+    }
+
+    #[test]
+    fn compile_optimized_leaves_unoptimizable_programs_alone() {
+        let registry = FnRegistry::standard();
+        let config = RouterConfig::default();
+        for case in dip_verify::optimization_corpus() {
+            let (chain, facts) = CompiledChain::compile_optimized(
+                &case.program.fns,
+                &registry,
+                &config,
+                false,
+                case.program.loc_len,
+                case.program.parallel,
+            );
+            assert!(!facts.optimizes(), "{} must not optimize", case.name);
+            assert!(!chain.is_optimized());
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod border;
 pub mod budget;
 pub mod chain;
 pub mod control;
+pub mod equiv;
 pub mod host;
 pub mod metrics;
 pub mod router;
@@ -41,8 +42,9 @@ pub mod stack;
 pub mod tunnel;
 
 pub use budget::{BudgetMeter, ProcessingBudget};
-pub use chain::{parse_packet, CompiledChain, ParsedPacket};
+pub use chain::{parse_packet, CompiledChain, OptSummary, ParsedPacket};
 pub use control::ControlMessage;
+pub use equiv::{differential_check, differential_smoke, EquivReport};
 pub use metrics::RouterMetrics;
 pub use router::{DipRouter, ProcessStats, RouterConfig, UnknownFnPolicy, Verdict};
 pub use stack::{DipHost, ProtocolId};

@@ -16,7 +16,7 @@
 //! [`Action`]s into a routing [`Verdict`].
 
 use crate::budget::{BudgetMeter, ProcessingBudget};
-use crate::chain::{parse_packet, ChainEntry, CompiledChain, ParsedPacket};
+use crate::chain::{parse_packet, ChainEntry, CompiledChain, OptUnit, ParsedPacket};
 use crate::control::ControlMessage;
 use crate::metrics::RouterMetrics;
 use dip_fnops::{Action, DropReason, FnRegistry, OpCost, PacketCtx, RouterState};
@@ -56,6 +56,16 @@ pub struct RouterConfig {
     /// Whether this node honors the parallel flag (§2.2); affects only the
     /// reported plan depth / timing model, never observable results.
     pub parallel_enabled: bool,
+    /// Run the dipopt static optimizer over each packet's program and
+    /// execute the optimized plan when rewrites were proven safe
+    /// (`dip_verify::opt`). Off by default — the interpreted chain is the
+    /// semantic reference. Budget accounting *replays* the unoptimized
+    /// charge sequence either way, so verdicts and packet bytes are
+    /// identical; only the timing-model cost (and the per-FN invocation
+    /// counters, which no longer see eliminated ops) changes. Optimized
+    /// chains cache hoisted state derived from the router's secrets, so
+    /// rotating `local_secret` requires recompiling cached chains.
+    pub optimize: bool,
 }
 
 impl Default for RouterConfig {
@@ -69,6 +79,7 @@ impl Default for RouterConfig {
                 .collect(),
             default_port: None,
             parallel_enabled: true,
+            optimize: false,
         }
     }
 }
@@ -246,12 +257,20 @@ impl DipRouter {
             }
             return (verdict, ProcessStats::default());
         };
-        let chain = CompiledChain::compile(
-            &parsed.triples,
-            &self.registry,
-            &self.config,
-            parsed.parallel && self.config.parallel_enabled,
-        );
+        let compute_plan = parsed.parallel && self.config.parallel_enabled;
+        if self.config.optimize {
+            let (chain, _) = CompiledChain::compile_optimized(
+                &parsed.triples,
+                &self.registry,
+                &self.config,
+                compute_plan,
+                parsed.loc_len,
+                parsed.parallel,
+            );
+            return self.process_parsed(buf, &parsed, &chain, in_port, now);
+        }
+        let chain =
+            CompiledChain::compile(&parsed.triples, &self.registry, &self.config, compute_plan);
         self.process_parsed(buf, &parsed, &chain, in_port, now)
     }
 
@@ -314,6 +333,97 @@ impl DipRouter {
         // Lines 4–17: the FN chain.
         let mut meter = BudgetMeter::new();
         let mut decision: Option<Verdict> = None;
+
+        // dipopt plan: same chain walk, but eliminated ops leave
+        // charge-only residue, hoisted setup is reused, and the timing
+        // model sees the fused/hoisted costs.
+        if let Some(plan) = chain.optimized.as_ref() {
+            let mut model_cost = OpCost::default();
+            for unit in &plan.units {
+                let (triple, op, charge, unit_model, hoist) = match unit {
+                    OptUnit::Host => {
+                        stats.skipped_host += 1;
+                        continue;
+                    }
+                    OptUnit::Unsupported { notify: true, key, index } => {
+                        return (
+                            Verdict::Notify(ControlMessage::FnUnsupported {
+                                key: *key,
+                                node_id: self.state.node_id,
+                                fn_index: *index as u8,
+                            }),
+                            stats,
+                        );
+                    }
+                    OptUnit::Unsupported { notify: false, .. } => {
+                        stats.skipped_unsupported += 1;
+                        continue;
+                    }
+                    OptUnit::Charge { cost } => {
+                        // Replay the eliminated op's budget charge so drop
+                        // decisions match the interpreted chain exactly.
+                        if !meter.charge(&self.config.budget, *cost) {
+                            return (Verdict::Drop(DropReason::ProcessingBudgetExceeded), stats);
+                        }
+                        continue;
+                    }
+                    OptUnit::Run { triple, op, charge, model, hoist } => {
+                        (triple, op, *charge, *model, *hoist)
+                    }
+                };
+                if !meter.charge(&self.config.budget, charge) {
+                    return (Verdict::Drop(DropReason::ProcessingBudgetExceeded), stats);
+                }
+                stats.fns_executed += 1;
+                model_cost = model_cost + unit_model;
+                stats.cost = model_cost;
+                if let Some(metrics) = self.metrics.as_mut() {
+                    metrics.count_op(triple.key);
+                }
+                let action = match hoist {
+                    Some(slot) => {
+                        let hoisted = plan.hoists[slot].get_or_init(|| op.hoist(&self.state));
+                        match hoisted {
+                            Some(h) => op.execute_hoisted(triple, &mut self.state, &mut ctx, h),
+                            None => op.execute(triple, &mut self.state, &mut ctx),
+                        }
+                    }
+                    None => op.execute(triple, &mut self.state, &mut ctx),
+                };
+                match action {
+                    Action::Continue => {}
+                    Action::Forward(p) => {
+                        decision.get_or_insert(Verdict::Forward(vec![p]));
+                    }
+                    Action::ForwardMulti(ps) => {
+                        decision.get_or_insert(Verdict::Forward(ps));
+                    }
+                    Action::Deliver => {
+                        decision.get_or_insert(Verdict::Deliver);
+                    }
+                    Action::Consumed => {
+                        decision.get_or_insert(Verdict::Consumed);
+                    }
+                    Action::RespondCached(data) => {
+                        return (Verdict::RespondCached(data), stats);
+                    }
+                    Action::Drop(reason) => {
+                        return (Verdict::Drop(reason), stats);
+                    }
+                }
+            }
+            // The optimized plan executes strictly in order; the eliminated
+            // ops no longer occupy stages, so depth equals what actually ran
+            // (ratio 1 in the timing model — no double discount on top of
+            // the fused stage costs).
+            stats.plan_depth = stats.fns_executed as usize;
+            let verdict = decision.unwrap_or(match self.config.default_port {
+                Some(p) => Verdict::Forward(vec![p]),
+                None => Verdict::Deliver,
+            });
+            return (verdict, stats);
+        }
+
         for (i, entry) in chain.entries.iter().enumerate() {
             let (triple, op, cost) = match entry {
                 ChainEntry::Host => {
@@ -586,6 +696,75 @@ mod tests {
             Verdict::Drop(DropReason::NoRoute).outcome(),
             PacketOutcome::Dropped(DropReason::NoRoute)
         );
+    }
+
+    #[test]
+    fn optimized_xia_chain_runs_one_fn_with_the_fused_model() {
+        use dip_tables::XiaNextHop;
+        use dip_wire::xia::{Dag, DagNode, Xid, XidType};
+        let dag = Dag::direct_with_fallback(
+            DagNode::sink(XidType::Cid, Xid::derive(b"the-content")),
+            Xid::derive(b"ad-1"),
+            Xid::derive(b"host-1"),
+        )
+        .unwrap();
+        let repr = DipRepr {
+            fns: vec![
+                FnTriple::router(0, dag.encoded_bits(), FnKey::Dag),
+                FnTriple::router(0, dag.encoded_bits(), FnKey::Intent),
+            ],
+            locations: dag.encode(),
+            ..Default::default()
+        };
+        let build = |optimize: bool| {
+            let mut r = DipRouter::new(1, [1; 16]);
+            r.config_mut().optimize = optimize;
+            r.state_mut().xia.add_route(
+                XidType::Cid,
+                Xid::derive(b"the-content"),
+                XiaNextHop::Port(4),
+            );
+            r
+        };
+        let mut plain_buf = repr.to_bytes(&[]).unwrap();
+        let mut opt_buf = plain_buf.clone();
+        let (pv, ps) = build(false).process(&mut plain_buf, 0, 0);
+        let (ov, os) = build(true).process(&mut opt_buf, 0, 0);
+        assert_eq!(pv, Verdict::Forward(vec![4]));
+        assert_eq!(ov, pv, "verdicts must match");
+        assert_eq!(plain_buf, opt_buf, "packet bytes must match");
+        // Interpreted: parse + intent. Optimized: the parse is eliminated.
+        assert_eq!(ps.fns_executed, 2);
+        assert_eq!(os.fns_executed, 1);
+        assert_eq!(os.plan_depth, 1);
+        // Fused timing model for the 3-node DAG: one stage, two lookups —
+        // vs stages(4) + lookup(2,3) interpreted.
+        assert_eq!(os.cost, OpCost::lookup(1, 2));
+        // Budget accounting replays the original charges on both paths.
+        assert_eq!(ps.cost, OpCost::stages(4) + OpCost::lookup(2, 3));
+    }
+
+    #[test]
+    fn optimizer_corpus_cases_run_identically_with_optimize_on() {
+        // Admissible-but-unoptimizable programs: the optimize flag must be
+        // a no-op for them, end to end.
+        for case in dip_verify::optimization_corpus() {
+            let make = || {
+                let mut r = DipRouter::new(9, [0x5a; 16]);
+                r.state_mut().ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(3));
+                r
+            };
+            let report = crate::equiv::differential_smoke(
+                &case.program.fns,
+                case.program.loc_len,
+                case.program.parallel,
+                make().registry(),
+                7,
+            )
+            .unwrap_or_else(|e| panic!("corpus case {}: {e}", case.name));
+            assert_eq!(report.packets, 4);
+            assert_eq!(report.optimized_verdicts, 0, "{} must not be optimized", case.name);
+        }
     }
 
     #[test]

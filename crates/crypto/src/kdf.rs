@@ -32,6 +32,65 @@ pub fn derive_session_key(local_secret: &Block, session_id: &Block) -> Block {
     prf(local_secret, "opt-session", session_id)
 }
 
+/// A precomputed schedule for [`derive_session_key`].
+///
+/// The per-packet work of `F_parm` is `PRF(S_i, "opt-session", sid)` — a
+/// CBC-MAC over the 28-byte message `len(label) || label || sid`. Everything
+/// except the 16 session-id bytes is a program constant, so the length-prefix
+/// block and the label prefix of the first message block can be folded into a
+/// single chaining value once per router. A schedule built here performs two
+/// block encryptions per derivation instead of three, and is what `dipopt`
+/// hoists to once-per-`ProgramCache`-entry setup.
+#[derive(Clone)]
+pub struct SessionKdf {
+    cipher: crate::TwoRoundEm,
+    /// `E(len_block)` with the constant first 12 message bytes
+    /// (`0x0b || "opt-session"`) already XOR-folded in.
+    prefix: Block,
+}
+
+impl SessionKdf {
+    /// Folds the session-independent CBC-MAC state for `local_secret`.
+    pub fn new(local_secret: &Block) -> Self {
+        let cipher = crate::TwoRoundEm::new(local_secret);
+        let label = b"opt-session";
+        // Message layout: 1 length byte + 11 label bytes + 16 sid bytes.
+        let msg_len = 1 + label.len() + 16;
+        let mut prefix: Block = [0u8; 16];
+        prefix[8..16].copy_from_slice(&(msg_len as u64 * 8).to_be_bytes());
+        cipher.encrypt_block(&mut prefix);
+        prefix[0] ^= label.len() as u8;
+        for (p, l) in prefix[1..12].iter_mut().zip(label.iter()) {
+            *p ^= l;
+        }
+        SessionKdf { cipher, prefix }
+    }
+
+    /// Derives the dynamic key for `session_id`; byte-identical to
+    /// [`derive_session_key`] with the secret this schedule was built from.
+    pub fn derive(&self, session_id: &Block) -> Block {
+        let mut state = self.prefix;
+        // First message block: constant prefix (already folded) + sid[0..4].
+        for (s, d) in state[12..16].iter_mut().zip(session_id[..4].iter()) {
+            *s ^= d;
+        }
+        self.cipher.encrypt_block(&mut state);
+        // Final partial block: sid[4..16] with 10* padding.
+        for (s, d) in state[..12].iter_mut().zip(session_id[4..].iter()) {
+            *s ^= d;
+        }
+        state[12] ^= 0x80;
+        self.cipher.encrypt_block(&mut state);
+        state
+    }
+}
+
+impl core::fmt::Debug for SessionKdf {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SessionKdf").finish_non_exhaustive()
+    }
+}
+
 /// Derives the AS-level key used by `F_pass` source labels (§2.4):
 /// `K_pass = PRF(as_secret, "pass-label", source_id)`.
 pub fn derive_pass_key(as_secret: &Block, source_id: &[u8]) -> Block {
@@ -66,6 +125,24 @@ mod tests {
         assert_ne!(derive_session_key(&s1, &sid_a), derive_session_key(&s1, &sid_b));
         // Host-side recomputation matches (the property OPT relies on).
         assert_eq!(derive_session_key(&s1, &sid_a), derive_session_key(&s1, &sid_a));
+    }
+
+    #[test]
+    fn session_kdf_matches_per_packet_derivation() {
+        // The hoisted schedule must be byte-identical to the interpreted
+        // path for every (secret, sid) pair — this is the property the
+        // dipopt equivalence gate leans on.
+        for secret_byte in [0u8, 1, 0x42, 0xff] {
+            let secret = [secret_byte; 16];
+            let kdf = SessionKdf::new(&secret);
+            for sid_seed in 0u8..8 {
+                let mut sid = [0u8; 16];
+                for (i, b) in sid.iter_mut().enumerate() {
+                    *b = sid_seed.wrapping_mul(31).wrapping_add(i as u8);
+                }
+                assert_eq!(kdf.derive(&sid), derive_session_key(&secret, &sid));
+            }
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod rng;
 pub use aes::Aes128;
 pub use even_mansour::TwoRoundEm;
 pub use hash::mmo_hash;
-pub use kdf::{derive_session_key, prf};
+pub use kdf::{derive_session_key, prf, SessionKdf};
 pub use mac::{BlockCipher, CbcMac, MacAlgorithm};
 pub use rng::DetRng;
 

@@ -16,6 +16,14 @@
 //! worker's own registry as semantics (so custom operation modules lint
 //! with their real footprints) and the software resource budget (a
 //! software dataplane has no PISA stage limits).
+//!
+//! When the worker's [`RouterConfig`] has `optimize` set, admission is
+//! followed by the dipopt pass ([`dip_verify::analyze`] via
+//! [`CompiledChain::compile_optimized`]): admitted programs get an
+//! optimized execution plan attached, [`CacheStats`] counts what was
+//! rewritten, and — in debug builds — the plan must survive a seeded
+//! differential-equivalence smoke ([`dip_core::differential_smoke`])
+//! before it is cached.
 
 use dip_core::router::RouterConfig;
 use dip_core::{CompiledChain, ParsedPacket};
@@ -56,6 +64,15 @@ pub struct CacheStats {
     pub misses: u64,
     /// Programs refused by admission.
     pub rejected: u64,
+    /// Programs for which dipopt attached an optimized plan.
+    pub programs_optimized: u64,
+    /// Chain steps eliminated across optimized programs (dead key writes,
+    /// redundant parses).
+    pub ops_eliminated: u64,
+    /// Adjacent-op fusions applied across optimized programs.
+    pub fusions: u64,
+    /// Key schedules hoisted to once-per-program across optimized programs.
+    pub hoists: u64,
 }
 
 /// A per-worker map from program bytes to [`CachedProgram`].
@@ -146,12 +163,44 @@ impl ProgramCache {
                 if !admitted {
                     self.stats.rejected += 1;
                 }
-                let chain = CompiledChain::compile(
-                    &parsed.triples,
-                    &self.registry,
-                    &self.config,
-                    parsed.parallel && self.config.parallel_enabled,
-                );
+                let compute_plan = parsed.parallel && self.config.parallel_enabled;
+                let chain = if self.config.optimize && admitted {
+                    let (chain, _facts) = CompiledChain::compile_optimized(
+                        &parsed.triples,
+                        &self.registry,
+                        &self.config,
+                        compute_plan,
+                        parsed.loc_len,
+                        parsed.parallel,
+                    );
+                    if let Some(summary) = chain.opt_summary() {
+                        self.stats.programs_optimized += 1;
+                        self.stats.ops_eliminated += u64::from(summary.ops_eliminated);
+                        self.stats.fusions += u64::from(summary.fusions);
+                        self.stats.hoists += u64::from(summary.hoists);
+                        // Debug-build admission gate: before an optimized
+                        // plan enters the cache, prove it byte-equivalent
+                        // to the interpreted chain on a seeded corpus.
+                        #[cfg(debug_assertions)]
+                        if let Err(e) = dip_core::differential_smoke(
+                            &parsed.triples,
+                            parsed.loc_len,
+                            parsed.parallel,
+                            &self.registry,
+                            0xd1f0 + self.stats.misses,
+                        ) {
+                            panic!("dipopt equivalence smoke failed at admission: {e}");
+                        }
+                    }
+                    chain
+                } else {
+                    CompiledChain::compile(
+                        &parsed.triples,
+                        &self.registry,
+                        &self.config,
+                        compute_plan,
+                    )
+                };
                 let idx = self.programs.len();
                 self.programs.push(CachedProgram { chain, admitted, key: self.scratch.clone() });
                 self.entries.insert(self.scratch.clone(), idx);
@@ -226,7 +275,7 @@ mod tests {
             let prog = c.lookup(&parsed, &buf);
             assert!(prog.admitted);
         }
-        assert_eq!(c.stats(), CacheStats { hits: 9, misses: 1, rejected: 0 });
+        assert_eq!(c.stats(), CacheStats { hits: 9, misses: 1, ..Default::default() });
         assert_eq!(c.len(), 1, "ten flows, one program");
     }
 
@@ -249,7 +298,10 @@ mod tests {
         let mut lint = cache(Admission::Lint);
         assert!(!lint.lookup(&parsed, &buf).admitted);
         assert!(!lint.lookup(&parsed, &buf).admitted, "cached refusal");
-        assert_eq!(lint.stats(), CacheStats { hits: 1, misses: 1, rejected: 1 });
+        assert_eq!(
+            lint.stats(),
+            CacheStats { hits: 1, misses: 1, rejected: 1, ..Default::default() }
+        );
 
         let mut open = cache(Admission::Open);
         assert!(open.lookup(&parsed, &buf).admitted, "open admission accepts");
@@ -287,9 +339,44 @@ mod tests {
         assert_eq!(memo, Some(b));
         assert_eq!(c.resolve(&p6, &v6, &mut memo), b);
         assert_eq!(c.len(), 2);
-        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 2, rejected: 0 });
+        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 2, ..Default::default() });
         // The single-packet front end still works against the same store.
         assert!(c.lookup(&p4, &v4).admitted);
+    }
+
+    #[test]
+    fn optimizing_cache_attaches_plans_and_counts_rewrites() {
+        use dip_wire::xia::{Dag, DagNode, Xid, XidType};
+        let mut config = RouterConfig::default();
+        config.optimize = true;
+        let mut c = ProgramCache::new(FnRegistry::standard(), config, Admission::Lint);
+
+        // IPv4 chain: Match32 + Source fuse into one stage group.
+        let v4 = dip_protocols::ip::dip32_packet(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(1, 1, 1, 1),
+            64,
+        )
+        .to_bytes(&[])
+        .unwrap();
+        let prog = c.lookup(&parse_packet(&v4).unwrap(), &v4);
+        assert!(prog.admitted && prog.chain.is_optimized());
+
+        // XIA chain: the redundant standalone DAG parse is eliminated.
+        let dag = Dag::direct_with_fallback(
+            DagNode::sink(XidType::Cid, Xid::derive(b"cid")),
+            Xid::derive(b"ad"),
+            Xid::derive(b"hid"),
+        )
+        .unwrap();
+        let xia = dip_protocols::xia::packet(&dag, 64).to_bytes(&[]).unwrap();
+        let prog = c.lookup(&parse_packet(&xia).unwrap(), &xia);
+        assert!(prog.admitted && prog.chain.is_optimized());
+
+        let stats = c.stats();
+        assert_eq!(stats.programs_optimized, 2);
+        assert_eq!(stats.fusions, 1, "ipv4 match+source fuse");
+        assert_eq!(stats.ops_eliminated, 1, "xia dag parse eliminated");
     }
 
     #[test]

@@ -72,6 +72,10 @@ impl DataplaneRouter {
                 hits: acc.hits + c.hits,
                 misses: acc.misses + c.misses,
                 rejected: acc.rejected + c.rejected,
+                programs_optimized: acc.programs_optimized + c.programs_optimized,
+                ops_eliminated: acc.ops_eliminated + c.ops_eliminated,
+                fusions: acc.fusions + c.fusions,
+                hoists: acc.hoists + c.hoists,
             }
         })
     }

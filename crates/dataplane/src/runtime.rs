@@ -385,6 +385,10 @@ struct WorkerTelemetry {
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     cache_rejected: Arc<Counter>,
+    programs_optimized: Arc<Counter>,
+    opt_ops_eliminated: Arc<Counter>,
+    opt_fusions: Arc<Counter>,
+    opt_hoists: Arc<Counter>,
     /// Cache totals already exported; `sync_cache` publishes the delta.
     cache_seen: CacheStats,
 }
@@ -425,6 +429,26 @@ impl WorkerTelemetry {
                 "Programs refused admission by dipcheck",
                 labels,
             ),
+            programs_optimized: registry.counter(
+                "dip_programs_optimized_total",
+                "Admitted programs that got a dipopt execution plan",
+                labels,
+            ),
+            opt_ops_eliminated: registry.counter(
+                "dip_opt_ops_eliminated_total",
+                "Chain steps eliminated by dipopt across cached programs",
+                labels,
+            ),
+            opt_fusions: registry.counter(
+                "dip_opt_fusions_total",
+                "Adjacent-op fusions applied by dipopt across cached programs",
+                labels,
+            ),
+            opt_hoists: registry.counter(
+                "dip_opt_hoists_total",
+                "Key schedules hoisted by dipopt across cached programs",
+                labels,
+            ),
             cache_seen: CacheStats::default(),
         }
     }
@@ -435,6 +459,10 @@ impl WorkerTelemetry {
         self.cache_hits.add(stats.hits - self.cache_seen.hits);
         self.cache_misses.add(stats.misses - self.cache_seen.misses);
         self.cache_rejected.add(stats.rejected - self.cache_seen.rejected);
+        self.programs_optimized.add(stats.programs_optimized - self.cache_seen.programs_optimized);
+        self.opt_ops_eliminated.add(stats.ops_eliminated - self.cache_seen.ops_eliminated);
+        self.opt_fusions.add(stats.fusions - self.cache_seen.fusions);
+        self.opt_hoists.add(stats.hoists - self.cache_seen.hoists);
         self.cache_seen = stats;
     }
 }
@@ -712,6 +740,39 @@ mod tests {
                 + snap.sum_where("dip_drops_total", &[("reason", "queue_full")]),
             drops
         );
+    }
+
+    #[test]
+    fn optimized_workers_forward_identically_and_export_opt_counters() {
+        let opt_factory = |i: usize| {
+            let mut r = factory(i);
+            r.config_mut().optimize = true;
+            r
+        };
+        let run = |make: fn(usize) -> DipRouter| {
+            let config = DataplaneConfig { workers: 2, batch_size: 8, ..Default::default() };
+            let mut dp = Dataplane::start(config, make);
+            for i in 0..200 {
+                assert!(dp.submit(dip32(i), 0, u64::from(i)).is_some());
+            }
+            dp.shutdown()
+        };
+        let plain = run(factory);
+        let optimized = run(opt_factory);
+        // Same traffic, same verdicts — the optimizer must be invisible.
+        assert_eq!(
+            optimized.workers.iter().map(|w| w.stats.forwarded).sum::<u64>(),
+            plain.workers.iter().map(|w| w.stats.forwarded).sum::<u64>(),
+        );
+        let snap = optimized.registry.snapshot();
+        // One program per worker that saw traffic, each with one fusion
+        // (Match32 + Source share a stage).
+        let optimized_programs = snap.get("dip_programs_optimized_total");
+        assert!(optimized_programs >= 1, "no program was optimized");
+        assert_eq!(snap.get("dip_opt_fusions_total"), optimized_programs);
+        assert_eq!(snap.get("dip_opt_ops_eliminated_total"), 0);
+        let plain_snap = plain.registry.snapshot();
+        assert_eq!(plain_snap.get("dip_programs_optimized_total"), 0);
     }
 
     #[test]

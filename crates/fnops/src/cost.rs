@@ -35,6 +35,19 @@ impl OpCost {
     pub const fn cipher(stages: u32, cipher_blocks: u32, resubmits: u32) -> Self {
         OpCost { stages, table_lookups: 0, cipher_blocks, resubmits }
     }
+
+    /// Cost of this op fused into the same stage wave as `other` (§2.2's
+    /// modular parallelism applied at compile time by dipopt): the two share
+    /// stage occupancy — stages is the max — while lookups, cipher blocks
+    /// and resubmits are physical resources and still sum.
+    pub const fn fuse(self, other: OpCost) -> OpCost {
+        OpCost {
+            stages: if self.stages > other.stages { self.stages } else { other.stages },
+            table_lookups: self.table_lookups + other.table_lookups,
+            cipher_blocks: self.cipher_blocks + other.cipher_blocks,
+            resubmits: self.resubmits + other.resubmits,
+        }
+    }
 }
 
 impl core::ops::Add for OpCost {
@@ -61,5 +74,16 @@ mod tests {
         let s = a + b;
         assert_eq!(s, OpCost { stages: 3, table_lookups: 2, cipher_blocks: 4, resubmits: 1 });
         assert_eq!(OpCost::stages(5).stages, 5);
+    }
+
+    #[test]
+    fn fuse_shares_stages_and_sums_resources() {
+        let a = OpCost::lookup(1, 1);
+        let b = OpCost::stages(1);
+        assert_eq!(a.fuse(b), OpCost::lookup(1, 1));
+        let c = OpCost::cipher(2, 4, 1).fuse(OpCost::lookup(1, 3));
+        assert_eq!(c, OpCost { stages: 2, table_lookups: 3, cipher_blocks: 4, resubmits: 1 });
+        // Commutative.
+        assert_eq!(a.fuse(b), b.fuse(a));
     }
 }

@@ -98,4 +98,74 @@ pub trait FieldOp: Send + Sync {
     fn writes_dynamic_key(&self) -> bool {
         false
     }
+
+    /// Whether this operation's only job is to *publish* a parsed structure
+    /// into the per-packet scratch context (e.g. `F_DAG` parsing the packet's
+    /// DAG into `ctx.dag`) without touching router tables, the packet, or the
+    /// verdict. Such a hop is eliminable when its immediate consumer re-parses
+    /// the same span on a scratch miss (see
+    /// [`consumes_parsed_dag_with_fallback`](FieldOp::consumes_parsed_dag_with_fallback)).
+    fn writes_parsed_dag(&self) -> bool {
+        false
+    }
+
+    /// Whether this operation consumes the scratch DAG slot and, when it is
+    /// empty, falls back to parsing its *own* target span with semantics
+    /// identical to the publisher (same decode, same malformed-field drop).
+    /// This is the contract that makes `F_DAG → F_intent` elimination an
+    /// exact rewrite when — and only when — the two triples select the same
+    /// span.
+    fn consumes_parsed_dag_with_fallback(&self) -> bool {
+        false
+    }
+
+    /// Whether, for `triple`, `execute` always returns [`Action::Continue`]
+    /// provided the target field is in bounds (which admission's structural
+    /// pass and `parse_packet` both guarantee). Operations that can drop,
+    /// forward, or deliver must return `false`; dipopt only dead-write
+    /// eliminates hops that are infallible in this sense.
+    fn infallible_for(&self, _triple: &FnTriple) -> bool {
+        false
+    }
+
+    /// Whether per-packet-invariant setup of this operation can be hoisted
+    /// to once per compiled chain via [`hoist`](FieldOp::hoist).
+    fn hoistable(&self) -> bool {
+        false
+    }
+
+    /// Precomputes the packet-invariant part of this operation from router
+    /// state (e.g. the OPT key schedule from `state.local_secret`). Returns
+    /// `None` when nothing is hoistable for this router. The result is cached
+    /// on the compiled chain, so it must stay valid for as long as the state
+    /// it was derived from (the router's secrets) is unchanged.
+    fn hoist(&self, _state: &RouterState) -> Option<HoistState> {
+        None
+    }
+
+    /// Executes with previously hoisted state; must be byte-identical to
+    /// [`execute`](FieldOp::execute). The default ignores the hoist.
+    fn execute_hoisted(
+        &self,
+        triple: &FnTriple,
+        state: &mut RouterState,
+        ctx: &mut PacketCtx<'_>,
+        _hoisted: &HoistState,
+    ) -> Action {
+        self.execute(triple, state, ctx)
+    }
+
+    /// Hardware cost of one invocation when the hoisted setup has already
+    /// run — the per-packet residue. Defaults to the full cost.
+    fn hoisted_cost(&self, field_bits: u16) -> OpCost {
+        self.cost(field_bits)
+    }
+}
+
+/// Packet-invariant state hoisted out of the per-packet path by dipopt,
+/// computed once per compiled chain by [`FieldOp::hoist`].
+#[derive(Debug, Clone)]
+pub enum HoistState {
+    /// A precomputed OPT session-key schedule (`F_parm`).
+    SessionKdf(dip_crypto::SessionKdf),
 }

@@ -43,6 +43,13 @@ impl FieldOp for DagOp {
         let nodes = (usize::from(field_bits) / 8).saturating_sub(6) / 28;
         OpCost::stages(1 + nodes as u32)
     }
+
+    fn writes_parsed_dag(&self) -> bool {
+        // F_DAG's only effect is publishing the parsed DAG into ctx.dag (or
+        // dropping on a malformed field) — the contract dipopt's redundant-
+        // parse elimination relies on.
+        true
+    }
 }
 
 #[cfg(test)]

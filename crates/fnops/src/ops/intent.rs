@@ -96,6 +96,13 @@ impl FieldOp for IntentOp {
     fn write_range(&self, triple: &FnTriple) -> Option<(usize, usize)> {
         Some((usize::from(triple.field_loc), triple.field_end()))
     }
+
+    fn consumes_parsed_dag_with_fallback(&self) -> bool {
+        // On a ctx.dag miss, F_intent parses its own span with the same
+        // decode and the same MalformedField drop as F_DAG — eliminating a
+        // same-span F_DAG immediately before it is an exact rewrite.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@
 
 use crate::context::{Action, DropReason, PacketCtx, RouterState};
 use crate::cost::OpCost;
-use crate::FieldOp;
-use dip_crypto::derive_session_key;
+use crate::{FieldOp, HoistState};
+use dip_crypto::{derive_session_key, SessionKdf};
 use dip_wire::triple::{FnKey, FnTriple};
 
 /// Parameter-loading / key-derivation op.
@@ -50,6 +50,46 @@ impl FieldOp for ParmOp {
     fn writes_dynamic_key(&self) -> bool {
         true
     }
+
+    fn infallible_for(&self, triple: &FnTriple) -> bool {
+        // With a 128-bit field and the span in bounds, execute() cannot take
+        // either MalformedField path: it always derives and continues.
+        triple.field_len == 128
+    }
+
+    fn hoistable(&self) -> bool {
+        true
+    }
+
+    fn hoist(&self, state: &RouterState) -> Option<HoistState> {
+        Some(HoistState::SessionKdf(SessionKdf::new(&state.local_secret)))
+    }
+
+    fn execute_hoisted(
+        &self,
+        triple: &FnTriple,
+        _state: &mut RouterState,
+        ctx: &mut PacketCtx<'_>,
+        hoisted: &HoistState,
+    ) -> Action {
+        let HoistState::SessionKdf(kdf) = hoisted;
+        if triple.field_len != 128 {
+            return Action::Drop(DropReason::MalformedField);
+        }
+        let Ok(bytes) = ctx.read_field(triple) else {
+            return Action::Drop(DropReason::MalformedField);
+        };
+        let mut session_id = [0u8; 16];
+        session_id.copy_from_slice(&bytes);
+        ctx.dynamic_key = Some(kdf.derive(&session_id));
+        Action::Continue
+    }
+
+    fn hoisted_cost(&self, _field_bits: u16) -> OpCost {
+        // The length-prefix block of the CBC-MAC PRF is folded at hoist
+        // time: 2 cipher blocks per packet instead of 3.
+        OpCost::cipher(1, 2, 0)
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +124,27 @@ mod tests {
         let mut cb = ctx(&mut locs_b, &[]);
         ParmOp.execute(&t, &mut st, &mut cb);
         assert_ne!(ka, cb.dynamic_key);
+    }
+
+    #[test]
+    fn hoisted_execution_is_byte_identical() {
+        let mut st = state();
+        let hoisted = ParmOp.hoist(&st).expect("parm is hoistable");
+        let t = FnTriple::router(128, 128, FnKey::Parm);
+        for fill in [0x00u8, 0x5a, 0xaa, 0xff] {
+            let mut locs_a = vec![0u8; 68];
+            locs_a[16..32].fill(fill);
+            let mut locs_b = locs_a.clone();
+            let mut ca = ctx(&mut locs_a, &[]);
+            let plain = ParmOp.execute(&t, &mut st, &mut ca);
+            let key_plain = ca.dynamic_key;
+            let mut cb = ctx(&mut locs_b, &[]);
+            let fast = ParmOp.execute_hoisted(&t, &mut st, &mut cb, &hoisted);
+            assert_eq!(plain, fast);
+            assert_eq!(key_plain, cb.dynamic_key);
+        }
+        // And the hoisted model is strictly cheaper in cipher blocks.
+        assert!(ParmOp.hoisted_cost(128).cipher_blocks < ParmOp.cost(128).cipher_blocks);
     }
 
     #[test]

@@ -62,12 +62,17 @@
 pub mod budget;
 pub mod corpus;
 pub mod diag;
+pub mod opt;
 pub mod passes;
 pub mod program;
 
 pub use budget::ResourceBudget;
 pub use corpus::{invalid_corpus, CorpusCase};
 pub use diag::{DiagCode, Diagnostic, Report, Severity};
+pub use opt::{
+    analyze, optimization_corpus, AbstractVal, Bail, BailReason, HopFacts, OptCorpusCase,
+    ProgramFacts, Rewrite,
+};
 pub use program::FnProgram;
 
 use dip_fnops::FnRegistry;

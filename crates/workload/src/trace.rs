@@ -443,6 +443,9 @@ impl WorkloadSpec {
     pub fn build_router(&self, node_id: u64) -> DipRouter {
         let mut r = DipRouter::new(node_id, ROUTER_SECRET);
         r.config_mut().default_port = Some(1);
+        // Workload routers run the dipopt-compiled plans; the equivalence
+        // suite pins that this changes no verdict, only the cost model.
+        r.config_mut().optimize = true;
         let st = r.state_mut();
         st.ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
         st.ipv4_fib.populate_synthetic(self.table_size, self.seed ^ 0x7634);

@@ -9,16 +9,25 @@
 #   determ  — the dataplane determinism property explicitly, so a failure
 #             is named in CI output rather than buried in the suite
 #   telem   — the telemetry substrate, the ring drop/delivery/occupancy
-#             balance, and the PIT expiry fixes by name, plus a grep gate:
-#             the DropReason taxonomy lives in dip-telemetry only
-#   ctrl    — the control-plane reconvergence scenario by name, plus a
-#             grep gate: RouteSnapshot values are built only by the
-#             control plane (and tests/benches) — dataplane code must
-#             never assemble its own routing state
+#             balance, and the PIT expiry fixes by name
+#   model   — the exhaustive-interleaving model check of the SPSC ring
+#             and the epoch-swap cell (every 2-thread schedule up to the
+#             bounded op count)
+#   ctrl    — the control-plane reconvergence scenario by name
+#   equiv   — the dipopt equivalence gate: optimized execution must be
+#             byte-identical to interpreted execution for all six
+#             protocol programs, and the must-not-optimize corpus must
+#             stay unoptimized
+#   lint    — diplint, the repo-invariant linter (replaces the old grep
+#             gates): RouteSnapshot construction pinned to the control
+#             plane, quantile math and the DropReason taxonomy pinned to
+#             dip-telemetry, unsafe code pinned to ring.rs with SAFETY
+#             justifications
 #   load    — the workload harness: build dipload, run the workload
 #             determinism suite by name, MST smoke across every protocol
-#             writing BENCH_workload.json, plus a grep gate: quantile
-#             math lives in dip-telemetry only
+#             writing BENCH_workload.json
+#   stat    — dipstat smoke: per-program dipopt facts for all six
+#             programs, including the XIA hot-path rewrite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,24 +60,24 @@ cargo test -q -p dip-tables --offline \
     pit::tests::consume_evicts_expired_entry_and_counts_it
 cargo test -q --test adversarial_inputs --offline
 
+echo "== concurrency model check gate (named)"
+cargo test -q -p dip-dataplane --test concurrency_model --offline
+
 echo "== control-plane reconvergence gate (named)"
 cargo test -q --test controlplane --offline
 cargo test -q -p dip-controlplane --offline
 
-echo "== RouteSnapshot construction is pinned to the control plane"
-# Routing state is compiled by dip-controlplane and swapped in whole;
-# nothing else may assemble a RouteSnapshot. Permitted: the definition
-# site (snapshot.rs), the epoch-cell plumbing and its tests (runtime.rs),
-# and test/bench/example code.
-if grep -rn 'RouteSnapshot::default()\|RouteSnapshot::capture\|RouteSnapshot {' \
-        crates src --include='*.rs' \
-    | grep -v '^crates/controlplane/' \
-    | grep -v '^crates/dataplane/src/snapshot\.rs:' \
-    | grep -v '^crates/dataplane/src/runtime\.rs:' \
-    | grep -v '^crates/bench/'; then
-    echo "error: RouteSnapshot constructed outside the control plane" >&2
-    exit 1
-fi
+echo "== dipopt equivalence gate (named)"
+cargo test -q --test equivalence --offline
+
+echo "== diplint (repo invariants)"
+# Replaces the old grep gates (RouteSnapshot pinned to the control
+# plane, quantile/DropReason pinned to dip-telemetry) and adds the
+# unsafe-containment rule. The linter's own contract is pinned by
+# tests/diplint.rs, which seeds each violation and expects failure.
+cargo build -q --release --bin diplint --offline
+./target/release/diplint
+cargo test -q --test diplint --offline
 
 echo "== workload determinism gate (named)"
 cargo test -q --test workload_determinism --offline
@@ -91,18 +100,19 @@ if grep -v '"mst_pps":' BENCH_workload.json; then
     exit 1
 fi
 
-echo "== quantile math lives only in dip-telemetry"
-# Latency quantiles are estimated once, in the histogram (linear
-# interpolation inside log-spaced buckets); drivers and benches must read
-# them, not re-derive them.
-if grep -rn 'fn quantile' crates src --include='*.rs' | grep -v '^crates/telemetry/'; then
-    echo "error: quantile implementation outside crates/telemetry" >&2
+echo "== dipstat smoke (per-program dipopt facts)"
+cargo build -q --release --bin dipstat --offline
+./target/release/dipstat > /tmp/dipstat_smoke.json
+lines=$(wc -l < /tmp/dipstat_smoke.json)
+if [ "$lines" -ne 6 ]; then
+    echo "error: expected 6 dipstat lines, got $lines" >&2
     exit 1
 fi
-
-echo "== drop taxonomy lives only in dip-telemetry"
-if grep -rn "enum DropReason" crates src --include='*.rs' | grep -v '^crates/telemetry/'; then
-    echo "error: private DropReason definition outside crates/telemetry" >&2
+# The XIA hot-path fix must be present: the standalone DAG parse is
+# eliminated into the adjacent F_intent walk.
+if ! grep '"program":"xia"' /tmp/dipstat_smoke.json \
+        | grep -q 'eliminate_redundant_parse'; then
+    echo "error: dipstat lost the XIA dag-parse elimination" >&2
     exit 1
 fi
 

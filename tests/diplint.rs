@@ -1,0 +1,159 @@
+//! `diplint` integration suite: the linter must reproduce every invariant
+//! the old grep gates enforced — verified by seeding each violation into a
+//! scratch tree and expecting exit 1 — and must pass the real repository
+//! clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn diplint(root: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_diplint"))
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("run diplint")
+}
+
+/// A scratch repo skeleton under the system temp dir, removed on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("diplint-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        Scratch { root }
+    }
+
+    /// Writes `content` at `rel` (creating parent directories).
+    fn file(&self, rel: &str, content: &str) -> &Self {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, content).unwrap();
+        self
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn expect_violation(scratch: &Scratch, rule: &str) {
+    let out = diplint(&scratch.root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "expected exit 1, stdout:\n{stdout}");
+    assert!(stdout.contains(rule), "expected rule {rule:?} in output:\n{stdout}");
+}
+
+fn expect_clean(scratch: &Scratch) {
+    let out = diplint(&scratch.root);
+    assert!(out.status.success(), "expected clean, got:\n{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn real_repo_is_clean() {
+    let out = diplint(Path::new(env!("CARGO_MANIFEST_DIR")));
+    assert!(
+        out.status.success(),
+        "diplint flagged the repository:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn route_snapshot_outside_controlplane_is_flagged() {
+    let seeded = format!("fn rogue() {{ let s = {}; }}\n", "RouteSnapshot::default()");
+    let s = Scratch::new("snapshot");
+    s.file("crates/dataplane/src/worker.rs", &seeded);
+    expect_violation(&s, "route-snapshot");
+
+    // The same construction is legitimate inside the control plane.
+    let ok = Scratch::new("snapshot-ok");
+    ok.file("crates/controlplane/src/compile.rs", &seeded);
+    expect_clean(&ok);
+}
+
+#[test]
+fn route_snapshot_literal_and_capture_forms_are_flagged() {
+    let s = Scratch::new("snapshot-forms");
+    s.file("src/main.rs", &format!("let s = {} routes }};\n", "RouteSnapshot {"));
+    expect_violation(&s, "route-snapshot");
+
+    let c = Scratch::new("snapshot-capture");
+    c.file(
+        "crates/workload/src/gen.rs",
+        &format!("let s = {}(&state);\n", "RouteSnapshot::capture"),
+    );
+    expect_violation(&c, "route-snapshot");
+}
+
+#[test]
+fn quantile_outside_telemetry_is_flagged() {
+    let seeded = format!("pub {}(&self, q: f64) -> u64 {{ 0 }}\n", "fn quantile");
+    let s = Scratch::new("quantile");
+    s.file("crates/bench/src/stats.rs", &seeded);
+    expect_violation(&s, "quantile");
+
+    let ok = Scratch::new("quantile-ok");
+    ok.file("crates/telemetry/src/hist.rs", &seeded);
+    expect_clean(&ok);
+}
+
+#[test]
+fn drop_reason_outside_telemetry_is_flagged() {
+    let seeded = format!("pub {} {{ NoRoute }}\n", "enum DropReason");
+    let s = Scratch::new("dropreason");
+    s.file("crates/core/src/drops.rs", &seeded);
+    expect_violation(&s, "drop-taxonomy");
+
+    let ok = Scratch::new("dropreason-ok");
+    ok.file("crates/telemetry/src/drop_reason.rs", &seeded);
+    expect_clean(&ok);
+}
+
+#[test]
+fn unsafe_outside_the_ring_is_flagged() {
+    let seeded = format!("{} {{ core::hint::unreachable_unchecked() }}\n", "unsafe");
+    let s = Scratch::new("unsafe");
+    s.file("crates/core/src/fast.rs", &seeded);
+    expect_violation(&s, &format!("{}-containment", "unsafe"));
+}
+
+#[test]
+fn unjustified_unsafe_in_the_ring_is_flagged() {
+    let s = Scratch::new("unsafe-ring");
+    s.file(
+        "crates/dataplane/src/ring.rs",
+        &format!("fn read(&self) {{ {} {{ (*self.cell.get()).take() }} }}\n", "unsafe"),
+    );
+    expect_violation(&s, &format!("{}-containment", "unsafe"));
+
+    // A SAFETY comment within the window justifies it.
+    let ok = Scratch::new("unsafe-ring-ok");
+    ok.file(
+        "crates/dataplane/src/ring.rs",
+        &format!(
+            "// SAFETY: single consumer, slot published via Release tail.\nfn read(&self) {{ {} {{ (*self.cell.get()).take() }} }}\n",
+            "unsafe"
+        ),
+    );
+    expect_clean(&ok);
+}
+
+#[test]
+fn lint_words_inside_comments_and_idents_do_not_trip_the_unsafe_rule() {
+    let s = Scratch::new("unsafe-negative");
+    s.file(
+        "crates/core/src/lib.rs",
+        &format!(
+            "#![forbid({}_code)]\n// this comment says {} and that is fine\n",
+            "unsafe", "unsafe"
+        ),
+    );
+    expect_clean(&s);
+}
