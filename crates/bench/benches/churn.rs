@@ -1,0 +1,101 @@
+//! Forwarding-state churn: MST under a BGP-style route-update storm.
+//!
+//! Runs the open-loop max-sustainable-throughput search against the
+//! threaded dataplane twice — once quiescent, once while a seeded
+//! 10k-updates/sec storm commits `dip-routes` deltas and publishes
+//! tables-only snapshots through the epoch cell — and reports one JSON
+//! line per mode:
+//!
+//! ```text
+//! {"bench":"churn","mode":"storm","workers":4,"churn_ups":10000,
+//!  "mst_pps":...,"p50_ns":...,"p99_ns":...,"churn_deltas":...,
+//!  "churn_epoch_swaps":...,"degradation_pct":...}
+//! ```
+//!
+//! The storm flaps only synthetic pools disjoint from trace traffic, so
+//! outcome classes are identical across modes and the delta is purely
+//! the cost of delta application and epoch pickup. The bench enforces
+//! the ISSUE acceptance bound: storm MST within 25% of quiescent MST.
+//! Everything runs in deterministic virtual time; `DIP_WORKLOAD_PKTS`
+//! overrides the per-trial packet count for smoke runs.
+
+use dip_bench::JsonLine;
+use dip_workload::{
+    find_mst, ChurnSpec, EngineKind, Mix, MstConfig, MstResult, OpenLoopConfig, WorkloadSpec,
+};
+
+const SEED: u64 = 7;
+const WORKERS: usize = 4;
+const CHURN_UPS: u64 = 10_000;
+
+fn run(packets: usize, churn: Option<ChurnSpec>) -> MstResult {
+    let spec = WorkloadSpec { seed: SEED, mix: Mix::all(), ..Default::default() };
+    let cfg = MstConfig {
+        open_loop: OpenLoopConfig {
+            engine: EngineKind::Dataplane { workers: WORKERS, batch_size: 32 },
+            queue_capacity: 256,
+            churn,
+            ..Default::default()
+        },
+        packets_per_trial: packets,
+        max_iters: 12,
+        ..Default::default()
+    };
+    find_mst(&spec, &cfg)
+}
+
+fn emit(mode: &str, churn_ups: u64, result: &MstResult, degradation_pct: f64) {
+    let (p50, p99, drop_frac, deltas, swaps) = result
+        .mst_trial()
+        .map(|t| (t.p50_ns, t.p99_ns, t.drop_frac, t.churn_deltas, t.churn_epoch_swaps))
+        .unwrap_or((0, 0, 1.0, 0, 0));
+    JsonLine::new("churn")
+        .str("mode", mode)
+        .u64("seed", SEED)
+        .u64("workers", WORKERS as u64)
+        .u64("churn_ups", churn_ups)
+        .u64("trials", result.trials.len() as u64)
+        .u64("mst_pps", result.mst_pps)
+        .u64("p50_ns", p50)
+        .u64("p99_ns", p99)
+        .f64p("drop_frac", drop_frac, 6)
+        .u64("churn_deltas", deltas)
+        .u64("churn_epoch_swaps", swaps)
+        .f64p("degradation_pct", degradation_pct, 2)
+        .str("content_hash", &format!("{:016x}", result.content_hash))
+        .emit();
+}
+
+fn main() {
+    let packets: usize =
+        std::env::var("DIP_WORKLOAD_PKTS").ok().and_then(|v| v.parse().ok()).unwrap_or(2048);
+    let quiet = run(packets, None);
+    // batch=1 keeps the delta interval at 100 µs virtual, so even short
+    // high-rate trials see the storm fire mid-trace.
+    let storm_spec = ChurnSpec { rate_ups: CHURN_UPS, batch: 1, ..Default::default() };
+    let storm = run(packets, Some(storm_spec));
+
+    let degradation_pct = if quiet.mst_pps > 0 {
+        (quiet.mst_pps.saturating_sub(storm.mst_pps)) as f64 * 100.0 / quiet.mst_pps as f64
+    } else {
+        0.0
+    };
+    emit("quiescent", 0, &quiet, 0.0);
+    emit("storm", CHURN_UPS, &storm, degradation_pct);
+
+    assert!(quiet.mst_pps > 0, "quiescent search must find a sustainable rate");
+    let storm_trial = storm.mst_trial().expect("storm search found a sustainable rate");
+    assert!(
+        storm_trial.churn_deltas > 0 && storm_trial.churn_epoch_swaps > 0,
+        "the storm must actually commit deltas during the MST trial \
+         (deltas {}, swaps {})",
+        storm_trial.churn_deltas,
+        storm_trial.churn_epoch_swaps
+    );
+    assert!(
+        degradation_pct <= 25.0,
+        "storm MST {} degraded more than 25% from quiescent {}",
+        storm.mst_pps,
+        quiet.mst_pps
+    );
+}

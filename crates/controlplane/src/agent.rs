@@ -14,6 +14,7 @@
 use crate::spf::{shortest_paths, SpfRoute};
 use dip_core::control::{Announcements, ControlMessage, Lsa, LsaLink, CONTROL_NEXT_HEADER};
 use dip_dataplane::snapshot::RouteSnapshot;
+use dip_routes::{RouteDelta, RouteStore, StoreStats};
 use dip_sim::SimTime;
 use dip_tables::fib::NextHop;
 use dip_tables::xia_table::XiaNextHop;
@@ -23,7 +24,14 @@ use dip_wire::ipv6::Ipv6Addr;
 use dip_wire::ndn::Name;
 use dip_wire::packet::DipRepr;
 use dip_wire::xia::{Xid, XidType};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// SPF outcomes whose diff against the previous compile exceeds this many
+/// route changes are installed by full rebuild instead of a delta commit
+/// (a rebuild walks every prefix once; a huge delta walks the same slots
+/// *plus* pays per-op bookkeeping). Reconvergence events in sane
+/// topologies are far below this, so the common path stays incremental.
+const FULL_REBUILD_DELTA_LIMIT: usize = 4096;
 
 /// Timer and protocol constants for one agent.
 #[derive(Debug, Clone)]
@@ -67,6 +75,70 @@ struct Neighbor {
 struct Pending {
     seq: u32,
     last_sent: SimTime,
+}
+
+/// One SPF compile's desired route set, keyed for diffing against the
+/// previous compile. Names keep the parsed [`Name`] alongside so a
+/// withdrawal can be expressed without re-parsing.
+#[derive(Debug, Default)]
+struct Desired {
+    v4: BTreeMap<(u32, u8), NextHop>,
+    v6: BTreeMap<(u128, u8), NextHop>,
+    names: BTreeMap<Vec<Vec<u8>>, (Name, NextHop)>,
+    xia: BTreeMap<(u32, Xid), XiaNextHop>,
+    xia_types: BTreeSet<u32>,
+}
+
+impl Desired {
+    fn route_count(&self) -> usize {
+        self.v4.len() + self.v6.len() + self.names.len() + self.xia.len()
+    }
+
+    /// The route changes turning `prev` into `self`.
+    fn diff(&self, prev: &Desired) -> RouteDelta {
+        let mut delta = RouteDelta::new();
+        for (&(addr, len), &nh) in &self.v4 {
+            if prev.v4.get(&(addr, len)) != Some(&nh) {
+                delta.announce_v4(Ipv4Addr::from_u32(addr), len, nh);
+            }
+        }
+        for &(addr, len) in prev.v4.keys() {
+            if !self.v4.contains_key(&(addr, len)) {
+                delta.withdraw_v4(Ipv4Addr::from_u32(addr), len);
+            }
+        }
+        for (&(addr, len), &nh) in &self.v6 {
+            if prev.v6.get(&(addr, len)) != Some(&nh) {
+                delta.announce_v6(Ipv6Addr::from_u128(addr), len, nh);
+            }
+        }
+        for &(addr, len) in prev.v6.keys() {
+            if !self.v6.contains_key(&(addr, len)) {
+                delta.withdraw_v6(Ipv6Addr::from_u128(addr), len);
+            }
+        }
+        for (key, (name, nh)) in &self.names {
+            if prev.names.get(key).map(|(_, p)| p) != Some(nh) {
+                delta.announce_name(name.clone(), *nh);
+            }
+        }
+        for (key, (name, _)) in &prev.names {
+            if !self.names.contains_key(key) {
+                delta.withdraw_name(name.clone());
+            }
+        }
+        for (&(ty, xid), &nh) in &self.xia {
+            if prev.xia.get(&(ty, xid)) != Some(&nh) {
+                delta.announce_xia(XidType::from_wire(ty), xid, nh);
+            }
+        }
+        for &(ty, xid) in prev.xia.keys() {
+            if !self.xia.contains_key(&(ty, xid)) {
+                delta.withdraw_xia(XidType::from_wire(ty), xid);
+            }
+        }
+        delta
+    }
 }
 
 /// What [`ControlAgent::on_control`] asks the node to do.
@@ -113,6 +185,13 @@ pub struct ControlAgent {
     /// Local announcements changed since the last origination: the next
     /// tick re-originates and floods.
     reannounce: bool,
+    /// Compiled forwarding state, updated incrementally: each SPF run
+    /// diffs its desired routes against `desired` and commits the delta
+    /// (full rebuild only on the first compile or past
+    /// [`FULL_REBUILD_DELTA_LIMIT`]).
+    store: RouteStore,
+    /// The previous compile's desired route set (diff baseline).
+    desired: Desired,
 }
 
 /// Wraps a control message into a transmittable DIP packet.
@@ -138,6 +217,8 @@ impl ControlAgent {
             dirty_since: None,
             last_originated: 0,
             reannounce: false,
+            store: RouteStore::new(),
+            desired: Desired::default(),
         };
         // Install the initial (link-less) own LSA so the first tick
         // publishes the node's local announcements.
@@ -434,8 +515,12 @@ impl ControlAgent {
     }
 
     /// Compiles SPF results plus per-origin announcements into the
-    /// complete five-protocol snapshot.
-    fn compile(&self, routes: &BTreeMap<u64, SpfRoute>) -> RouteSnapshot {
+    /// desired five-protocol route set, installs it into the compiled
+    /// store (delta commit on the common path, full rebuild on the first
+    /// compile or oversized diffs), and wraps the resulting tables into
+    /// a tables-only snapshot whose publication cost is a few `Arc`
+    /// bumps regardless of table size.
+    fn compile(&mut self, routes: &BTreeMap<u64, SpfRoute>) -> RouteSnapshot {
         // First-hop node id → egress port (smallest port wins when
         // parallel links exist; BTreeMap order makes this deterministic).
         let mut toward: BTreeMap<u64, Port> = BTreeMap::new();
@@ -443,7 +528,7 @@ impl ControlAgent {
             toward.entry(n.id).or_insert(port);
         }
 
-        let mut snap = RouteSnapshot::default();
+        let mut want = Desired::default();
         for (origin, lsa) in &self.lsdb {
             let egress: Option<Port> = if *origin == self.node_id {
                 None // local announcements carry their own port
@@ -455,25 +540,83 @@ impl ControlAgent {
             };
             let a = &lsa.announce;
             for &(addr, len, port) in &a.v4 {
-                snap.ipv4_fib.add_route(addr, len, NextHop::port(egress.unwrap_or(port)));
+                want.v4.insert((addr.to_u32(), len), NextHop::port(egress.unwrap_or(port)));
             }
             for &(addr, len, port) in &a.v6 {
-                snap.ipv6_fib.add_route(addr, len, NextHop::port(egress.unwrap_or(port)));
+                want.v6.insert((addr.to_u128(), len), NextHop::port(egress.unwrap_or(port)));
             }
             for (name, port) in &a.names {
-                snap.name_fib.add_route(name, NextHop::port(egress.unwrap_or(*port)));
+                want.names.insert(
+                    name.components().to_vec(),
+                    (name.clone(), NextHop::port(egress.unwrap_or(*port))),
+                );
             }
             for &(ty, xid, nh) in &a.xia {
-                snap.xia.declare_type(ty);
+                want.xia_types.insert(ty.to_wire());
                 let nh = match egress {
                     // Remote principals route toward the origin.
                     Some(p) => XiaNextHop::Port(p),
                     None => nh,
                 };
-                snap.xia.add_route(ty, xid, nh);
+                want.xia.insert((ty.to_wire(), xid), nh);
             }
         }
-        snap
+
+        let delta = want.diff(&self.desired);
+        let tables = if self.store.route_count() == 0 || delta.len() > FULL_REBUILD_DELTA_LIMIT {
+            // First compile, or a diff so large the incremental path
+            // would cost more than compiling from scratch.
+            self.store.clear();
+            for (&(addr, len), &nh) in &want.v4 {
+                self.store.insert_v4(Ipv4Addr::from_u32(addr), len, nh);
+            }
+            for (&(addr, len), &nh) in &want.v6 {
+                self.store.insert_v6(Ipv6Addr::from_u128(addr), len, nh);
+            }
+            for (name, nh) in want.names.values() {
+                self.store.insert_name(name, *nh);
+            }
+            for &ty in &want.xia_types {
+                self.store.declare_xia_type(XidType::from_wire(ty));
+            }
+            for (&(ty, xid), &nh) in &want.xia {
+                self.store.insert_xia(XidType::from_wire(ty), xid, nh);
+            }
+            self.store.rebuild()
+        } else {
+            for &ty in want.xia_types.difference(&self.desired.xia_types) {
+                self.store.declare_xia_type(XidType::from_wire(ty));
+            }
+            self.store.commit(&delta)
+        };
+        self.desired = want;
+        RouteSnapshot::from_tables(tables)
+    }
+
+    /// Delta/rebuild/swap counters of the compiled route store.
+    pub fn route_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Number of routes currently compiled.
+    pub fn route_count(&self) -> usize {
+        self.desired.route_count()
+    }
+
+    /// Exports the compiled store's `dip_routes_*` metrics into
+    /// `registry` (call once, from the owning node's metric attach).
+    pub fn attach_route_metrics(
+        &mut self,
+        registry: &dip_telemetry::Registry,
+        labels: &[(&str, &str)],
+    ) {
+        self.store.attach_metrics(registry, labels);
+    }
+
+    /// Records that a compiled snapshot was picked up by the dataplane
+    /// (`dip_routes_epoch_swaps_total`).
+    pub fn note_epoch_swap(&mut self) {
+        self.store.note_epoch_swap();
     }
 }
 
@@ -543,7 +686,7 @@ mod tests {
         let tick = a.tick(100_000);
         let snap = tick.snapshot.expect("dirty after adjacency change");
         assert_eq!(
-            snap.ipv4_fib.lookup(Ipv4Addr::new(10, 9, 9, 9)),
+            snap.lookup_v4(Ipv4Addr::new(10, 9, 9, 9)),
             Some(NextHop::port(0)),
             "remote prefix routes out the adjacency port"
         );
@@ -555,7 +698,30 @@ mod tests {
         a.announce_v4(Ipv4Addr::new(192, 168, 0, 0), 16, 7);
         let tick = a.tick(1);
         let snap = tick.snapshot.expect("initially dirty");
-        assert_eq!(snap.ipv4_fib.lookup(Ipv4Addr::new(192, 168, 1, 1)), Some(NextHop::port(7)));
+        assert_eq!(snap.lookup_v4(Ipv4Addr::new(192, 168, 1, 1)), Some(NextHop::port(7)));
+    }
+
+    #[test]
+    fn reconvergence_commits_deltas_not_rebuilds() {
+        let mut a = ControlAgent::new(1, vec![0], AgentConfig::default());
+        a.announce_v4(Ipv4Addr::new(192, 168, 0, 0), 16, 7);
+        let first = a.tick(1);
+        assert!(first.snapshot.is_some());
+        assert_eq!(a.route_stats().full_rebuilds, 1, "first compile builds from scratch");
+
+        // Every later announcement-driven recompile is an incremental
+        // commit: the changed-prefix set is tiny.
+        for i in 0..5u8 {
+            a.announce_v4(Ipv4Addr::new(172, 16 + i, 0, 0), 16, 2);
+            let tick = a.tick(50_000 * (u64::from(i) + 1) + 1);
+            let snap = tick.snapshot.expect("announcement dirties the view");
+            assert_eq!(snap.lookup_v4(Ipv4Addr::new(172, 16 + i, 1, 1)), Some(NextHop::port(2)));
+            assert!(snap.ipv4_fib.is_empty(), "compiled snapshots leave legacy FIBs empty");
+        }
+        let stats = a.route_stats();
+        assert_eq!(stats.full_rebuilds, 1, "no recompile fell back to a rebuild");
+        assert_eq!(stats.deltas_applied, 5);
+        assert_eq!(a.route_count(), 6);
     }
 
     #[test]

@@ -131,6 +131,7 @@ impl<R: SnapshotTarget + 'static> ControlNode<R> {
             mirror.publish(snapshot.clone());
         }
         self.routes.publish(snapshot);
+        self.agent.note_epoch_swap();
         self.sync_routes();
         if let Some(m) = &self.metrics {
             m.spf_runs.inc();
@@ -196,6 +197,7 @@ impl<R: SnapshotTarget + 'static> RouterNode for ControlNode<R> {
         self.inner.attach_metrics(registry, node);
         let n = node.to_string();
         let labels = [("node", n.as_str())];
+        self.agent.attach_route_metrics(registry, &labels);
         self.metrics = Some(Metrics {
             hellos: registry.counter("dip_ctrl_hello_total", "HELLO messages sent", &labels),
             floods: registry.counter(
@@ -282,12 +284,12 @@ mod tests {
         let emits = n.control_tick(50_000);
         assert!(!emits.is_empty(), "hellos go out");
         assert_eq!(
-            n.inner().state().ipv4_fib.lookup(Ipv4Addr::new(10, 1, 1, 1)),
+            n.inner().state().lookup_v4(Ipv4Addr::new(10, 1, 1, 1)),
             Some(NextHop::port(3)),
             "snapshot installed into the wrapped router"
         );
         assert_eq!(mirror.epoch(), 1, "mirror cell published");
-        assert!(mirror.reader().get().ipv4_fib.lookup(Ipv4Addr::new(10, 1, 1, 1)).is_some());
+        assert!(mirror.reader().get().lookup_v4(Ipv4Addr::new(10, 1, 1, 1)).is_some());
     }
 
     #[test]

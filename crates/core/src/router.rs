@@ -179,8 +179,13 @@ impl DipRouter {
     }
 
     /// Wires this router to a telemetry [`Registry`]: verdict counters,
-    /// execute-latency histogram, per-FN invocation counters, and the
-    /// PIT's expired-eviction counter, all under `labels`.
+    /// execute-latency histogram, per-FN invocation counters, the PIT's
+    /// expired-eviction counter, and — when a content store is enabled —
+    /// its LRU-eviction counter, all under `labels`.
+    ///
+    /// Call [`RouterState::enable_content_store`] *before* this if you
+    /// want `dip_cs_evictions_total` exported; a store enabled later
+    /// keeps its private counter.
     ///
     /// Until called, processing records nothing and takes no `Instant`
     /// samples.
@@ -190,6 +195,13 @@ impl DipRouter {
             "PIT entries removed because their lifetime elapsed",
             labels,
         ));
+        if let Some(cs) = self.state.content_store.as_mut() {
+            cs.set_eviction_counter(registry.counter(
+                "dip_cs_evictions_total",
+                "Content-store entries displaced by LRU to hold the capacity bound",
+                labels,
+            ));
+        }
         self.metrics = Some(RouterMetrics::new(registry, labels));
     }
 

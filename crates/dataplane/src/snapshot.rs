@@ -19,6 +19,7 @@
 //! `content_store` fields exist for explicit resets and preloads.
 
 use dip_fnops::RouterState;
+use dip_routes::RouteTables;
 use dip_tables::content_store::ContentStore;
 use dip_tables::fib::{Ipv4Fib, Ipv6Fib, NameFib};
 use dip_tables::pit::Pit;
@@ -43,6 +44,12 @@ pub struct RouteSnapshot {
     /// When set, *replaces* the worker's PIT (explicit reset only —
     /// discards in-flight interests). `None` preserves flow state.
     pub pit: Option<Pit<u32>>,
+    /// Compiled forwarding tables (`dip-routes`). `Some` installs them
+    /// (lookup ops then prefer the compiled tables over the legacy FIBs
+    /// above); `None` uninstalls, falling back to the legacy FIBs.
+    /// Cloning is `Arc` bumps, so delta-produced snapshots share every
+    /// untouched chunk with their predecessor.
+    pub tables: Option<RouteTables>,
 }
 
 impl RouteSnapshot {
@@ -55,6 +62,53 @@ impl RouteSnapshot {
             xia: state.xia.clone(),
             content_store: None,
             pit: None,
+            tables: state.compiled.clone(),
+        }
+    }
+
+    /// A snapshot carrying *only* compiled tables: the legacy FIB fields
+    /// stay empty (lookups never reach them while compiled tables are
+    /// installed), so publication cost is a handful of `Arc` bumps no
+    /// matter how many routes the tables hold.
+    pub fn from_tables(tables: RouteTables) -> Self {
+        RouteSnapshot { tables: Some(tables), ..RouteSnapshot::default() }
+    }
+
+    /// IPv4 LPM over whichever view this snapshot carries (compiled
+    /// tables win; legacy FIB otherwise) — mirrors what a worker state
+    /// answers after [`RouteSnapshot::apply`].
+    pub fn lookup_v4(&self, addr: dip_wire::ipv4::Ipv4Addr) -> Option<dip_tables::fib::NextHop> {
+        match &self.tables {
+            Some(t) => t.lookup_v4(addr),
+            None => self.ipv4_fib.lookup(addr),
+        }
+    }
+
+    /// IPv6 LPM (compiled tables win; legacy FIB otherwise).
+    pub fn lookup_v6(&self, addr: dip_wire::ipv6::Ipv6Addr) -> Option<dip_tables::fib::NextHop> {
+        match &self.tables {
+            Some(t) => t.lookup_v6(addr),
+            None => self.ipv6_fib.lookup(addr),
+        }
+    }
+
+    /// Name LPM (compiled tables win; legacy FIB otherwise).
+    pub fn lookup_name(&self, name: &dip_wire::ndn::Name) -> Option<dip_tables::fib::NextHop> {
+        match &self.tables {
+            Some(t) => t.lookup_name(name),
+            None => self.name_fib.lookup(name),
+        }
+    }
+
+    /// XIA lookup (compiled tables win; legacy tables otherwise).
+    pub fn lookup_xia(
+        &self,
+        ty: dip_wire::xia::XidType,
+        xid: &dip_wire::xia::Xid,
+    ) -> Option<dip_tables::xia_table::XiaNextHop> {
+        match &self.tables {
+            Some(t) => t.lookup_xia(ty, xid),
+            None => self.xia.lookup(ty, xid),
         }
     }
 
@@ -65,6 +119,7 @@ impl RouteSnapshot {
         state.ipv6_fib = self.ipv6_fib.clone();
         state.name_fib = self.name_fib.clone();
         state.xia = self.xia.clone();
+        state.compiled = self.tables.clone();
         if let Some(cs) = &self.content_store {
             state.content_store = Some(cs.clone());
         }
@@ -180,6 +235,25 @@ mod tests {
         snap.pit = Some(Pit::new(16, 100));
         snap.apply(&mut state);
         assert!(!state.pit.contains(&42, 10));
+    }
+
+    #[test]
+    fn tables_only_snapshot_installs_and_uninstalls() {
+        let mut store = dip_routes::RouteStore::new();
+        store.insert_v4(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(7));
+        let snap = RouteSnapshot::from_tables(store.rebuild());
+        assert!(snap.ipv4_fib.is_empty(), "tables-only snapshots leave legacy FIBs empty");
+
+        let mut state = RouterState::new(3, [0; 16]);
+        state.ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
+        snap.apply(&mut state);
+        assert_eq!(state.lookup_v4(Ipv4Addr::new(10, 1, 2, 3)), Some(NextHop::port(7)));
+
+        // A legacy (tables: None) snapshot uninstalls the compiled view.
+        let mut legacy = RouteSnapshot::default();
+        legacy.ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(2));
+        legacy.apply(&mut state);
+        assert_eq!(state.lookup_v4(Ipv4Addr::new(10, 1, 2, 3)), Some(NextHop::port(2)));
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! Router state, per-packet context, and the action/verdict types.
 
 use dip_crypto::Block;
-use dip_tables::{ContentStore, Ipv4Fib, Ipv6Fib, NameFib, Pit, Port, Ticks, XiaRouteTable};
-use dip_wire::xia::Dag;
+use dip_routes::RouteTables;
+use dip_tables::fib::NextHop;
+use dip_tables::{
+    ContentStore, Ipv4Fib, Ipv6Fib, NameFib, Pit, Port, Ticks, XiaNextHop, XiaRouteTable,
+};
+use dip_wire::ipv4::Ipv4Addr;
+use dip_wire::ipv6::Ipv6Addr;
+use dip_wire::ndn::Name;
+use dip_wire::xia::{Dag, Xid, XidType};
 
 /// Which block cipher backs `F_MAC` / `F_mark` (§4.1: the prototype uses
 /// 2EM because AES would need a packet resubmission on Tofino).
@@ -38,6 +45,11 @@ pub struct RouterState {
     pub content_store: Option<ContentStore<u32, Vec<u8>>>,
     /// XIA per-principal routing tables (`F_DAG`/`F_intent`).
     pub xia: XiaRouteTable,
+    /// Compiled forwarding tables (`dip-routes`). When present, every
+    /// lookup op prefers these over the per-family FIBs above — this is
+    /// how the dataplane swaps a million-route table in one epoch
+    /// without rebuilding the legacy structures.
+    pub compiled: Option<RouteTables>,
     /// Cipher backing the authentication operations.
     pub mac_choice: MacChoice,
     /// When `true`, `F_PIT` refuses to cache data that does not carry a
@@ -103,6 +115,7 @@ impl RouterState {
             pit: Pit::new(65_536, 4_000_000_000), // 4s at ns ticks
             content_store: None,
             xia: XiaRouteTable::new(),
+            compiled: None,
             mac_choice: MacChoice::TwoRoundEm,
             require_pass_for_cache: false,
             ext: Extensions::default(),
@@ -112,6 +125,49 @@ impl RouterState {
     /// Enables a content store of `capacity` entries.
     pub fn enable_content_store(&mut self, capacity: usize) {
         self.content_store = Some(ContentStore::new(capacity));
+    }
+
+    /// IPv4 LPM: compiled tables when installed, else the legacy FIB.
+    pub fn lookup_v4(&self, addr: Ipv4Addr) -> Option<NextHop> {
+        match &self.compiled {
+            Some(t) => t.lookup_v4(addr),
+            None => self.ipv4_fib.lookup(addr),
+        }
+    }
+
+    /// IPv6 LPM: compiled tables when installed, else the legacy FIB.
+    pub fn lookup_v6(&self, addr: Ipv6Addr) -> Option<NextHop> {
+        match &self.compiled {
+            Some(t) => t.lookup_v6(addr),
+            None => self.ipv6_fib.lookup(addr),
+        }
+    }
+
+    /// Hierarchical name LPM: compiled tables when installed, else the
+    /// legacy name FIB.
+    pub fn lookup_name(&self, name: &Name) -> Option<NextHop> {
+        match &self.compiled {
+            Some(t) => t.lookup_name(name),
+            None => self.name_fib.lookup(name),
+        }
+    }
+
+    /// Compact 32-bit name match: compiled tables when installed, else
+    /// the legacy name FIB.
+    pub fn lookup_name_compact(&self, compact: u32) -> Option<NextHop> {
+        match &self.compiled {
+            Some(t) => t.lookup_name_compact(compact),
+            None => self.name_fib.lookup_compact(compact),
+        }
+    }
+
+    /// XIA per-principal lookup: compiled tables when installed, else
+    /// the legacy route table.
+    pub fn lookup_xia(&self, ty: XidType, xid: &Xid) -> Option<XiaNextHop> {
+        match &self.compiled {
+            Some(t) => t.lookup_xia(ty, xid),
+            None => self.xia.lookup(ty, xid),
+        }
     }
 }
 
@@ -123,6 +179,7 @@ impl std::fmt::Debug for RouterState {
             .field("ipv6_routes", &self.ipv6_fib.len())
             .field("name_routes", &self.name_fib.len())
             .field("pit_entries", &self.pit.len())
+            .field("compiled_version", &self.compiled.as_ref().map(|t| t.version))
             .field("mac_choice", &self.mac_choice)
             .finish_non_exhaustive()
     }
@@ -288,5 +345,24 @@ mod tests {
         let s = RouterState::new(7, [0u8; 16]);
         let dbg = format!("{s:?}");
         assert!(dbg.contains("node_id: 7"));
+    }
+
+    #[test]
+    fn compiled_tables_override_legacy_fibs() {
+        let mut s = RouterState::new(1, [0u8; 16]);
+        let dst = Ipv4Addr::new(10, 1, 2, 3);
+        s.ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
+        assert_eq!(s.lookup_v4(dst), Some(NextHop::port(1)));
+
+        // Install a compiled table that routes the same prefix elsewhere:
+        // it must win, and uninstalling must fall back.
+        let mut store = dip_routes::RouteStore::new();
+        store.insert_v4(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(7));
+        s.compiled = Some(store.rebuild());
+        assert_eq!(s.lookup_v4(dst), Some(NextHop::port(7)));
+        // An empty compiled family means "no route", not "ask legacy".
+        assert_eq!(s.lookup_name_compact(42), None);
+        s.compiled = None;
+        assert_eq!(s.lookup_v4(dst), Some(NextHop::port(1)));
     }
 }

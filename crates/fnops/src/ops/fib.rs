@@ -76,8 +76,8 @@ impl FieldOp for FibOp {
 
         // ... then FIB match.
         let hit = match &full {
-            Some(name) => state.name_fib.lookup(name),
-            None => state.name_fib.lookup_compact(compact),
+            Some(name) => state.lookup_name(name),
+            None => state.lookup_name_compact(compact),
         };
         match hit {
             Some(nh) => Action::Forward(nh.port),

@@ -58,7 +58,7 @@ impl FieldOp for IntentOp {
             }
             for e in edges {
                 let node = &dag.nodes[usize::from(e)];
-                match state.xia.lookup(node.ty, &node.xid) {
+                match state.lookup_xia(node.ty, &node.xid) {
                     Some(XiaNextHop::Port(p)) => break 'walk Action::Forward(p),
                     Some(XiaNextHop::Local) => {
                         dag.last_visited = e;

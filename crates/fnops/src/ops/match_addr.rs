@@ -35,7 +35,7 @@ impl FieldOp for Match32Op {
             return Action::Drop(DropReason::MalformedField);
         };
         let addr = Ipv4Addr([bytes[0], bytes[1], bytes[2], bytes[3]]);
-        match state.ipv4_fib.lookup(addr) {
+        match state.lookup_v4(addr) {
             Some(nh) => Action::Forward(nh.port),
             None => Action::Drop(DropReason::NoRoute),
         }
@@ -69,7 +69,7 @@ impl FieldOp for Match128Op {
         };
         let mut a = [0u8; 16];
         a.copy_from_slice(&bytes);
-        match state.ipv6_fib.lookup(Ipv6Addr(a)) {
+        match state.lookup_v6(Ipv6Addr(a)) {
             Some(nh) => Action::Forward(nh.port),
             None => Action::Drop(DropReason::NoRoute),
         }

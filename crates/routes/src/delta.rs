@@ -1,0 +1,87 @@
+//! `RouteDelta` — a batch of add/withdraw/replace operations against
+//! the current route state.
+//!
+//! A delta is the unit of incremental update: the control plane (or
+//! the churn generator) accumulates the changed prefixes of one
+//! reconvergence event into a delta and commits it; committing
+//! produces a new table version copy-on-write, so the world is never
+//! rebuilt for a handful of flapping prefixes. An announce of an
+//! already-present prefix is a replace; `None` is a withdraw.
+
+use dip_tables::fib::NextHop;
+use dip_tables::XiaNextHop;
+use dip_wire::ipv4::Ipv4Addr;
+use dip_wire::ipv6::Ipv6Addr;
+use dip_wire::ndn::Name;
+use dip_wire::xia::{Xid, XidType};
+
+/// A batch of route operations; `Some(next_hop)` announces or
+/// replaces, `None` withdraws.
+#[derive(Clone, Debug, Default)]
+pub struct RouteDelta {
+    /// IPv4 prefix operations as `(addr, len, action)`.
+    pub v4: Vec<(Ipv4Addr, u8, Option<NextHop>)>,
+    /// IPv6 prefix operations as `(addr, len, action)`.
+    pub v6: Vec<(Ipv6Addr, u8, Option<NextHop>)>,
+    /// NDN name-prefix operations.
+    pub names: Vec<(Name, Option<NextHop>)>,
+    /// XIA per-principal operations.
+    pub xia: Vec<(XidType, Xid, Option<XiaNextHop>)>,
+}
+
+impl RouteDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        RouteDelta::default()
+    }
+
+    /// Announces (or replaces) an IPv4 prefix.
+    pub fn announce_v4(&mut self, addr: Ipv4Addr, len: u8, next_hop: NextHop) {
+        self.v4.push((addr, len, Some(next_hop)));
+    }
+
+    /// Withdraws an IPv4 prefix.
+    pub fn withdraw_v4(&mut self, addr: Ipv4Addr, len: u8) {
+        self.v4.push((addr, len, None));
+    }
+
+    /// Announces (or replaces) an IPv6 prefix.
+    pub fn announce_v6(&mut self, addr: Ipv6Addr, len: u8, next_hop: NextHop) {
+        self.v6.push((addr, len, Some(next_hop)));
+    }
+
+    /// Withdraws an IPv6 prefix.
+    pub fn withdraw_v6(&mut self, addr: Ipv6Addr, len: u8) {
+        self.v6.push((addr, len, None));
+    }
+
+    /// Announces (or replaces) an NDN name prefix.
+    pub fn announce_name(&mut self, name: Name, next_hop: NextHop) {
+        self.names.push((name, Some(next_hop)));
+    }
+
+    /// Withdraws an NDN name prefix.
+    pub fn withdraw_name(&mut self, name: Name) {
+        self.names.push((name, None));
+    }
+
+    /// Announces (or replaces) an XIA route.
+    pub fn announce_xia(&mut self, ty: XidType, xid: Xid, next_hop: XiaNextHop) {
+        self.xia.push((ty, xid, Some(next_hop)));
+    }
+
+    /// Withdraws an XIA route.
+    pub fn withdraw_xia(&mut self, ty: XidType, xid: Xid) {
+        self.xia.push((ty, xid, None));
+    }
+
+    /// Total number of operations across all families.
+    pub fn len(&self) -> usize {
+        self.v4.len() + self.v6.len() + self.names.len() + self.xia.len()
+    }
+
+    /// Whether the delta carries no operations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

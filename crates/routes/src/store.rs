@@ -1,0 +1,419 @@
+//! `RouteStore` — the authoritative route state, its compiled
+//! [`RouteTables`], and the delta/rebuild machinery that connects them.
+//!
+//! The store owns the ground truth (ordered maps per family); the
+//! compiled tables are immutable, `Arc`-shared views derived from it.
+//! `commit` is the common path: apply a [`RouteDelta`] to the ground
+//! truth, then derive the next table version copy-on-write, touching
+//! only what changed. `rebuild` is the escape hatch (first build,
+//! oversized delta) and is what `dip_routes_full_rebuilds_total`
+//! counts — a healthy system commits deltas and almost never rebuilds.
+
+use crate::delta::RouteDelta;
+use crate::lpm::{mask_bits, CompressedLpm, PrefixStore};
+use crate::name_fib::CompactNameFib;
+use crate::xia_fib::CompactXia;
+use dip_tables::fib::{Ipv4Fib, Ipv6Fib, NameFib, NextHop};
+use dip_tables::{XiaNextHop, XiaRouteTable};
+use dip_telemetry::{Counter, Histogram, Registry};
+use dip_wire::ipv4::Ipv4Addr;
+use dip_wire::ipv6::Ipv6Addr;
+use dip_wire::ndn::Name;
+use dip_wire::xia::{Xid, XidType};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One immutable version of every protocol's compiled forwarding
+/// table. `Clone` is a handful of `Arc` bumps — this is the value the
+/// control plane ships inside a route snapshot and a worker installs
+/// at an epoch boundary.
+#[derive(Clone, Debug, Default)]
+pub struct RouteTables {
+    /// Compressed IPv4 LPM.
+    pub v4: CompressedLpm,
+    /// Compressed IPv6 LPM.
+    pub v6: CompressedLpm,
+    /// Hash-compacted NDN name FIB.
+    pub names: CompactNameFib,
+    /// Compacted XIA route table.
+    pub xia: CompactXia,
+    /// Monotone version, bumped by every commit/rebuild.
+    pub version: u64,
+}
+
+impl RouteTables {
+    /// IPv4 longest-prefix match.
+    #[inline]
+    pub fn lookup_v4(&self, addr: Ipv4Addr) -> Option<NextHop> {
+        self.v4.lookup_bits(u128::from(addr.to_u32()) << 96)
+    }
+
+    /// IPv6 longest-prefix match.
+    #[inline]
+    pub fn lookup_v6(&self, addr: Ipv6Addr) -> Option<NextHop> {
+        self.v6.lookup_bits(addr.to_u128())
+    }
+
+    /// NDN longest-name-prefix match.
+    #[inline]
+    pub fn lookup_name(&self, name: &Name) -> Option<NextHop> {
+        self.names.lookup(name)
+    }
+
+    /// NDN exact match on a 32-bit compact name.
+    #[inline]
+    pub fn lookup_name_compact(&self, compact: u32) -> Option<NextHop> {
+        self.names.lookup_compact(compact)
+    }
+
+    /// XIA per-principal lookup.
+    #[inline]
+    pub fn lookup_xia(&self, ty: XidType, xid: &Xid) -> Option<XiaNextHop> {
+        self.xia.lookup(ty, xid)
+    }
+
+    /// Total routes across all families.
+    pub fn route_count(&self) -> usize {
+        self.v4.len() + self.v6.len() + self.names.len() + self.xia.len()
+    }
+}
+
+/// Deterministic commit/rebuild counters (mirrored into telemetry when
+/// a registry is attached; kept as plain integers so reports stay
+/// reproducible without one).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Deltas committed.
+    pub deltas_applied: u64,
+    /// Individual route operations carried by those deltas.
+    pub delta_routes: u64,
+    /// Full table rebuilds (first build + oversized-delta fallbacks).
+    pub full_rebuilds: u64,
+    /// Epoch publications noted via [`RouteStore::note_epoch_swap`].
+    pub epoch_swaps: u64,
+}
+
+/// The `dip_routes_*` telemetry family.
+struct RoutesMetrics {
+    delta_routes: Arc<Counter>,
+    deltas_applied: Arc<Counter>,
+    apply_ns: Arc<Histogram>,
+    epoch_swaps: Arc<Counter>,
+    full_rebuilds: Arc<Counter>,
+}
+
+/// Log-spaced bounds for the delta-apply latency histogram: 1 µs to
+/// ~67 ms by powers of two.
+fn apply_bounds() -> Vec<u64> {
+    (0..17).map(|i| 1_000u64 << i).collect()
+}
+
+/// Authoritative, incrementally-updatable forwarding state for every
+/// protocol, plus its current compiled [`RouteTables`].
+#[derive(Default)]
+pub struct RouteStore {
+    v4: PrefixStore,
+    v6: PrefixStore,
+    names: BTreeMap<Vec<Vec<u8>>, NextHop>,
+    xia_routes: BTreeMap<(u32, Xid), XiaNextHop>,
+    xia_types: BTreeSet<u32>,
+    tables: RouteTables,
+    stats: StoreStats,
+    metrics: Option<RoutesMetrics>,
+}
+
+impl std::fmt::Debug for RouteStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteStore")
+            .field("v4", &self.v4.len())
+            .field("v6", &self.v6.len())
+            .field("names", &self.names.len())
+            .field("xia", &self.xia_routes.len())
+            .field("version", &self.tables.version)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl RouteStore {
+    /// An empty store with empty compiled tables at version 0.
+    pub fn new() -> Self {
+        RouteStore::default()
+    }
+
+    /// Registers the `dip_routes_*` family under `labels`: delta size
+    /// and count counters, the wall-clock apply-latency histogram,
+    /// epoch swaps, and full-rebuild fallbacks. Until called, only the
+    /// deterministic [`StoreStats`] are kept.
+    pub fn attach_metrics(&mut self, registry: &Registry, labels: &[(&str, &str)]) {
+        self.metrics = Some(RoutesMetrics {
+            delta_routes: registry.counter(
+                "dip_routes_delta_routes_total",
+                "Individual route operations carried by committed deltas",
+                labels,
+            ),
+            deltas_applied: registry.counter(
+                "dip_routes_deltas_applied_total",
+                "Route deltas committed copy-on-write",
+                labels,
+            ),
+            apply_ns: registry.histogram(
+                "dip_routes_apply_ns",
+                "Wall-clock nanoseconds to commit one route delta",
+                labels,
+                &apply_bounds(),
+            ),
+            epoch_swaps: registry.counter(
+                "dip_routes_epoch_swaps_total",
+                "Compiled tables published through an epoch cell",
+                labels,
+            ),
+            full_rebuilds: registry.counter(
+                "dip_routes_full_rebuilds_total",
+                "Full table rebuilds (first build and oversized-delta fallbacks)",
+                labels,
+            ),
+        });
+    }
+
+    /// Records that the current tables were published through an epoch
+    /// cell (called by whoever performs the publish).
+    pub fn note_epoch_swap(&mut self) {
+        self.stats.epoch_swaps += 1;
+        if let Some(m) = &self.metrics {
+            m.epoch_swaps.inc();
+        }
+    }
+
+    /// Inserts an IPv4 route into the ground truth (compile later via
+    /// [`RouteStore::rebuild`] — seeding path).
+    pub fn insert_v4(&mut self, addr: Ipv4Addr, len: u8, next_hop: NextHop) {
+        self.v4.insert(u128::from(addr.to_u32()) << 96, len, next_hop);
+    }
+
+    /// Inserts an IPv6 route into the ground truth.
+    pub fn insert_v6(&mut self, addr: Ipv6Addr, len: u8, next_hop: NextHop) {
+        self.v6.insert(addr.to_u128(), len, next_hop);
+    }
+
+    /// Inserts an NDN name route into the ground truth.
+    pub fn insert_name(&mut self, name: &Name, next_hop: NextHop) {
+        self.names.insert(name.components().to_vec(), next_hop);
+    }
+
+    /// Inserts an XIA route into the ground truth (declares its type).
+    pub fn insert_xia(&mut self, ty: XidType, xid: Xid, next_hop: XiaNextHop) {
+        self.xia_types.insert(ty.to_wire());
+        self.xia_routes.insert((ty.to_wire(), xid), next_hop);
+    }
+
+    /// Declares an XIA principal type understood even without routes.
+    pub fn declare_xia_type(&mut self, ty: XidType) {
+        self.xia_types.insert(ty.to_wire());
+    }
+
+    /// Imports every route of the legacy per-protocol tables — the
+    /// bridge from [`dip_tables`]-seeded state (and the guarantee that
+    /// compiled lookups agree with what that state would answer).
+    pub fn import(&mut self, v4: &Ipv4Fib, v6: &Ipv6Fib, names: &NameFib, xia: &XiaRouteTable) {
+        for (addr, len, nh) in v4.routes() {
+            self.insert_v4(addr, len, nh);
+        }
+        for (addr, len, nh) in v6.routes() {
+            self.insert_v6(addr, len, nh);
+        }
+        for (name, nh) in names.routes() {
+            self.insert_name(&name, nh);
+        }
+        for ty in xia.types() {
+            self.xia_types.insert(ty);
+        }
+        for (ty, xid, nh) in xia.routes() {
+            self.xia_routes.insert((ty, xid), nh);
+        }
+    }
+
+    /// Drops all ground truth (the compiled tables stay until the next
+    /// rebuild/commit).
+    pub fn clear(&mut self) {
+        self.v4.clear();
+        self.v6.clear();
+        self.names.clear();
+        self.xia_routes.clear();
+        self.xia_types.clear();
+    }
+
+    /// Compiles every table from scratch. This is the counted fallback
+    /// path: first build after seeding, or a delta so large that
+    /// incremental application would touch most of the table anyway.
+    pub fn rebuild(&mut self) -> RouteTables {
+        let t0 = Instant::now();
+        self.tables = RouteTables {
+            v4: CompressedLpm::build_from(&self.v4),
+            v6: CompressedLpm::build_from(&self.v6),
+            names: CompactNameFib::build_from(&self.names),
+            xia: CompactXia::build_from(&self.xia_routes, &self.xia_types),
+            version: self.tables.version + 1,
+        };
+        self.stats.full_rebuilds += 1;
+        if let Some(m) = &self.metrics {
+            m.full_rebuilds.inc();
+            m.apply_ns.observe(t0.elapsed().as_nanos() as u64);
+        }
+        self.tables.clone()
+    }
+
+    /// Commits a delta: applies it to the ground truth, then derives
+    /// the next compiled version copy-on-write — only the touched LPM
+    /// chunks / root-leaf ranges are rebuilt, and untouched families
+    /// are shared with the previous version by `Arc`.
+    pub fn commit(&mut self, delta: &RouteDelta) -> RouteTables {
+        let t0 = Instant::now();
+
+        let mut v4_slots = BTreeSet::new();
+        let mut v4_shorts = Vec::new();
+        for &(addr, len, action) in &delta.v4 {
+            let bits = u128::from(addr.to_u32()) << 96;
+            let changed = match action {
+                Some(nh) => self.v4.insert(bits, len, nh),
+                None => self.v4.remove(bits, len),
+            };
+            if changed {
+                if len <= 16 {
+                    v4_shorts.push((bits & mask_bits(len), len));
+                } else {
+                    v4_slots.insert((bits >> 112) as u16);
+                }
+            }
+        }
+        let mut v6_slots = BTreeSet::new();
+        let mut v6_shorts = Vec::new();
+        for &(addr, len, action) in &delta.v6 {
+            let bits = addr.to_u128();
+            let changed = match action {
+                Some(nh) => self.v6.insert(bits, len, nh),
+                None => self.v6.remove(bits, len),
+            };
+            if changed {
+                if len <= 16 {
+                    v6_shorts.push((bits & mask_bits(len), len));
+                } else {
+                    v6_slots.insert((bits >> 112) as u16);
+                }
+            }
+        }
+        for (name, action) in &delta.names {
+            match action {
+                Some(nh) => {
+                    self.names.insert(name.components().to_vec(), *nh);
+                }
+                None => {
+                    self.names.remove(name.components());
+                }
+            }
+        }
+        for &(ty, xid, action) in &delta.xia {
+            match action {
+                Some(nh) => {
+                    self.xia_types.insert(ty.to_wire());
+                    self.xia_routes.insert((ty.to_wire(), xid), nh);
+                }
+                None => {
+                    self.xia_routes.remove(&(ty.to_wire(), xid));
+                }
+            }
+        }
+
+        let v4 = if v4_slots.is_empty() && v4_shorts.is_empty() {
+            self.tables.v4.clone()
+        } else {
+            self.tables.v4.apply_delta(&self.v4, &v4_slots, &v4_shorts)
+        };
+        let v6 = if v6_slots.is_empty() && v6_shorts.is_empty() {
+            self.tables.v6.clone()
+        } else {
+            self.tables.v6.apply_delta(&self.v6, &v6_slots, &v6_shorts)
+        };
+        let names = if delta.names.is_empty() {
+            self.tables.names.clone()
+        } else {
+            self.tables.names.apply_delta(&delta.names, self.names.len())
+        };
+        let xia = if delta.xia.is_empty() {
+            self.tables.xia.clone()
+        } else {
+            self.tables.xia.apply_delta(&delta.xia)
+        };
+        self.tables = RouteTables { v4, v6, names, xia, version: self.tables.version + 1 };
+
+        self.stats.deltas_applied += 1;
+        self.stats.delta_routes += delta.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.deltas_applied.inc();
+            m.delta_routes.add(delta.len() as u64);
+            m.apply_ns.observe(t0.elapsed().as_nanos() as u64);
+        }
+        self.tables.clone()
+    }
+
+    /// The current compiled tables (cheap clone).
+    pub fn tables(&self) -> RouteTables {
+        self.tables.clone()
+    }
+
+    /// Total ground-truth routes across all families.
+    pub fn route_count(&self) -> usize {
+        self.v4.len() + self.v6.len() + self.names.len() + self.xia_routes.len()
+    }
+
+    /// The deterministic commit/rebuild counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_shares_untouched_families_and_counts_honestly() {
+        let mut store = RouteStore::new();
+        store.insert_v4(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
+        store.insert_name(&Name::parse("/wl/cat/1"), NextHop::port(3));
+        let t1 = store.rebuild();
+        assert_eq!(store.stats().full_rebuilds, 1);
+        assert_eq!(t1.version, 1);
+
+        let mut delta = RouteDelta::new();
+        delta.announce_v4(Ipv4Addr::new(10, 1, 2, 0), 24, NextHop::port(7));
+        let t2 = store.commit(&delta);
+        assert_eq!(t2.version, 2);
+        assert_eq!(store.stats().deltas_applied, 1);
+        assert_eq!(store.stats().delta_routes, 1);
+        assert_eq!(store.stats().full_rebuilds, 1, "a commit is not a rebuild");
+        assert_eq!(t2.lookup_v4(Ipv4Addr::new(10, 1, 2, 9)), Some(NextHop::port(7)));
+        assert_eq!(t2.lookup_v4(Ipv4Addr::new(10, 9, 9, 9)), Some(NextHop::port(1)));
+        assert_eq!(t2.lookup_name(&Name::parse("/wl/cat/1/seg0")), Some(NextHop::port(3)));
+    }
+
+    #[test]
+    fn metrics_mirror_the_stats() {
+        let registry = Registry::new();
+        let mut store = RouteStore::new();
+        store.attach_metrics(&registry, &[("node", "t")]);
+        store.insert_v6(Ipv6Addr::new([0xfdaa, 0, 0, 0, 0, 0, 0, 0]), 16, NextHop::port(2));
+        store.rebuild();
+        let mut delta = RouteDelta::new();
+        delta.announce_v6(Ipv6Addr::new([0xfdaa, 1, 0, 0, 0, 0, 0, 0]), 32, NextHop::port(5));
+        delta.withdraw_v6(Ipv6Addr::new([0xfdaa, 2, 0, 0, 0, 0, 0, 0]), 32);
+        store.commit(&delta);
+        store.note_epoch_swap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.sum_where("dip_routes_full_rebuilds_total", &[]), 1);
+        assert_eq!(snap.sum_where("dip_routes_deltas_applied_total", &[]), 1);
+        assert_eq!(snap.sum_where("dip_routes_delta_routes_total", &[]), 2);
+        assert_eq!(snap.sum_where("dip_routes_epoch_swaps_total", &[]), 1);
+    }
+}

@@ -8,7 +8,9 @@
 //! data packet can pollute it.
 
 use crate::Ticks;
+use dip_telemetry::Counter;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 struct CsEntry<V> {
@@ -23,12 +25,33 @@ pub struct ContentStore<K: std::hash::Hash + Eq + Clone, V> {
     entries: HashMap<K, CsEntry<V>>,
     capacity: usize,
     clock: u64,
+    /// LRU entries displaced by at-capacity inserts. Private by default;
+    /// [`ContentStore::set_eviction_counter`] wires it into a telemetry
+    /// registry so soaks can watch the cache hold its memory bound.
+    evictions: Arc<Counter>,
 }
 
 impl<K: std::hash::Hash + Eq + Clone, V> ContentStore<K, V> {
     /// Creates a store holding at most `capacity` items.
     pub fn new(capacity: usize) -> Self {
-        ContentStore { entries: HashMap::new(), capacity, clock: 0 }
+        ContentStore {
+            entries: HashMap::new(),
+            capacity,
+            clock: 0,
+            evictions: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Routes LRU-eviction counts into `counter` (typically a
+    /// `dip_cs_evictions_total` instance from a telemetry registry)
+    /// instead of the private default counter.
+    pub fn set_eviction_counter(&mut self, counter: Arc<Counter>) {
+        self.evictions = counter;
+    }
+
+    /// Items evicted so far to hold the capacity bound.
+    pub fn lru_evictions(&self) -> u64 {
+        self.evictions.get()
     }
 
     /// Number of cached items.
@@ -54,6 +77,7 @@ impl<K: std::hash::Hash + Eq + Clone, V> ContentStore<K, V> {
                 self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
             {
                 self.entries.remove(&lru);
+                self.evictions.inc();
                 evicted = Some(lru);
             }
         }
@@ -189,6 +213,27 @@ mod tests {
         assert_eq!(cs.purge_since(45), 1);
         assert!(cs.peek(&3).is_none());
         assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn evictions_are_counted_and_routable() {
+        let mut cs: ContentStore<u32, u32> = ContentStore::new(2);
+        cs.insert(1, 10, 0);
+        cs.insert(2, 20, 0);
+        assert_eq!(cs.lru_evictions(), 0);
+        cs.insert(3, 30, 0); // displaces 1
+        cs.insert(4, 40, 0); // displaces 2
+        assert_eq!(cs.lru_evictions(), 2);
+        // Refreshing an existing key never evicts.
+        cs.insert(3, 31, 1);
+        assert_eq!(cs.lru_evictions(), 2);
+        // An external counter picks up where the private one left off.
+        let shared = Arc::new(Counter::new());
+        cs.set_eviction_counter(shared.clone());
+        cs.insert(5, 50, 2);
+        assert_eq!(shared.get(), 1);
+        assert_eq!(cs.lru_evictions(), 1);
+        assert_eq!(cs.len(), 2, "capacity bound holds across all of it");
     }
 
     #[test]

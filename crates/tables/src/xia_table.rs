@@ -59,6 +59,26 @@ impl XiaRouteTable {
         self.tables.get(&ty.to_wire())?.get(xid).copied()
     }
 
+    /// Every installed route as `(wire type, xid, next_hop)`, in
+    /// deterministic order (export path for compiled-table seeding).
+    pub fn routes(&self) -> Vec<(u32, Xid, XiaNextHop)> {
+        let mut out: Vec<_> = self
+            .tables
+            .iter()
+            .flat_map(|(&ty, t)| t.iter().map(move |(&xid, &nh)| (ty, xid, nh)))
+            .collect();
+        out.sort_unstable_by_key(|&(ty, xid, _)| (ty, xid));
+        out
+    }
+
+    /// Every declared principal type (wire form), in deterministic
+    /// order — includes types declared without routes.
+    pub fn types(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self.tables.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Total number of routes across all principal tables.
     pub fn len(&self) -> usize {
         self.tables.values().map(|t| t.len()).sum()

@@ -15,6 +15,9 @@
 //!   [`Trace`] of timestamped packets, plus [`WorkloadSpec::build_router`]
 //!   which seeds a [`dip_core::DipRouter`] with the covering routes and
 //!   CRAM-scale synthetic tables the trace assumes;
+//! * [`churn`] — seeded BGP-style route-update storms (flap pools,
+//!   hot-set locality) committed as `dip-routes` deltas and published as
+//!   tables-only snapshots while traffic runs;
 //! * [`openloop`] — offers a trace at a fixed rate to the threaded
 //!   [`dip_dataplane::Dataplane`] or a single-router baseline, recording
 //!   per-packet latency (from a deterministic virtual-time queue model
@@ -34,12 +37,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod churn;
 pub mod closedloop;
 pub mod models;
 pub mod openloop;
 pub mod slo;
 pub mod trace;
 
+pub use churn::{ChurnGen, ChurnSpec};
 pub use closedloop::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport, ExchangeKind};
 pub use models::{ArrivalGen, ArrivalModel, BoundedPareto, Zipf};
 pub use openloop::{run_open_loop, EngineKind, OpenLoopConfig, OpenLoopReport};

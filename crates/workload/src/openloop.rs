@@ -16,6 +16,7 @@
 
 use std::collections::VecDeque;
 
+use crate::churn::{ChurnGen, ChurnSpec};
 use crate::trace::{Trace, WorkloadSpec, INGRESS_PORT};
 use dip_dataplane::{Backpressure, Dataplane, DataplaneConfig};
 use dip_fnops::context::MacChoice;
@@ -48,6 +49,10 @@ pub struct OpenLoopConfig {
     pub queue_capacity: usize,
     /// The service-time model.
     pub model: TofinoModel,
+    /// When set, a route-update storm runs alongside the trace: deltas
+    /// commit on the trace's virtual clock and publish as tables-only
+    /// epoch swaps the engine picks up mid-run.
+    pub churn: Option<ChurnSpec>,
 }
 
 impl Default for OpenLoopConfig {
@@ -56,6 +61,7 @@ impl Default for OpenLoopConfig {
             engine: EngineKind::Router,
             queue_capacity: 1024,
             model: TofinoModel::tofino(),
+            churn: None,
         }
     }
 }
@@ -85,6 +91,12 @@ pub struct OpenLoopReport {
     pub trace_hash: u64,
     /// Rate-independent trace fingerprint (constant across one search).
     pub content_hash: u64,
+    /// Route deltas committed by the churn storm (0 when churn is off).
+    pub churn_deltas: u64,
+    /// Route updates inside those deltas.
+    pub churn_updates: u64,
+    /// Snapshot publications the engine picked up.
+    pub churn_epoch_swaps: u64,
 }
 
 impl OpenLoopReport {
@@ -152,7 +164,12 @@ fn account(snap: &Snapshot) -> (u64, u64, u64, u64) {
     (forwarded, consumed, dropped, queue_full)
 }
 
-fn finish(trace: &Trace, snap: &Snapshot, hist: &Histogram) -> OpenLoopReport {
+fn finish(
+    trace: &Trace,
+    snap: &Snapshot,
+    hist: &Histogram,
+    churn: Option<&ChurnGen>,
+) -> OpenLoopReport {
     let (forwarded, consumed, dropped, queue_full) = account(snap);
     let injected = trace.len() as u64;
     OpenLoopReport {
@@ -167,6 +184,9 @@ fn finish(trace: &Trace, snap: &Snapshot, hist: &Histogram) -> OpenLoopReport {
         identity_holds: forwarded + consumed + dropped == injected,
         trace_hash: trace.hash(),
         content_hash: trace.content_hash(),
+        churn_deltas: churn.map_or(0, |g| g.deltas()),
+        churn_updates: churn.map_or(0, |g| g.updates()),
+        churn_epoch_swaps: churn.map_or(0, |g| g.stats().epoch_swaps),
     }
 }
 
@@ -197,8 +217,19 @@ fn run_router(spec: &WorkloadSpec, trace: &Trace, cfg: &OpenLoopConfig) -> OpenL
         &latency_bounds(),
     );
     let mut router = spec.build_router(1);
+    let mut churn = cfg.churn.as_ref().map(|c| ChurnGen::new(spec, c));
+    if let Some(gen) = &mut churn {
+        gen.initial_snapshot().apply(router.state_mut());
+        gen.note_epoch_swap();
+    }
     let mut queue = ModelQueue::new(cfg.queue_capacity);
     for p in &trace.packets {
+        if let Some(gen) = &mut churn {
+            if let Some(snap) = gen.poll(p.at_ns) {
+                snap.apply(router.state_mut());
+                gen.note_epoch_swap();
+            }
+        }
         // Per-packet exact service: process first (the real pipeline
         // stats price the service time), but only if there is room.
         // Admission is decided on queue state alone, so refused packets
@@ -219,7 +250,7 @@ fn run_router(spec: &WorkloadSpec, trace: &Trace, cfg: &OpenLoopConfig) -> OpenL
         hist.observe(sojourn as u64);
         counters.record(verdict.outcome());
     }
-    finish(trace, &registry.snapshot(), &hist)
+    finish(trace, &registry.snapshot(), &hist, churn.as_ref())
 }
 
 fn run_dataplane(
@@ -264,7 +295,20 @@ fn run_dataplane(
     );
     let mut queues: Vec<ModelQueue> =
         (0..dp.workers()).map(|w| ModelQueue::new(dp.ring_capacity(w))).collect();
+    let mut churn = cfg.churn.as_ref().map(|c| ChurnGen::new(spec, c));
+    if let Some(gen) = &mut churn {
+        // Workers pick the compiled tables up at their next batch
+        // boundary; until then the legacy FIBs answer identically.
+        dp.publish_routes(gen.initial_snapshot());
+        gen.note_epoch_swap();
+    }
     for p in &trace.packets {
+        if let Some(gen) = &mut churn {
+            if let Some(snap) = gen.poll(p.at_ns) {
+                dp.publish_routes(snap);
+                gen.note_epoch_swap();
+            }
+        }
         let w = dp.shard_of(&p.bytes);
         let svc = service.get(&p.class).copied().unwrap_or(0.0);
         match queues[w].offer(p.at_ns as f64, svc) {
@@ -279,7 +323,7 @@ fn run_dataplane(
         }
     }
     let report = dp.shutdown();
-    finish(trace, &report.registry.snapshot(), &hist)
+    finish(trace, &report.registry.snapshot(), &hist, churn.as_ref())
 }
 
 #[cfg(test)]
@@ -324,6 +368,31 @@ mod tests {
         let r = run_open_loop(&small_spec(9), 200_000, 300, &cfg);
         assert!(r.identity_holds, "identity: {r:?}");
         assert_eq!(r.injected, 300);
+    }
+
+    /// The churn-identity smoke: a 1M-ups storm alongside the trace must
+    /// not break the accounting identity or reproducibility, on either
+    /// engine — epoch pickup timing may vary, outcomes may not.
+    #[test]
+    fn churn_storm_preserves_identity_and_determinism() {
+        for engine in [EngineKind::Router, EngineKind::Dataplane { workers: 2, batch_size: 16 }] {
+            let cfg = OpenLoopConfig {
+                engine,
+                churn: Some(crate::churn::ChurnSpec { rate_ups: 1_000_000, ..Default::default() }),
+                ..Default::default()
+            };
+            let a = run_open_loop(&small_spec(7), 200_000, 300, &cfg);
+            let b = run_open_loop(&small_spec(7), 200_000, 300, &cfg);
+            assert!(a.identity_holds, "{engine:?} identity under churn: {a:?}");
+            assert!(a.churn_deltas > 0, "the storm fired: {a:?}");
+            assert!(a.churn_updates >= a.churn_deltas);
+            assert!(a.churn_epoch_swaps > 0);
+            assert_eq!(
+                (a.forwarded, a.consumed, a.dropped, a.p50_ns, a.p99_ns, a.churn_deltas),
+                (b.forwarded, b.consumed, b.dropped, b.p50_ns, b.p99_ns, b.churn_deltas),
+                "{engine:?} must reproduce exactly under churn"
+            );
+        }
     }
 
     #[test]

@@ -77,6 +77,11 @@ pub struct Trial {
     pub passed: bool,
     /// Rate-dependent trace fingerprint.
     pub trace_hash: u64,
+    /// Route deltas committed by the churn storm during this trial
+    /// (0 when the trial ran quiescent).
+    pub churn_deltas: u64,
+    /// Route-table epochs the engine picked up during this trial.
+    pub churn_epoch_swaps: u64,
 }
 
 /// The search outcome.
@@ -116,6 +121,8 @@ fn evaluate(report: &OpenLoopReport, slo: &Slo) -> Trial {
         queue_full: report.queue_full,
         passed: report.p99_ns <= slo.p99_ns && drop_frac <= slo.max_drop_frac,
         trace_hash: report.trace_hash,
+        churn_deltas: report.churn_deltas,
+        churn_epoch_swaps: report.churn_epoch_swaps,
     }
 }
 

@@ -12,10 +12,22 @@
 //! the link comes back completes again. Phase 3 re-runs clean to show
 //! nothing was left wedged.
 //!
+//! Phase 4 changes the stressor: a route-update storm instead of an
+//! outage. A mixed-protocol trace runs through a single router with a
+//! deliberately tiny content store while a seeded `ChurnGen` flaps
+//! routes and swaps compiled-table epochs under it — and the memory
+//! story must stay boring: the content store and PIT never exceed their
+//! capacity bounds, the compiled tables never grow past the flap pool,
+//! and both eviction counters are exported through telemetry.
+//!
 //! Run with: `cargo run --example soak`
 
 use dip::sim::FaultConfig;
-use dip::workload::{run_closed_loop, ClosedLoopConfig, ExchangeKind, WorkloadSpec};
+use dip::telemetry::Registry;
+use dip::workload::trace::INGRESS_PORT;
+use dip::workload::{
+    run_closed_loop, ChurnGen, ChurnSpec, ClosedLoopConfig, ExchangeKind, Mix, WorkloadSpec,
+};
 
 fn main() {
     println!("=== soak: closed-loop NDN under a mid-run link outage ===\n");
@@ -75,6 +87,64 @@ fn main() {
         recovered.p99_rtt_ns as f64 / 1000.0
     );
     assert_eq!(recovered.completed, recovered.requests, "recovery must be total");
+
+    // Phase 4: memory stays bounded while routes churn. Small caches on
+    // purpose — the point is that eviction, not growth, absorbs pressure.
+    const CS_CAP: usize = 32;
+    let churn_spec = WorkloadSpec { seed: 42, mix: Mix::all(), ..Default::default() };
+    let mut gen =
+        ChurnGen::new(&churn_spec, &ChurnSpec { rate_ups: 500_000, ..Default::default() });
+    let mut router = churn_spec.build_router(0);
+    router.state_mut().enable_content_store(CS_CAP);
+    let registry = Registry::new();
+    router.attach_metrics(&registry, &[("soak", "churn")]);
+    gen.initial_snapshot().apply(router.state_mut());
+    gen.note_epoch_swap();
+
+    let trace = churn_spec.generate(200_000, 4_000);
+    let pit_cap = 65_536; // RouterState's PIT bound
+    let route_bound = gen.initial_snapshot().tables.as_ref().map_or(0, |t| t.route_count());
+    let (mut max_cs, mut max_pit, mut max_routes) = (0usize, 0usize, 0usize);
+    for p in &trace.packets {
+        if let Some(snap) = gen.poll(p.at_ns) {
+            max_routes = max_routes.max(snap.tables.as_ref().map_or(0, |t| t.route_count()));
+            snap.apply(router.state_mut());
+            gen.note_epoch_swap();
+        }
+        let mut buf = p.bytes.clone();
+        let _ = router.process(&mut buf, INGRESS_PORT, p.at_ns);
+        let st = router.state();
+        max_cs = max_cs.max(st.content_store.as_ref().map_or(0, |cs| cs.len()));
+        max_pit = max_pit.max(st.pit.len());
+    }
+    let stats = gen.stats();
+    let cs_evictions = router.state().content_store.as_ref().map_or(0, |cs| cs.lru_evictions());
+    println!(
+        "phase 4  churn     {} pkts under {} deltas ({} swaps): cs {:>2}/{} (evicted {}), \
+         pit {}/{}, routes peak {}",
+        trace.packets.len(),
+        stats.deltas_applied,
+        stats.epoch_swaps,
+        max_cs,
+        CS_CAP,
+        cs_evictions,
+        max_pit,
+        pit_cap,
+        max_routes
+    );
+    assert!(stats.deltas_applied > 0, "the storm must actually run");
+    assert_eq!(stats.full_rebuilds, 1, "churn applies deltas, never rebuilds");
+    assert!(max_cs <= CS_CAP, "content store exceeded its capacity bound");
+    assert!(max_pit <= pit_cap, "PIT exceeded its capacity bound");
+    assert!(
+        max_routes <= route_bound,
+        "compiled tables grew past the initial state + flap pool ({max_routes} > {route_bound})"
+    );
+    let rendered = registry.render_prometheus();
+    assert!(
+        rendered.contains("dip_cs_evictions_total") && rendered.contains("dip_pit_expired"),
+        "eviction counters must be exported"
+    );
 
     println!(
         "\nThe link died mid-soak and came back; {} in-window requests were lost,\n\

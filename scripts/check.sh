@@ -26,6 +26,11 @@
 #   load    — the workload harness: build dipload, run the workload
 #             determinism suite by name, MST smoke across every protocol
 #             writing BENCH_workload.json
+#   routes  — the compiled forwarding state: the dip-routes suite, the
+#             delta-equivalence property test by name, the 1M-route
+#             oracle in release (debug would take minutes), the churn
+#             identity smoke by name, and a threaded dipload-under-churn
+#             smoke asserting honest workers/churn JSON
 #   stat    — dipstat smoke: per-program dipopt facts for all six
 #             programs, including the XIA hot-path rewrite
 set -euo pipefail
@@ -99,6 +104,43 @@ if grep -v '"mst_pps":' BENCH_workload.json; then
     echo "error: BENCH_workload.json line missing mst_pps" >&2
     exit 1
 fi
+
+echo "== routes: delta-equivalence gate (named)"
+cargo test -q -p dip-routes --offline
+cargo test -q -p dip-routes --test delta_equivalence --offline \
+    snapshot_plus_delta_equals_rebuilt_snapshot
+
+echo "== routes: 1M-route oracle (release)"
+cargo test -q -p dip-routes --release --offline --test million_oracle \
+    million_route_oracle_v4_v6
+
+echo "== routes: churn smoke (named, debug)"
+# The accounting identity must hold while a storm swaps epochs
+# mid-trace, on both engines, twice with identical results.
+cargo test -q -p dip-workload --offline \
+    openloop::tests::churn_storm_preserves_identity_and_determinism
+
+echo "== routes: threaded dipload under churn"
+./target/release/dipload --protocol ipv4 --engine dataplane --workers 4 \
+    --churn 100000 --packets 512 --queue 64 --iters 8 > /tmp/dipload_churn.json
+for field in '"workers":4' '"churn_ups":100000' '"churn_deltas":' '"churn_epoch_swaps":'; do
+    if ! grep -q "$field" /tmp/dipload_churn.json; then
+        echo "error: dipload churn line missing $field" >&2
+        exit 1
+    fi
+done
+
+echo "== routes: BENCH_churn.json fields"
+# The committed bench file is regenerated by `cargo bench -p dip-bench
+# --bench churn` (which enforces the <=25% MST-degradation bound);
+# here we pin that the committed lines carry the contract's fields.
+for field in '"mode":"quiescent"' '"mode":"storm"' '"degradation_pct":' \
+             '"churn_deltas":' '"mst_pps":'; do
+    if ! grep -q "$field" BENCH_churn.json; then
+        echo "error: BENCH_churn.json missing $field" >&2
+        exit 1
+    fi
+done
 
 echo "== dipstat smoke (per-program dipopt facts)"
 cargo build -q --release --bin dipstat --offline

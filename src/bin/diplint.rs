@@ -18,6 +18,11 @@
 //!    ring (`crates/dataplane/src/ring.rs`), and every occurrence there
 //!    must be justified by a `SAFETY` invariant comment within the eight
 //!    preceding lines.
+//! 5. **route-delta** — compressed-table construction (`build_from`) and
+//!    incremental delta application (`apply_delta`) live only in
+//!    `crates/routes`. Everything else goes through `RouteStore`'s
+//!    `rebuild`/`commit` API, so there is exactly one implementation of
+//!    the copy-on-write table algebra to verify against the oracle.
 //!
 //! Violations print as `path:line: rule: text` and the process exits 1.
 //!
@@ -35,6 +40,14 @@ const ROUTE_SNAPSHOT_NEEDLES: [&str; 3] = [
     concat!("RouteSnapshot", "::default()"),
     concat!("RouteSnapshot", "::capture"),
     concat!("RouteSnapshot", " {"),
+];
+const ROUTE_DELTA_NEEDLES: [&str; 6] = [
+    concat!("fn ", "apply_delta"),
+    concat!(".", "apply_delta("),
+    concat!("::", "apply_delta"),
+    concat!("fn ", "build_from"),
+    concat!(".", "build_from("),
+    concat!("::", "build_from"),
 ];
 const QUANTILE_NEEDLE: &str = concat!("fn ", "quantile");
 const DROP_REASON_NEEDLE: &str = concat!("enum ", "DropReason");
@@ -76,12 +89,14 @@ fn has_token(line: &str, token: &str) -> bool {
 
 /// The places allowed to construct `RouteSnapshot` values: the control
 /// plane itself, the definition site, the epoch-cell plumbing (and its
-/// tests), and bench code.
+/// tests), bench code, and the churn generator (which *is* a synthetic
+/// control plane — it publishes tables-only snapshots under test load).
 fn route_snapshot_allowed(rel: &str) -> bool {
     rel.starts_with("crates/controlplane/")
         || rel.starts_with("crates/bench/")
         || rel == "crates/dataplane/src/snapshot.rs"
         || rel == "crates/dataplane/src/runtime.rs"
+        || rel == "crates/workload/src/churn.rs"
 }
 
 fn lint_file(root: &Path, path: &Path, violations: &mut Vec<Violation>) {
@@ -106,6 +121,11 @@ fn lint_file(root: &Path, path: &Path, violations: &mut Vec<Violation>) {
         if !route_snapshot_allowed(&rel) && ROUTE_SNAPSHOT_NEEDLES.iter().any(|n| line.contains(n))
         {
             report("route-snapshot");
+        }
+        if !rel.starts_with("crates/routes/")
+            && ROUTE_DELTA_NEEDLES.iter().any(|n| line.contains(n))
+        {
+            report("route-delta");
         }
         if !rel.starts_with("crates/telemetry/") {
             if line.contains(QUANTILE_NEEDLE) {

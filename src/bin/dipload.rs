@@ -17,11 +17,17 @@
 //! usage: dipload [--protocol all|ipv4,ndn,...] [--seed N] [--engine router|dataplane]
 //!                [--workers N] [--batch N] [--packets N] [--iters N]
 //!                [--lo PPS] [--hi PPS] [--queue N] [--p99-ns N] [--drop-frac F]
-//!                [--arrival uniform|poisson|onoff]
+//!                [--arrival uniform|poisson|onoff] [--churn UPS]
 //! ```
+//!
+//! `--churn UPS` runs every trial under a seeded route-update storm of
+//! `UPS` updates per virtual second (see `dip_workload::churn`); the
+//! emitted line then carries `churn_ups`, `churn_deltas`, and
+//! `churn_epoch_swaps` from the MST trial.
 
 use dip::workload::{
-    find_mst, ArrivalModel, EngineKind, Mix, MstConfig, OpenLoopConfig, TrafficClass, WorkloadSpec,
+    find_mst, ArrivalModel, ChurnSpec, EngineKind, Mix, MstConfig, OpenLoopConfig, TrafficClass,
+    WorkloadSpec,
 };
 use dip_bench::JsonLine;
 
@@ -37,6 +43,7 @@ struct Args {
     p99_ns: u64,
     drop_frac: f64,
     arrival: ArrivalModel,
+    churn_ups: Option<u64>,
 }
 
 fn usage(err: &str) -> ! {
@@ -45,7 +52,8 @@ fn usage(err: &str) -> ! {
         "usage: dipload [--protocol all|ipv4,ipv6,ndn,opt,xia,ndn_opt] [--seed N]\n\
          \u{20}              [--engine router|dataplane] [--workers N] [--batch N]\n\
          \u{20}              [--packets N] [--iters N] [--lo PPS] [--hi PPS] [--queue N]\n\
-         \u{20}              [--p99-ns N] [--drop-frac F] [--arrival uniform|poisson|onoff]"
+         \u{20}              [--p99-ns N] [--drop-frac F] [--arrival uniform|poisson|onoff]\n\
+         \u{20}              [--churn UPS]"
     );
     std::process::exit(2);
 }
@@ -63,6 +71,7 @@ fn parse_args() -> Args {
         p99_ns: 1_000_000,
         drop_frac: 0.001,
         arrival: ArrivalModel::Poisson,
+        churn_ups: None,
     };
     let (mut workers, mut batch) = (2usize, 32usize);
     let mut engine_name = String::from("router");
@@ -102,6 +111,9 @@ fn parse_args() -> Args {
             "--drop-frac" => {
                 args.drop_frac = value().parse().unwrap_or_else(|_| usage("bad --drop-frac"))
             }
+            "--churn" => {
+                args.churn_ups = Some(value().parse().unwrap_or_else(|_| usage("bad --churn")))
+            }
             "--arrival" => {
                 args.arrival = match value().as_str() {
                     "uniform" => ArrivalModel::Uniform,
@@ -129,6 +141,7 @@ fn main() {
         open_loop: OpenLoopConfig {
             engine: args.engine,
             queue_capacity: args.queue,
+            churn: args.churn_ups.map(|ups| ChurnSpec { rate_ups: ups, ..Default::default() }),
             ..Default::default()
         },
         packets_per_trial: args.packets,
@@ -154,6 +167,7 @@ fn main() {
             .str("engine", engine_label)
             .u64("workers", workers as u64)
             .u64("trials", result.trials.len() as u64)
+            .u64("churn_ups", args.churn_ups.unwrap_or(0))
             .u64("mst_pps", result.mst_pps);
         match result.mst_trial() {
             Some(t) => {
@@ -163,6 +177,8 @@ fn main() {
                     .u64("p99_ns", t.p99_ns)
                     .f64p("drop_frac", t.drop_frac, 6)
                     .u64("queue_full", t.queue_full)
+                    .u64("churn_deltas", t.churn_deltas)
+                    .u64("churn_epoch_swaps", t.churn_epoch_swaps)
                     .str("trace_hash", &format!("{:016x}", t.trace_hash));
             }
             None => {

@@ -93,6 +93,24 @@ fn route_snapshot_literal_and_capture_forms_are_flagged() {
 }
 
 #[test]
+fn route_delta_outside_routes_is_flagged() {
+    let call = format!("let t = table{}&store, &slots);\n", ".apply_delta(");
+    let s = Scratch::new("delta-call");
+    s.file("crates/dataplane/src/worker.rs", &call);
+    expect_violation(&s, "route-delta");
+
+    let def = format!("pub {}(&self) -> Self {{ self.clone() }}\n", "fn build_from");
+    let d = Scratch::new("delta-def");
+    d.file("crates/controlplane/src/tables.rs", &def);
+    expect_violation(&d, "route-delta");
+
+    // Both forms are legitimate inside the routes crate.
+    let ok = Scratch::new("delta-ok");
+    ok.file("crates/routes/src/lpm.rs", &format!("{call}{def}"));
+    expect_clean(&ok);
+}
+
+#[test]
 fn quantile_outside_telemetry_is_flagged() {
     let seeded = format!("pub {}(&self, q: f64) -> u64 {{ 0 }}\n", "fn quantile");
     let s = Scratch::new("quantile");
