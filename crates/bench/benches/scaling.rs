@@ -1,0 +1,122 @@
+//! Wall-clock worker-scaling sweep: protocol × workers → measured MST.
+//!
+//! Unlike `workload_slo` (virtual-time queue model over the Tofino
+//! service costs — every worker count reports the same modeled MST by
+//! construction), this sweep *measures*: real-time paced injection into
+//! the threaded dataplane, real worker threads, drops counted at real
+//! rings. Per `(protocol, workers)` point it runs
+//!
+//! 1. a saturation probe (`measure_capacity`): inject as fast as the
+//!    rings accept, read each worker's throughput against its thread CPU
+//!    time — `capacity_pps`, the statistic that stays meaningful when
+//!    the host has fewer cores than threads (DESIGN.md §15);
+//! 2. a wall MST bisection (`find_mst_wallclock`): highest offered rate
+//!    whose measured window keeps drops under the SLO — `wall_mst_pps`,
+//!    authoritative only when every thread owns a core.
+//!
+//! The committed `mst_pps` is whichever of the two the host can vouch
+//! for (`authority` says which); `host_cpus` and `oversubscribed` let a
+//! reader on different hardware re-judge the numbers. One main line per
+//! point plus one `wallclock_scaling_worker` line per worker with the
+//! batch-fill / ring-occupancy telemetry.
+//!
+//! Env knobs (smoke runs): `DIP_SCALING_PROTOS` (comma list),
+//! `DIP_SCALING_WORKERS` (comma list), `DIP_SCALING_WARMUP_MS`,
+//! `DIP_SCALING_MEASURE_MS`, `DIP_SCALING_MST_ITERS`.
+
+use dip_bench::JsonLine;
+use dip_workload::{
+    find_mst_wallclock, host_cpus, measure_capacity, Mix, TrafficClass, WallClockConfig,
+    WallMstConfig, WorkloadSpec,
+};
+use std::time::Duration;
+
+const SEED: u64 = 7;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_list(name: &str, default: &str) -> Vec<String> {
+    std::env::var(name)
+        .unwrap_or_else(|_| default.to_string())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn main() {
+    // OPT and NDN+OPT are excluded by default: their packets are
+    // MAC-verified (no nonce restamp on pool recycling) and NDN+OPT data
+    // consumes pre-seeded PIT state, so neither survives the cycled
+    // packet pool the paced driver uses.
+    let protos = env_list("DIP_SCALING_PROTOS", "ipv4,ipv6,ndn,xia");
+    let workers: Vec<usize> =
+        env_list("DIP_SCALING_WORKERS", "1,2,3,4").iter().filter_map(|w| w.parse().ok()).collect();
+    let warmup = Duration::from_millis(env_u64("DIP_SCALING_WARMUP_MS", 50));
+    let measure = Duration::from_millis(env_u64("DIP_SCALING_MEASURE_MS", 200));
+    let mst_iters = env_u64("DIP_SCALING_MST_ITERS", 8) as usize;
+
+    for proto in &protos {
+        let class =
+            TrafficClass::parse(proto).unwrap_or_else(|| panic!("unknown protocol {proto}"));
+        for &w in &workers {
+            let spec = WorkloadSpec { seed: SEED, mix: Mix::single(class), ..Default::default() };
+            let wallclock = WallClockConfig { workers: w, warmup, measure, ..Default::default() };
+            let cap = measure_capacity(&spec, &wallclock);
+            // Bracket the wall MST around the saturation probe's measured
+            // wall rate: lo is safely sustainable, hi safely not, so a
+            // handful of bisection steps converges instead of crawling
+            // down from a blind upper bound.
+            let lo_pps = ((cap.wall_pps / 16.0) as u64).max(10_000);
+            let hi_pps = ((cap.wall_pps * 2.5) as u64).max(lo_pps + 1);
+            let mst = find_mst_wallclock(
+                &spec,
+                &WallMstConfig {
+                    wallclock: wallclock.clone(),
+                    lo_pps,
+                    hi_pps,
+                    max_iters: mst_iters,
+                    ..Default::default()
+                },
+            );
+            let mst_trial = mst.trials.iter().rfind(|t| t.offered_pps == mst.mst_pps);
+            let drop_frac = mst_trial.map_or(1.0, |t| t.drop_frac());
+            // The committed number: capacity when threads outnumber
+            // cores, the bisected wall MST when they don't.
+            let authority = cap.authority();
+            let mst_pps =
+                if authority == "capacity" { cap.capacity_pps } else { mst.mst_pps as f64 };
+            JsonLine::new("wallclock_scaling")
+                .str("protocol", proto)
+                .u64("workers", w as u64)
+                .u64("seed", SEED)
+                .u64("mst_pps", mst_pps as u64)
+                .str("authority", authority)
+                .f64p("capacity_pps", cap.capacity_pps, 0)
+                .f64p("wall_pps", cap.wall_pps, 0)
+                .u64("wall_mst_pps", mst.mst_pps)
+                .f64p("mst_drop_frac", drop_frac, 6)
+                .u64("host_cpus", host_cpus() as u64)
+                .str("oversubscribed", if cap.oversubscribed() { "true" } else { "false" })
+                .str("cpu_time", if cap.cpu_time { "true" } else { "false" })
+                .u64("measure_ms", measure.as_millis() as u64)
+                .u64("processed", cap.processed)
+                .u64("pool_misses", cap.pool_misses)
+                .emit();
+            for (i, ww) in cap.per_worker.iter().enumerate() {
+                JsonLine::new("wallclock_scaling_worker")
+                    .str("protocol", proto)
+                    .u64("workers", w as u64)
+                    .u64("worker", i as u64)
+                    .u64("processed", ww.processed)
+                    .u64("cpu_ns", ww.cpu_ns.unwrap_or(0))
+                    .f64p("capacity_pps", ww.capacity_pps, 0)
+                    .f64p("mean_batch_fill", ww.mean_batch_fill, 2)
+                    .u64("ring_occupancy", ww.ring_occupancy as u64)
+                    .emit();
+            }
+        }
+    }
+}

@@ -41,6 +41,7 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod cputime;
 pub mod program;
 pub mod ring;
 pub mod router;
@@ -49,6 +50,7 @@ pub mod shard;
 pub mod snapshot;
 
 pub use batch::{PacketBatch, PacketSlot};
+pub use cputime::ThreadCpuProbe;
 pub use program::{Admission, CacheStats, ProgramCache};
 pub use router::DataplaneRouter;
 pub use runtime::{

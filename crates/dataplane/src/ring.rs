@@ -154,6 +154,14 @@ impl<T> RingProducer<T> {
         }
     }
 
+    /// Counts one backpressure drop without consuming a value — for
+    /// callers that recover the rejected value's allocation (buffer
+    /// pools) instead of letting [`RingProducer::push_or_drop`] free it.
+    /// The packet is still gone; only the buffer survives.
+    pub fn note_drop(&self) {
+        self.drops.inc();
+    }
+
     /// Total packets discarded under backpressure on this ring.
     pub fn drops(&self) -> u64 {
         self.drops.get()

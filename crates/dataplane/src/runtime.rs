@@ -29,8 +29,9 @@
 //! `dataplane_determinism` test at the workspace root).
 
 use crate::batch::PacketBatch;
+use crate::cputime::ThreadCpuProbe;
 use crate::program::{Admission, CacheStats, ProgramCache};
-use crate::ring::{spsc_counted, PushOutcome, RingConsumer, RingProducer};
+use crate::ring::{spsc, spsc_counted, PushOutcome, RingConsumer, RingProducer};
 use crate::shard::FlowShard;
 use crate::snapshot::{EpochCell, RouteSnapshot};
 use dip_core::{parse_packet, DipRouter, ParsedPacket, Verdict};
@@ -38,8 +39,52 @@ use dip_fnops::DropReason;
 use dip_tables::{Port, Ticks};
 use dip_telemetry::{Counter, Gauge, Histogram, OutcomeCounters, Registry, Snapshot};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+
+/// Bounded-spin budget before a waiting thread parks: both the blocked
+/// dispatcher (full ring) and an idle worker (empty ring) yield this many
+/// times first, so the common sub-microsecond wait never pays a park.
+const SPIN_YIELDS: u32 = 64;
+/// First park interval once the spin budget is exhausted.
+const PARK_MIN: std::time::Duration = std::time::Duration::from_micros(5);
+/// Park backoff cap: bounds both wasted CPU on long idles and the added
+/// latency when work arrives while the thread is parked.
+const PARK_MAX: std::time::Duration = std::time::Duration::from_micros(200);
+
+/// Spin-then-park wait state shared by the dispatcher's lossless submit
+/// and the workers' idle loop. Call [`Waiter::wait`] each time progress
+/// is impossible and [`Waiter::reset`] when it is made; the waiter yields
+/// through its spin budget, then parks with exponential backoff — so a
+/// starved peer gets the core back instead of competing with a spin loop
+/// (the pre-fix behavior that cost the 1-vs-2-worker sweep a full core).
+struct Waiter {
+    spins: u32,
+    park: std::time::Duration,
+    parks: u64,
+}
+
+impl Waiter {
+    fn new() -> Self {
+        Waiter { spins: 0, park: PARK_MIN, parks: 0 }
+    }
+
+    fn wait(&mut self) {
+        if self.spins < SPIN_YIELDS {
+            self.spins += 1;
+            std::thread::yield_now();
+        } else {
+            self.parks += 1;
+            std::thread::park_timeout(self.park);
+            self.park = (self.park * 2).min(PARK_MAX);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.spins = 0;
+        self.park = PARK_MIN;
+    }
+}
 
 /// One packet in flight between the dispatcher and a worker.
 #[derive(Debug)]
@@ -57,11 +102,15 @@ pub struct Job {
 /// What `submit` does when the owning worker's ring is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backpressure {
-    /// Spin until the worker frees a slot (lossless; the benchmark and
-    /// the determinism test use this).
+    /// Wait until the worker frees a slot (lossless; the determinism
+    /// test and finite-injection drains use this). The wait is a bounded
+    /// spin followed by parking — it must not burn a core, because on
+    /// oversubscribed hosts the core it would burn is the one the
+    /// blocked-on worker needs to free the slot.
     #[default]
     Block,
-    /// Count a ring drop and discard the packet (NIC semantics).
+    /// Count a ring drop and discard the packet (NIC semantics; the
+    /// wall-clock open-loop driver uses this so injection never stalls).
     Drop,
 }
 
@@ -188,6 +237,18 @@ struct WorkerHandle {
     handle: JoinHandle<WorkerReport>,
     /// `dip_ring_occupancy{worker=i}`; refreshed by `metrics_snapshot`.
     occupancy: Arc<Gauge>,
+    /// Consumer half of the buffer-recycle ring: the worker returns the
+    /// `Vec<u8>` displaced from each batch slot so [`Dataplane::submit_bytes`]
+    /// can refill it instead of allocating.
+    recycle: RingConsumer<Vec<u8>>,
+    /// Dispatcher-local buffer stash (ring-drop reclaims, recycle bursts).
+    stash: Vec<Vec<u8>>,
+    /// Live `dip_worker_processed_total{worker=i}` (readable mid-run).
+    processed: Arc<Counter>,
+    /// The worker thread's CPU clock, published once at spawn.
+    cpu: Arc<OnceLock<ThreadCpuProbe>>,
+    /// Unparks the worker (set after spawn; workers park when idle).
+    thread: std::thread::Thread,
 }
 
 /// A running multi-worker dataplane.
@@ -199,6 +260,11 @@ pub struct Dataplane {
     backpressure: Backpressure,
     seq: u64,
     submitted: u64,
+    /// `dip_submit_pool_misses_total`: `submit_bytes` calls that found no
+    /// recycled buffer and had to allocate. Bounded by the buffers in
+    /// flight (ring + batch), NOT by the packet count — the pin that the
+    /// steady-state submit path is allocation-free.
+    pool_misses: Arc<Counter>,
     registry: Registry,
 }
 
@@ -239,16 +305,41 @@ impl Dataplane {
             let routes = Arc::clone(&routes);
             let stop = Arc::clone(&stop);
             let (batch_size, record) = (config.batch_size, config.record_outcomes);
+            // Buffer-recycle ring (worker → dispatcher): sized to hold
+            // every buffer that can be in flight (job ring + batch), so
+            // a worker never has to discard a returnable allocation.
+            let (recycle_tx, recycle) =
+                spsc::<Vec<u8>>(producer.capacity() + config.batch_size.max(1));
+            let processed = Arc::clone(&telemetry.processed);
+            let cpu: Arc<OnceLock<ThreadCpuProbe>> = Arc::new(OnceLock::new());
+            let cpu_slot = Arc::clone(&cpu);
             let handle = std::thread::Builder::new()
                 .name(format!("dip-worker-{i}"))
                 .spawn(move || {
+                    let _ = cpu_slot.set(ThreadCpuProbe::current());
                     worker_loop(
-                        router, cache, consumer, routes, stop, batch_size, record, telemetry,
+                        router, cache, consumer, recycle_tx, routes, stop, batch_size, record,
+                        telemetry,
                     )
                 })
                 .expect("spawn dataplane worker");
-            workers.push(WorkerHandle { producer, handle, occupancy });
+            let thread = handle.thread().clone();
+            workers.push(WorkerHandle {
+                producer,
+                handle,
+                occupancy,
+                recycle,
+                stash: Vec::new(),
+                processed,
+                cpu,
+                thread,
+            });
         }
+        let pool_misses = registry.counter(
+            "dip_submit_pool_misses_total",
+            "submit_bytes calls that allocated because no recycled buffer was available",
+            &[],
+        );
         Dataplane {
             workers,
             shard: FlowShard::new(n),
@@ -257,6 +348,7 @@ impl Dataplane {
             backpressure: config.backpressure,
             seq: 0,
             submitted: 0,
+            pool_misses,
             registry,
         }
     }
@@ -281,6 +373,26 @@ impl Dataplane {
         self.workers[worker].producer.capacity()
     }
 
+    /// Cumulative CPU nanoseconds worker `worker`'s thread has spent
+    /// on-CPU, or `None` when the host exposes no per-thread clock (or
+    /// the worker has not yet published its probe). Sampled at window
+    /// boundaries by the wall-clock driver; costs one small /proc read.
+    pub fn worker_cpu_ns(&self, worker: usize) -> Option<u64> {
+        self.workers[worker].cpu.get()?.cpu_ns()
+    }
+
+    /// Live count of packets worker `worker` has executed — monotonic, so
+    /// window deltas are exact even while the dataplane runs.
+    pub fn worker_processed(&self, worker: usize) -> u64 {
+        self.workers[worker].processed.get()
+    }
+
+    /// `submit_bytes` calls that allocated because no recycled buffer was
+    /// available. Bounded by buffers in flight, not by packets submitted.
+    pub fn pool_misses(&self) -> u64 {
+        self.pool_misses.get()
+    }
+
     /// Flow-hashes `packet` to its worker and enqueues it. Returns the
     /// assigned sequence number, or `None` when the ring was full under
     /// [`Backpressure::Drop`].
@@ -289,7 +401,8 @@ impl Dataplane {
         let seq = self.seq;
         self.seq += 1;
         let mut job = Job { packet, seq, in_port, now };
-        let producer = &mut self.workers[shard].producer;
+        let w = &mut self.workers[shard];
+        let producer = &mut w.producer;
         match self.backpressure {
             // One call both enqueues-or-discards and keeps the drop
             // counter consistent with what actually happened to the job.
@@ -300,18 +413,87 @@ impl Dataplane {
                 }
                 PushOutcome::Dropped => None,
             },
-            Backpressure::Block => loop {
-                match producer.try_push(job) {
-                    Ok(()) => {
-                        self.submitted += 1;
-                        return Some(seq);
-                    }
-                    Err(back) => {
-                        job = back;
-                        std::thread::yield_now();
+            Backpressure::Block => {
+                let mut waiter = Waiter::new();
+                loop {
+                    match producer.try_push(job) {
+                        Ok(()) => {
+                            self.submitted += 1;
+                            return Some(seq);
+                        }
+                        Err(back) => {
+                            job = back;
+                            // On oversubscribed hosts the blocked-on worker
+                            // needs this core to free a slot: park instead
+                            // of spinning (satellite 3), and make sure the
+                            // worker is not itself parked idle.
+                            w.thread.unpark();
+                            waiter.wait();
+                        }
                     }
                 }
+            }
+        }
+    }
+
+    /// Like [`Dataplane::submit`], but copies `bytes` into a recycled
+    /// buffer instead of taking ownership of a caller allocation — the
+    /// steady-state hot path of the wall-clock driver. Buffers displaced
+    /// from worker batch slots come back over the per-worker recycle ring;
+    /// once every in-flight buffer exists, this path performs no
+    /// allocation at all (`dip_submit_pool_misses_total` stays bounded by
+    /// buffers in flight, which the allocation-free test pins).
+    pub fn submit_bytes(&mut self, bytes: &[u8], in_port: Port, now: Ticks) -> Option<u64> {
+        let shard = self.shard.shard_of(bytes);
+        let mut buf = {
+            let w = &mut self.workers[shard];
+            // Burst-drain the recycle ring into the stash so the ring
+            // never backs up against the worker.
+            while let Some(b) = w.recycle.try_pop() {
+                w.stash.push(b);
+            }
+            w.stash.pop().unwrap_or_else(|| {
+                self.pool_misses.inc();
+                Vec::new()
+            })
+        };
+        buf.clear();
+        buf.extend_from_slice(bytes);
+        let seq = self.seq;
+        self.seq += 1;
+        let mut job = Job { packet: buf, seq, in_port, now };
+        let w = &mut self.workers[shard];
+        match self.backpressure {
+            Backpressure::Drop => match w.producer.try_push(job) {
+                Ok(()) => {
+                    self.submitted += 1;
+                    Some(seq)
+                }
+                Err(back) => {
+                    // The packet is dropped (and counted), but its buffer
+                    // survives into the stash — overload must not turn
+                    // into an allocation storm.
+                    w.producer.note_drop();
+                    w.stash.push(back.packet);
+                    None
+                }
             },
+            Backpressure::Block => {
+                let mut waiter = Waiter::new();
+                loop {
+                    match w.producer.try_push(job) {
+                        Ok(()) => {
+                            self.submitted += 1;
+                            return Some(seq);
+                        }
+                        Err(back) => {
+                            job = back;
+                            w.thread.unpark();
+                            waiter.wait();
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -352,6 +534,11 @@ impl Dataplane {
     /// Drains the rings, stops the workers, and collects their reports.
     pub fn shutdown(self) -> DataplaneReport {
         self.stop.store(true, Ordering::Release);
+        // Idle workers may be parked; wake them so they observe `stop`
+        // without waiting out a park timeout.
+        for w in &self.workers {
+            w.thread.unpark();
+        }
         let mut reports = Vec::with_capacity(self.workers.len());
         let mut ring_drops = Vec::with_capacity(self.workers.len());
         for w in self.workers {
@@ -378,6 +565,11 @@ const BATCH_FILL_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
 /// deterministic), then moved into the worker.
 struct WorkerTelemetry {
     outcomes: OutcomeCounters,
+    /// Live packets-executed counter, also read by the dispatcher through
+    /// [`Dataplane::worker_processed`] for windowed rate measurement.
+    processed: Arc<Counter>,
+    /// Times the idle loop exhausted its spin budget and parked.
+    idle_parks: Arc<Counter>,
     batches: Arc<Counter>,
     batch_fill: Arc<Histogram>,
     fns_executed: Arc<Counter>,
@@ -397,6 +589,16 @@ impl WorkerTelemetry {
     fn register(registry: &Registry, labels: &[(&str, &str)]) -> Self {
         WorkerTelemetry {
             outcomes: OutcomeCounters::register(registry, labels),
+            processed: registry.counter(
+                "dip_worker_processed_total",
+                "Packets executed (live; readable mid-run)",
+                labels,
+            ),
+            idle_parks: registry.counter(
+                "dip_worker_idle_parks_total",
+                "Idle-loop parks after the spin budget was exhausted",
+                labels,
+            ),
             batches: registry.counter("dip_worker_batches_total", "Batches executed", labels),
             batch_fill: registry.histogram(
                 "dip_worker_batch_fill",
@@ -472,6 +674,7 @@ fn worker_loop(
     mut router: DipRouter,
     mut cache: ProgramCache,
     mut ring: RingConsumer<Job>,
+    mut recycle_tx: RingProducer<Vec<u8>>,
     routes: Arc<EpochCell<RouteSnapshot>>,
     stop: Arc<AtomicBool>,
     batch_size: usize,
@@ -482,6 +685,7 @@ fn worker_loop(
     let mut batch = PacketBatch::new(batch_size);
     let mut stats = WorkerStats::default();
     let mut outcomes = Vec::new();
+    let mut idle = Waiter::new();
     // Reused resolve-phase scratch: per-packet parse + program index
     // (`None` = malformed), filled in admission order each batch.
     let mut resolved: Vec<Option<(ParsedPacket, usize)>> = Vec::with_capacity(batch_size.max(1));
@@ -495,7 +699,14 @@ fn worker_loop(
         while !batch.is_full() {
             match ring.try_pop() {
                 Some(job) => {
-                    batch.adopt(job.packet, job.seq, job.in_port, job.now);
+                    // The buffer displaced from the slot goes back to the
+                    // dispatcher for refilling; the recycle ring is sized
+                    // for all buffers in flight, so this only fails once
+                    // the dispatcher has stopped draining it (shutdown),
+                    // when freeing is the right outcome anyway.
+                    if let Some(old) = batch.adopt(job.packet, job.seq, job.in_port, job.now) {
+                        let _ = recycle_tx.try_push(old);
+                    }
                 }
                 None => break,
             }
@@ -504,9 +715,14 @@ fn worker_loop(
             if stop.load(Ordering::Acquire) && ring.is_empty() {
                 break;
             }
-            std::thread::yield_now();
+            let before = idle.parks;
+            idle.wait();
+            if idle.parks > before {
+                telemetry.idle_parks.inc();
+            }
             continue;
         }
+        idle.reset();
         stats.batches += 1;
         telemetry.batches.inc();
         telemetry.batch_fill.observe(batch.len() as u64);
@@ -565,6 +781,7 @@ fn worker_loop(
                 });
             }
         }
+        telemetry.processed.add(batch.len() as u64);
         batch.recycle_all();
         telemetry.sync_cache(cache.stats());
     }
@@ -773,6 +990,95 @@ mod tests {
         assert_eq!(snap.get("dip_opt_ops_eliminated_total"), 0);
         let plain_snap = plain.registry.snapshot();
         assert_eq!(plain_snap.get("dip_programs_optimized_total"), 0);
+    }
+
+    #[test]
+    fn submit_bytes_steady_state_is_allocation_free() {
+        // 20k packets through a 1-worker dataplane: allocations on the
+        // submit path are bounded by buffers in flight (ring + batch +
+        // slack for recycle-ring latency), NOT by the packet count. This
+        // is the satellite-2 pin: the old path cloned every packet.
+        let config =
+            DataplaneConfig { workers: 1, batch_size: 8, ring_capacity: 64, ..Default::default() };
+        let mut dp = Dataplane::start(config, factory);
+        let in_flight_bound = (dp.ring_capacity(0) + 8 + 1) as u64;
+        for i in 0..20_000 {
+            assert!(dp.submit_bytes(&dip32(i), 0, u64::from(i)).is_some());
+        }
+        let misses = dp.pool_misses();
+        assert!(
+            misses <= in_flight_bound,
+            "pool misses {misses} exceed the in-flight buffer bound {in_flight_bound} \
+             over 20000 packets — the hot path is allocating per packet"
+        );
+        let report = dp.shutdown();
+        assert_eq!(report.total_processed(), 20_000);
+    }
+
+    #[test]
+    fn submit_bytes_drop_overload_reclaims_buffers() {
+        // Tiny ring + Drop backpressure: most packets die at the ring, but
+        // their buffers must come back to the stash — overload must not
+        // become an allocation storm either.
+        let config = DataplaneConfig {
+            workers: 1,
+            batch_size: 4,
+            ring_capacity: 4,
+            backpressure: Backpressure::Drop,
+            ..Default::default()
+        };
+        let mut dp = Dataplane::start(config, factory);
+        let in_flight_bound = (dp.ring_capacity(0) + 4 + 1) as u64;
+        let mut accepted = 0u64;
+        for i in 0..10_000 {
+            if dp.submit_bytes(&dip32(i), 0, 0).is_some() {
+                accepted += 1;
+            }
+        }
+        assert!(
+            dp.pool_misses() <= in_flight_bound,
+            "overload allocated per packet: {} misses",
+            dp.pool_misses()
+        );
+        let report = dp.shutdown();
+        assert_eq!(report.total_processed(), accepted);
+        assert_eq!(report.total_ring_drops() + accepted, 10_000);
+    }
+
+    #[test]
+    fn blocking_submit_bytes_is_lossless_through_a_tiny_ring() {
+        // Block backpressure with a ring far smaller than the workload:
+        // the spin-then-park wait must neither lose packets nor deadlock
+        // against a parked worker.
+        let config =
+            DataplaneConfig { workers: 2, batch_size: 2, ring_capacity: 2, ..Default::default() };
+        let mut dp = Dataplane::start(config, factory);
+        for i in 0..3_000 {
+            assert!(dp.submit_bytes(&dip32(i), 0, 0).is_some());
+        }
+        let report = dp.shutdown();
+        assert_eq!(report.total_processed(), 3_000);
+        assert_eq!(report.total_ring_drops(), 0);
+    }
+
+    #[test]
+    fn worker_processed_counter_is_live_and_cpu_probe_samples() {
+        let mut dp = Dataplane::start(DataplaneConfig::default(), factory);
+        for i in 0..500 {
+            dp.submit_bytes(&dip32(i), 0, 0);
+        }
+        // Drain, then the live counter must reach the submitted total.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while dp.worker_processed(0) < 500 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(dp.worker_processed(0), 500);
+        #[cfg(target_os = "linux")]
+        assert!(
+            dp.worker_cpu_ns(0).is_some(),
+            "Linux must expose the per-thread CPU clock for capacity accounting"
+        );
+        dp.shutdown();
     }
 
     #[test]

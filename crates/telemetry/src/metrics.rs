@@ -114,6 +114,19 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Mean observation (`sum / count`), `0.0` when empty. Exact — unlike
+    /// [`Histogram::quantile`] it uses the true sum, not bucket bounds —
+    /// so reports like the scaling bench's mean batch fill carry no
+    /// bucketing error.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
     /// The configured bucket upper bounds (without `+Inf`).
     pub fn bounds(&self) -> &[u64] {
         &self.bounds
@@ -181,6 +194,16 @@ impl std::fmt::Debug for Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let h = Histogram::new(&[1, 10, 100]);
+        assert_eq!(h.mean(), 0.0, "empty histogram has zero mean");
+        h.observe(3);
+        h.observe(7);
+        h.observe(50);
+        assert!((h.mean() - 20.0).abs() < 1e-12, "mean uses the true sum, not bucket bounds");
+    }
 
     #[test]
     fn counter_counts() {

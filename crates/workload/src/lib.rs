@@ -23,6 +23,11 @@
 //!   per-packet latency (from a deterministic virtual-time queue model
 //!   over the [`dip_sim::TofinoModel`] service times) and counting
 //!   injection-side overload through the shared drop taxonomy;
+//! * [`wallclock`] — the *measuring* counterpart to [`openloop`]'s
+//!   model (DESIGN.md §15): real-time paced injection into the threaded
+//!   dataplane, warmup-then-window registry deltas, per-worker capacity
+//!   against thread CPU time, and [`wallclock::find_mst_wallclock`]
+//!   bisecting on the measured drop fraction;
 //! * [`closedloop`] — request/response rounds over [`dip_sim`]'s
 //!   discrete-event network for NDN interest/data and NDN+OPT sessions;
 //! * [`slo`] — the SLO evaluator and the max-sustainable-throughput
@@ -43,6 +48,7 @@ pub mod models;
 pub mod openloop;
 pub mod slo;
 pub mod trace;
+pub mod wallclock;
 
 pub use churn::{ChurnGen, ChurnSpec};
 pub use closedloop::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport, ExchangeKind};
@@ -50,3 +56,7 @@ pub use models::{ArrivalGen, ArrivalModel, BoundedPareto, Zipf};
 pub use openloop::{run_open_loop, EngineKind, OpenLoopConfig, OpenLoopReport};
 pub use slo::{find_mst, MstConfig, MstResult, Slo, Trial};
 pub use trace::{Mix, Trace, TracePacket, TrafficClass, WorkloadSpec};
+pub use wallclock::{
+    find_mst_wallclock, host_cpus, measure_capacity, run_wallclock_finite, run_wallclock_paced,
+    WallClockConfig, WallClockReport, WallMstConfig, WallMstResult, WallTrial, WorkerWindow,
+};

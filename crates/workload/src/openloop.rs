@@ -17,9 +17,8 @@
 use std::collections::VecDeque;
 
 use crate::churn::{ChurnGen, ChurnSpec};
-use crate::trace::{Trace, WorkloadSpec, INGRESS_PORT};
+use crate::trace::{Trace, TrafficClass, WorkloadSpec, INGRESS_PORT};
 use dip_dataplane::{Backpressure, Dataplane, DataplaneConfig};
-use dip_fnops::context::MacChoice;
 use dip_sim::TofinoModel;
 use dip_telemetry::{DropReason, Histogram, OutcomeCounters, PacketOutcome, Registry, Snapshot};
 
@@ -244,13 +243,43 @@ fn run_router(spec: &WorkloadSpec, trace: &Trace, cfg: &OpenLoopConfig) -> OpenL
         }
         let mut buf = p.bytes.clone();
         let (verdict, stats) = router.process(&mut buf, INGRESS_PORT, p.at_ns);
-        let service = cfg.model.process_ns(&stats, p.bytes.len(), MacChoice::TwoRoundEm);
+        // Price the service with the MAC the router actually runs (set by
+        // the spec), not a hardcoded implementation.
+        let mac = router.state().mac_choice;
+        let service = cfg.model.process_ns(&stats, p.bytes.len(), mac);
         let sojourn =
             queue.offer(arrival, service).expect("capacity was checked before processing");
         hist.observe(sojourn as u64);
         counters.record(verdict.outcome());
     }
     finish(trace, &registry.snapshot(), &hist, churn.as_ref())
+}
+
+/// Calibrates one modeled service time per traffic class by running a
+/// representative packet of each class through a scratch router and
+/// pricing the resulting pipeline stats.
+///
+/// The MAC implementation is read off the built router
+/// (`RouterState::mac_choice`, set by [`WorkloadSpec::mac_choice`]) — the
+/// old code hardcoded 2EM here, which silently priced an AES-configured
+/// experiment as if the resubmit pass were free. With the fix, an AES
+/// spec raises the service time of MAC-verifying classes (OPT, NDN+OPT)
+/// while plain forwarding classes are unaffected (pinned by test).
+pub(crate) fn calibrate_service(
+    spec: &WorkloadSpec,
+    model: &TofinoModel,
+) -> std::collections::HashMap<TrafficClass, f64> {
+    let mut scratch = spec.build_router(u64::MAX);
+    let mac = scratch.state().mac_choice;
+    let mut gen = crate::trace::TraceGen::new(spec);
+    let mut service = std::collections::HashMap::new();
+    for class in spec.mix.classes() {
+        let bytes = gen.packet_for(class);
+        let mut buf = bytes.clone();
+        let (_, stats) = scratch.process(&mut buf, INGRESS_PORT, 0);
+        service.insert(class, model.process_ns(&stats, bytes.len(), mac));
+    }
+    service
 }
 
 fn run_dataplane(
@@ -264,15 +293,7 @@ fn run_dataplane(
     // the threaded workers cannot report per-packet pipeline stats
     // synchronously, and within a class the FN chain (hence the cost) is
     // shape-stable.
-    let mut scratch = spec.build_router(u64::MAX);
-    let mut gen = crate::trace::TraceGen::new(spec);
-    let mut service = std::collections::HashMap::new();
-    for class in spec.mix.classes() {
-        let bytes = gen.packet_for(class);
-        let mut buf = bytes.clone();
-        let (_, stats) = scratch.process(&mut buf, INGRESS_PORT, 0);
-        service.insert(class, cfg.model.process_ns(&stats, bytes.len(), MacChoice::TwoRoundEm));
-    }
+    let service = calibrate_service(spec, &cfg.model);
 
     let mut dp = Dataplane::start(
         DataplaneConfig {
@@ -317,8 +338,10 @@ fn run_dataplane(
                 hist.observe(sojourn as u64);
                 // Block backpressure: the real ring may briefly lag the
                 // model, but never drops — every admitted packet is
-                // processed and counted by its worker.
-                dp.submit(p.bytes.clone(), INGRESS_PORT, p.at_ns);
+                // processed and counted by its worker. `submit_bytes`
+                // refills a recycled buffer instead of cloning the trace
+                // packet (the satellite-2 allocation fix).
+                dp.submit_bytes(&p.bytes, INGRESS_PORT, p.at_ns);
             }
         }
     }
@@ -393,6 +416,38 @@ mod tests {
                 "{engine:?} must reproduce exactly under churn"
             );
         }
+    }
+
+    #[test]
+    fn calibration_prices_each_class_with_its_actual_mac() {
+        use dip_fnops::context::MacChoice;
+        let model = TofinoModel::tofino();
+        let spec = WorkloadSpec {
+            mix: Mix::new(vec![(TrafficClass::Ipv4, 1), (TrafficClass::Opt, 1)]),
+            ..small_spec(5)
+        };
+        let em = calibrate_service(&spec, &model);
+        assert_ne!(
+            em[&TrafficClass::Ipv4],
+            em[&TrafficClass::Opt],
+            "ipv4 and opt run different FN chains; their calibrated services must differ"
+        );
+        // An AES-configured spec pays the resubmit pass — but only on the
+        // MAC-verifying class. The old hardcoded-2EM calibration priced
+        // both specs identically.
+        let aes = WorkloadSpec { mac_choice: MacChoice::Aes, ..spec.clone() };
+        let aes = calibrate_service(&aes, &model);
+        assert_eq!(
+            aes[&TrafficClass::Ipv4],
+            em[&TrafficClass::Ipv4],
+            "ipv4 runs no MAC; the cipher choice must not move its price"
+        );
+        assert!(
+            aes[&TrafficClass::Opt] > em[&TrafficClass::Opt],
+            "AES must price OPT above 2EM (resubmit pass): {} vs {}",
+            aes[&TrafficClass::Opt],
+            em[&TrafficClass::Opt]
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::models::{ArrivalGen, ArrivalModel, BoundedPareto, Zipf};
 use dip_core::DipRouter;
 use dip_crypto::DetRng;
+use dip_fnops::context::MacChoice;
 use dip_protocols::opt::OptSession;
 use dip_protocols::{ip, ndn, ndn_opt, xia};
 use dip_tables::fib::NextHop;
@@ -180,6 +181,11 @@ pub struct WorkloadSpec {
     /// plays the producer side; traces reuse exchange names modulo this,
     /// so keep it above the per-trial packet count).
     pub pit_preseed: usize,
+    /// Which block cipher backs `F_MAC`/`F_mark` on generated routers.
+    /// Service-time calibration reads this off the built router, so an
+    /// AES-configured spec prices MAC-verifying classes with the resubmit
+    /// pass while plain forwarding classes stay untouched.
+    pub mac_choice: MacChoice,
 }
 
 impl Default for WorkloadSpec {
@@ -195,6 +201,7 @@ impl Default for WorkloadSpec {
             payload_len: 64,
             table_size: 10_000,
             pit_preseed: 1 << 14,
+            mac_choice: MacChoice::default(),
         }
     }
 }
@@ -447,6 +454,7 @@ impl WorkloadSpec {
         // suite pins that this changes no verdict, only the cost model.
         r.config_mut().optimize = true;
         let st = r.state_mut();
+        st.mac_choice = self.mac_choice;
         st.ipv4_fib.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop::port(1));
         st.ipv4_fib.populate_synthetic(self.table_size, self.seed ^ 0x7634);
         st.ipv6_fib.add_route(Ipv6Addr::new([0xfdaa, 0, 0, 0, 0, 0, 0, 0]), 16, NextHop::port(2));

@@ -1,0 +1,655 @@
+//! Wall-clock measurement: real-time paced injection into the threaded
+//! [`Dataplane`], measured (not modeled) sustained throughput, and honest
+//! accounting on oversubscribed hosts.
+//!
+//! The modeled engine ([`crate::openloop`]) prices every packet with the
+//! [`dip_sim::TofinoModel`] pipeline cost and replays arrivals in virtual
+//! time — deterministic, but its MST is a statement about the *model*:
+//! every worker count reports the same number because virtual servers
+//! scale for free. This module is the other half of the methodology
+//! (DESIGN.md §15): packets are injected on the real clock, workers run
+//! on real cores, and throughput is what the registry counted per second
+//! of wall time.
+//!
+//! Three drivers share the machinery:
+//!
+//! * [`run_wallclock_finite`] — paced injection of a finite trace under
+//!   lossless [`Backpressure::Block`], drained to completion. The only
+//!   mode where the accounting identity (`forwarded + consumed + drops
+//!   == injected`) is exact, so it is what the identity and determinism
+//!   tests drive;
+//! * [`run_wallclock_paced`] — open-loop rate offering under
+//!   [`Backpressure::Drop`]: absolute per-packet deadlines, catch-up
+//!   bursts when the injector falls behind, ring-full drops counted
+//!   through the shared taxonomy, and a warmup window before the
+//!   measured window. Injection never stalls on the device — the
+//!   open-loop contract;
+//! * [`measure_capacity`] — saturation probing under `Block`: inject as
+//!   fast as the rings accept and read each worker's throughput against
+//!   its *thread CPU time* ([`dip_dataplane::ThreadCpuProbe`]).
+//!
+//! ## Wall vs capacity — the oversubscription problem
+//!
+//! `wall_pps` divides packets by wall seconds. On a host with fewer
+//! cores than threads (workers + dispatcher) that measures the host, not
+//! the software: adding workers cannot raise it, because they time-slice
+//! one core. `capacity_pps` divides each worker's packets by the CPU
+//! seconds its thread actually ran, then sums — the rate the same binary
+//! sustains given one core per worker, and the statistic in which lock
+//! contention, shared cache lines, or allocation storms still show up as
+//! sub-linear scaling. When every worker owns a core the two agree; the
+//! reports carry both plus [`host_cpus`] so readers can tell which one
+//! is authoritative ([`WallTrial::authority`]).
+
+use crate::churn::{ChurnGen, ChurnSpec};
+use crate::trace::{TrafficClass, WorkloadSpec, INGRESS_PORT};
+use dip_dataplane::{Backpressure, Dataplane, DataplaneConfig};
+use dip_telemetry::Snapshot;
+use std::time::{Duration, Instant};
+
+/// Largest injection burst between deadline checks, so catch-up after a
+/// scheduling hiccup cannot monopolize the dispatcher for milliseconds.
+const MAX_BURST: u64 = 1024;
+
+/// Restamp counters start here — far above the trace generator's
+/// distinctness counter, so recycled NDN interests never collide with
+/// first-cycle nonces.
+const RESTAMP_BASE: u64 = 1 << 32;
+
+/// Logical CPUs available to this process (affinity-aware).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Wall-clock engine knobs.
+#[derive(Debug, Clone)]
+pub struct WallClockConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Packets per execution batch.
+    pub batch_size: usize,
+    /// Per-worker ring capacity.
+    pub ring_capacity: usize,
+    /// Warmup before the measured window (caches, buffer pool, branch
+    /// predictors; excluded from every reported number).
+    pub warmup: Duration,
+    /// The measured window.
+    pub measure: Duration,
+    /// Pre-generated packets cycled by the paced/saturation drivers.
+    pub pool_size: usize,
+    /// When set, a route-update storm runs on the wall clock alongside
+    /// injection (paced/saturation) or on trace virtual time (finite).
+    pub churn: Option<ChurnSpec>,
+}
+
+impl Default for WallClockConfig {
+    fn default() -> Self {
+        WallClockConfig {
+            workers: 1,
+            batch_size: 32,
+            ring_capacity: 1024,
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(200),
+            pool_size: 8192,
+            churn: None,
+        }
+    }
+}
+
+/// One worker's slice of a measured window.
+#[derive(Debug, Clone)]
+pub struct WorkerWindow {
+    /// Packets this worker executed inside the window.
+    pub processed: u64,
+    /// CPU nanoseconds its thread ran inside the window (`None` when the
+    /// host exposes no per-thread clock).
+    pub cpu_ns: Option<u64>,
+    /// `processed / cpu seconds` (falls back to the wall rate without a
+    /// CPU clock).
+    pub capacity_pps: f64,
+    /// Mean packets per executed batch over the whole run so far — the
+    /// batching-efficiency telemetry the scaling sweep commits.
+    pub mean_batch_fill: f64,
+    /// Ring occupancy sampled at the window's end.
+    pub ring_occupancy: usize,
+}
+
+/// What one wall-clock measurement window observed.
+#[derive(Debug, Clone)]
+pub struct WallTrial {
+    /// The offered rate (0 for saturation probing).
+    pub offered_pps: u64,
+    /// Wall nanoseconds the measured window actually spanned.
+    pub wall_ns: u64,
+    /// Packets offered to `submit_bytes` inside the window.
+    pub offered: u64,
+    /// Packets the rings accepted inside the window.
+    pub accepted: u64,
+    /// Packets workers executed inside the window.
+    pub processed: u64,
+    /// Registry delta: forwarded verdicts.
+    pub forwarded: u64,
+    /// Registry delta: locally consumed packets.
+    pub consumed: u64,
+    /// Registry delta: drops, all reasons.
+    pub dropped: u64,
+    /// Registry delta: ring-full (`queue_full`) drops alone.
+    pub queue_full: u64,
+    /// `processed / wall seconds`.
+    pub wall_pps: f64,
+    /// Summed per-worker `processed / cpu seconds`.
+    pub capacity_pps: f64,
+    /// Whether every worker's CPU clock was readable (when false,
+    /// `capacity_pps` degraded to wall accounting for some worker).
+    pub cpu_time: bool,
+    /// Logical CPUs available to the process during the run.
+    pub host_cpus: usize,
+    /// `submit_bytes` allocations over the whole run — bounded by buffers
+    /// in flight when the recycle path works.
+    pub pool_misses: u64,
+    /// Per-worker telemetry.
+    pub per_worker: Vec<WorkerWindow>,
+    /// Route deltas the churn storm committed (0 when quiescent).
+    pub churn_deltas: u64,
+    /// Snapshot publications the engine picked up.
+    pub churn_epoch_swaps: u64,
+}
+
+impl WallTrial {
+    /// Fraction of offered packets dropped inside the window.
+    pub fn drop_frac(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+
+    /// Whether threads outnumber cores (workers + the dispatcher against
+    /// [`WallTrial::host_cpus`]).
+    pub fn oversubscribed(&self) -> bool {
+        self.per_worker.len() + 1 > self.host_cpus
+    }
+
+    /// Which throughput number is authoritative on this host: `"wall"`
+    /// when every thread had a core, `"capacity"` when threads
+    /// time-sliced (wall throughput then measures the host, not the
+    /// software — DESIGN.md §15).
+    pub fn authority(&self) -> &'static str {
+        if self.oversubscribed() && self.cpu_time {
+            "capacity"
+        } else {
+            "wall"
+        }
+    }
+
+    /// The authoritative sustained throughput per [`WallTrial::authority`].
+    pub fn sustained_pps(&self) -> f64 {
+        if self.authority() == "capacity" {
+            self.capacity_pps
+        } else {
+            self.wall_pps
+        }
+    }
+}
+
+/// The finite lossless run's report — the only wall-clock mode where the
+/// accounting identity is exact (nothing is in flight at the end).
+#[derive(Debug, Clone)]
+pub struct WallClockReport {
+    /// Packets injected (all accepted; `Block` never drops at the ring).
+    pub injected: u64,
+    /// Forwarded verdicts.
+    pub forwarded: u64,
+    /// Locally consumed packets.
+    pub consumed: u64,
+    /// Drops, all reasons.
+    pub dropped: u64,
+    /// Ring-full drops (must be 0 under `Block`).
+    pub queue_full: u64,
+    /// Whether `forwarded + consumed + dropped == injected`.
+    pub identity_holds: bool,
+    /// Wall nanoseconds from first injection to full drain.
+    pub wall_ns: u64,
+    /// `submit_bytes` allocations — bounded by buffers in flight.
+    pub pool_misses: u64,
+    /// Route deltas the churn storm committed.
+    pub churn_deltas: u64,
+    /// Snapshot publications the engine picked up.
+    pub churn_epoch_swaps: u64,
+}
+
+/// A packet pool the paced drivers cycle through.
+struct Pool {
+    packets: Vec<(TrafficClass, Vec<u8>)>,
+    restamp: u64,
+}
+
+impl Pool {
+    fn new(spec: &WorkloadSpec, size: usize) -> Pool {
+        let trace = spec.generate(1_000_000, size.max(1));
+        Pool {
+            packets: trace.packets.into_iter().map(|p| (p.class, p.bytes)).collect(),
+            restamp: RESTAMP_BASE,
+        }
+    }
+
+    /// The packet for injection number `idx`, cycling the pool. Recycled
+    /// NDN interests get a fresh nonce (the trace generator's payload
+    /// tail feeds the nonce hash), so repeats aggregate in the PIT
+    /// instead of tripping duplicate suppression. MAC-verified classes
+    /// (OPT, NDN+OPT) cannot be restamped and are left byte-identical —
+    /// callers that cycle those classes must accept replay semantics.
+    fn packet(&mut self, idx: u64) -> &[u8] {
+        let len = self.packets.len() as u64;
+        let i = (idx % len) as usize;
+        let (class, bytes) = &mut self.packets[i];
+        if idx >= len && *class == TrafficClass::Ndn {
+            self.restamp += 1;
+            let n = bytes.len();
+            bytes[n - 8..].copy_from_slice(&self.restamp.to_be_bytes());
+        }
+        bytes
+    }
+}
+
+fn dataplane_config(cfg: &WallClockConfig, backpressure: Backpressure) -> DataplaneConfig {
+    DataplaneConfig {
+        workers: cfg.workers.max(1),
+        batch_size: cfg.batch_size.max(1),
+        ring_capacity: cfg.ring_capacity,
+        backpressure,
+        ..Default::default()
+    }
+}
+
+/// Identity terms from a registry snapshot.
+fn account(snap: &Snapshot) -> (u64, u64, u64, u64) {
+    (
+        snap.sum_where("dip_packets_total", &[("outcome", "forwarded")]),
+        snap.sum_where("dip_packets_total", &[("outcome", "consumed")]),
+        snap.get("dip_drops_total"),
+        snap.sum_where("dip_drops_total", &[("reason", "queue_full")]),
+    )
+}
+
+/// Everything sampled at a window boundary.
+struct Mark {
+    snap: Snapshot,
+    offered: u64,
+    accepted: u64,
+    per_worker_processed: Vec<u64>,
+    per_worker_cpu: Vec<Option<u64>>,
+    at: Instant,
+}
+
+fn mark(dp: &Dataplane, offered: u64) -> Mark {
+    let per_worker_processed = (0..dp.workers()).map(|i| dp.worker_processed(i)).collect();
+    let per_worker_cpu = (0..dp.workers()).map(|i| dp.worker_cpu_ns(i)).collect();
+    let snap = dp.metrics_snapshot();
+    let (f, c, d, _) = account(&snap);
+    Mark {
+        snap,
+        offered,
+        accepted: f + c + d,
+        per_worker_processed,
+        per_worker_cpu,
+        at: Instant::now(),
+    }
+}
+
+fn window(
+    dp: &Dataplane,
+    offered_pps: u64,
+    start: &Mark,
+    end: &Mark,
+    churn: Option<&ChurnGen>,
+) -> WallTrial {
+    let wall_ns = end.at.duration_since(start.at).as_nanos() as u64;
+    let wall_s = (wall_ns as f64 / 1e9).max(1e-9);
+    let (f0, c0, d0, q0) = account(&start.snap);
+    let (f1, c1, d1, q1) = account(&end.snap);
+    let mut per_worker = Vec::with_capacity(dp.workers());
+    let mut cpu_time = true;
+    let mut capacity_pps = 0.0;
+    let mut processed = 0u64;
+    let occupancy = dp.ring_occupancy();
+    for (i, &occ) in occupancy.iter().enumerate().take(dp.workers()) {
+        let p = end.per_worker_processed[i] - start.per_worker_processed[i];
+        processed += p;
+        let cpu_ns = match (start.per_worker_cpu[i], end.per_worker_cpu[i]) {
+            (Some(a), Some(b)) if b >= a => Some(b - a),
+            _ => None,
+        };
+        let capacity = match cpu_ns {
+            Some(ns) if ns > 0 => p as f64 / (ns as f64 / 1e9),
+            Some(_) => 0.0,
+            None => {
+                cpu_time = false;
+                p as f64 / wall_s
+            }
+        };
+        capacity_pps += capacity;
+        let w = i.to_string();
+        let labels: [(&str, &str); 1] = [("worker", w.as_str())];
+        let fill = dp.registry().histogram(
+            "dip_worker_batch_fill",
+            "Packets per executed batch",
+            &labels,
+            &[],
+        );
+        per_worker.push(WorkerWindow {
+            processed: p,
+            cpu_ns,
+            capacity_pps: capacity,
+            mean_batch_fill: fill.mean(),
+            ring_occupancy: occ,
+        });
+    }
+    WallTrial {
+        offered_pps,
+        wall_ns,
+        offered: end.offered - start.offered,
+        accepted: end.accepted - start.accepted,
+        processed,
+        forwarded: f1 - f0,
+        consumed: c1 - c0,
+        dropped: d1 - d0,
+        queue_full: q1 - q0,
+        wall_pps: processed as f64 / wall_s,
+        capacity_pps,
+        cpu_time,
+        host_cpus: host_cpus(),
+        pool_misses: dp.pool_misses(),
+        per_worker,
+        churn_deltas: churn.map_or(0, |g| g.deltas()),
+        churn_epoch_swaps: churn.map_or(0, |g| g.stats().epoch_swaps),
+    }
+}
+
+/// The shared paced/saturation injection loop: cycles the pool until
+/// `deadline`, pacing to `rate_pps` (`None` = as fast as the rings
+/// accept), polling churn on wall-elapsed nanoseconds. Returns the
+/// updated injection counter.
+fn drive(
+    dp: &mut Dataplane,
+    pool: &mut Pool,
+    churn: &mut Option<ChurnGen>,
+    rate_pps: Option<u64>,
+    t0: Instant,
+    deadline: Instant,
+    mut idx: u64,
+) -> u64 {
+    let interval_ns = rate_pps.map(|r| 1e9 / r.max(1) as f64);
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return idx;
+        }
+        let elapsed_ns = now.duration_since(t0).as_nanos() as u64;
+        if let Some(gen) = churn {
+            if let Some(snap) = gen.poll(elapsed_ns) {
+                dp.publish_routes(snap);
+                gen.note_epoch_swap();
+            }
+        }
+        // Absolute deadlines: injection `i` is due at `t0 + i*interval`.
+        // Falling behind produces a catch-up burst (bounded, so churn and
+        // the clock are still consulted at a sane cadence); getting ahead
+        // yields the core to the workers — on oversubscribed hosts the
+        // injector sleeping IS the workers running.
+        let due = match interval_ns {
+            Some(int) => (elapsed_ns as f64 / int) as u64 + 1,
+            None => idx + MAX_BURST,
+        };
+        let burst = due.saturating_sub(idx).min(MAX_BURST);
+        if burst == 0 {
+            let int = interval_ns.expect("unpaced injection is never ahead of schedule");
+            let next_due_ns = (idx as f64 * int) as u64;
+            let gap = Duration::from_nanos(next_due_ns.saturating_sub(elapsed_ns));
+            if gap > Duration::from_micros(100) {
+                std::thread::sleep(gap / 2);
+            } else {
+                std::thread::yield_now();
+            }
+            continue;
+        }
+        for _ in 0..burst {
+            let bytes = pool.packet(idx);
+            let now_ns = t0.elapsed().as_nanos() as u64;
+            dp.submit_bytes(bytes, INGRESS_PORT, now_ns);
+            idx += 1;
+        }
+    }
+}
+
+fn start_engine(
+    spec: &WorkloadSpec,
+    cfg: &WallClockConfig,
+    backpressure: Backpressure,
+) -> (Dataplane, Option<ChurnGen>) {
+    let dp = Dataplane::start(dataplane_config(cfg, backpressure), |i| spec.build_router(i as u64));
+    let mut churn = cfg.churn.as_ref().map(|c| ChurnGen::new(spec, c));
+    if let Some(gen) = &mut churn {
+        dp.publish_routes(gen.initial_snapshot());
+        gen.note_epoch_swap();
+    }
+    (dp, churn)
+}
+
+/// Offers `rate_pps` on the wall clock under [`Backpressure::Drop`] for
+/// `cfg.warmup + cfg.measure`, reporting only the measured window.
+pub fn run_wallclock_paced(spec: &WorkloadSpec, rate_pps: u64, cfg: &WallClockConfig) -> WallTrial {
+    let (mut dp, mut churn) = start_engine(spec, cfg, Backpressure::Drop);
+    let mut pool = Pool::new(spec, cfg.pool_size);
+    let t0 = Instant::now();
+    let idx = drive(&mut dp, &mut pool, &mut churn, Some(rate_pps), t0, t0 + cfg.warmup, 0);
+    let start = mark(&dp, idx);
+    let idx =
+        drive(&mut dp, &mut pool, &mut churn, Some(rate_pps), t0, start.at + cfg.measure, idx);
+    let end = mark(&dp, idx);
+    let trial = window(&dp, rate_pps, &start, &end, churn.as_ref());
+    dp.shutdown();
+    trial
+}
+
+/// Saturation probe: injects as fast as the rings accept under
+/// [`Backpressure::Block`] and reports the measured window — the run the
+/// per-worker capacity numbers come from.
+pub fn measure_capacity(spec: &WorkloadSpec, cfg: &WallClockConfig) -> WallTrial {
+    let (mut dp, mut churn) = start_engine(spec, cfg, Backpressure::Block);
+    let mut pool = Pool::new(spec, cfg.pool_size);
+    let t0 = Instant::now();
+    let idx = drive(&mut dp, &mut pool, &mut churn, None, t0, t0 + cfg.warmup, 0);
+    let start = mark(&dp, idx);
+    let idx = drive(&mut dp, &mut pool, &mut churn, None, t0, start.at + cfg.measure, idx);
+    let end = mark(&dp, idx);
+    let trial = window(&dp, 0, &start, &end, churn.as_ref());
+    dp.shutdown();
+    trial
+}
+
+/// Paced injection of `count` packets from `spec` at `rate_pps` under
+/// lossless [`Backpressure::Block`], drained to completion — the exact
+/// accounting mode. Churn (when configured) polls on the packets' trace
+/// virtual timestamps, mirroring the modeled engine, so the storm's
+/// delta sequence is deterministic per seed.
+pub fn run_wallclock_finite(
+    spec: &WorkloadSpec,
+    rate_pps: u64,
+    count: usize,
+    cfg: &WallClockConfig,
+) -> WallClockReport {
+    let trace = spec.generate(rate_pps, count);
+    let (mut dp, mut churn) = start_engine(spec, cfg, Backpressure::Block);
+    let t0 = Instant::now();
+    let interval_ns = 1e9 / rate_pps.max(1) as f64;
+    for (i, p) in trace.packets.iter().enumerate() {
+        if let Some(gen) = &mut churn {
+            if let Some(snap) = gen.poll(p.at_ns) {
+                dp.publish_routes(snap);
+                gen.note_epoch_swap();
+            }
+        }
+        // Pace on the wall clock, but never stall behind schedule: the
+        // finite mode is about exact accounting, not rate fidelity.
+        let due_ns = (i as f64 * interval_ns) as u64;
+        loop {
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            if elapsed >= due_ns {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        dp.submit_bytes(&p.bytes, INGRESS_PORT, p.at_ns);
+    }
+    let pool_misses = dp.pool_misses();
+    let report = dp.shutdown();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let snap = report.registry.snapshot();
+    let (forwarded, consumed, dropped, queue_full) = account(&snap);
+    let injected = trace.len() as u64;
+    WallClockReport {
+        injected,
+        forwarded,
+        consumed,
+        dropped,
+        queue_full,
+        identity_holds: forwarded + consumed + dropped == injected,
+        wall_ns,
+        pool_misses,
+        churn_deltas: churn.as_ref().map_or(0, |g| g.deltas()),
+        churn_epoch_swaps: churn.as_ref().map_or(0, |g| g.stats().epoch_swaps),
+    }
+}
+
+/// Wall-clock MST search knobs.
+#[derive(Debug, Clone)]
+pub struct WallMstConfig {
+    /// The engine configuration every trial runs.
+    pub wallclock: WallClockConfig,
+    /// Maximum tolerated drop fraction inside the measured window.
+    pub max_drop_frac: f64,
+    /// Lower bracket (assumed sustainable).
+    pub lo_pps: u64,
+    /// Upper bracket (assumed unsustainable).
+    pub hi_pps: u64,
+    /// Bisection iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for WallMstConfig {
+    fn default() -> Self {
+        WallMstConfig {
+            wallclock: WallClockConfig::default(),
+            max_drop_frac: 0.005,
+            lo_pps: 10_000,
+            hi_pps: 50_000_000,
+            max_iters: 10,
+        }
+    }
+}
+
+/// The wall-clock MST search outcome.
+#[derive(Debug, Clone)]
+pub struct WallMstResult {
+    /// Highest offered rate whose measured window met the drop SLO
+    /// (0 when even `lo_pps` failed).
+    pub mst_pps: u64,
+    /// Every trial, in execution order.
+    pub trials: Vec<WallTrial>,
+}
+
+/// Bisects offered rate for the highest drop-SLO-passing value, each
+/// trial a real [`run_wallclock_paced`] window. Wall measurements are
+/// noisy, so the bracket tolerance is coarse (`lo/16`, ~6%) — tighter
+/// bisection would chase scheduler jitter, not the device.
+pub fn find_mst_wallclock(spec: &WorkloadSpec, cfg: &WallMstConfig) -> WallMstResult {
+    let mut trials: Vec<WallTrial> = Vec::new();
+    let run = |rate: u64, trials: &mut Vec<WallTrial>| -> bool {
+        let trial = run_wallclock_paced(spec, rate, &cfg.wallclock);
+        let passed = trial.drop_frac() <= cfg.max_drop_frac;
+        trials.push(trial);
+        passed
+    };
+    let mut lo = cfg.lo_pps.max(1);
+    let mut hi = cfg.hi_pps.max(lo + 1);
+    if !run(lo, &mut trials) {
+        return WallMstResult { mst_pps: 0, trials };
+    }
+    if run(hi, &mut trials) {
+        return WallMstResult { mst_pps: hi, trials };
+    }
+    let mut iters = 0;
+    while hi - lo > (lo / 16).max(1) && iters < cfg.max_iters {
+        let mid = lo + (hi - lo) / 2;
+        if run(mid, &mut trials) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        iters += 1;
+    }
+    WallMstResult { mst_pps: lo, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            table_size: 300,
+            catalog_size: 64,
+            pit_preseed: 512,
+            ..Default::default()
+        }
+    }
+
+    fn quick_cfg(workers: usize) -> WallClockConfig {
+        WallClockConfig {
+            workers,
+            warmup: Duration::from_millis(10),
+            measure: Duration::from_millis(40),
+            pool_size: 1024,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finite_run_holds_identity_and_loses_nothing() {
+        for workers in [1, 2, 4] {
+            let r = run_wallclock_finite(&small_spec(3), 500_000, 400, &quick_cfg(workers));
+            assert!(r.identity_holds, "workers={workers}: {r:?}");
+            assert_eq!(r.injected, 400);
+            assert_eq!(r.queue_full, 0, "Block never drops at the ring");
+        }
+    }
+
+    #[test]
+    fn paced_window_accounts_and_measures() {
+        let t = run_wallclock_paced(&small_spec(5), 200_000, &quick_cfg(2));
+        assert!(t.offered > 0, "the injector offered packets: {t:?}");
+        assert!(t.wall_pps > 0.0);
+        assert!(t.capacity_pps > 0.0);
+        assert_eq!(t.per_worker.len(), 2);
+        assert_eq!(t.host_cpus, host_cpus());
+        assert!(
+            t.forwarded + t.consumed + t.dropped <= t.offered + 2 * 1024,
+            "window deltas bounded by offered plus in-flight slack: {t:?}"
+        );
+    }
+
+    #[test]
+    fn saturation_probe_reports_capacity_per_worker() {
+        let t = measure_capacity(&small_spec(7), &quick_cfg(2));
+        assert!(t.processed > 0, "saturation processed packets: {t:?}");
+        assert!(t.capacity_pps > 0.0);
+        #[cfg(target_os = "linux")]
+        assert!(t.cpu_time, "Linux must expose per-thread CPU clocks");
+        for w in &t.per_worker {
+            assert!(w.mean_batch_fill >= 1.0, "executed batches hold ≥1 packet: {w:?}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Wall-clock engine accounting: real threads, exact books.
+//!
+//! The measuring engine (DESIGN.md §15) gives up virtual-time's replayable
+//! latencies, but its *accounting* must stay as trustworthy as the model's:
+//! under `Block` backpressure every injected packet is executed exactly
+//! once, so `forwarded + consumed + dropped == injected` with zero
+//! ring-full drops, and the outcome *classes* — which packets forward,
+//! which consume, which drop, per the packet bytes alone — must reproduce
+//! across runs regardless of worker count or thread interleaving. Churn
+//! is polled on trace virtual time and flaps only its dedicated pool
+//! routes (never a route the trace resolves through), so the same
+//! equalities hold mid-storm.
+
+use dip::workload::{
+    run_wallclock_finite, ChurnSpec, Mix, TrafficClass, WallClockConfig, WorkloadSpec,
+};
+
+const RATE_PPS: u64 = 400_000;
+const PACKETS: usize = 3_000;
+
+fn spec_for(class: TrafficClass) -> WorkloadSpec {
+    WorkloadSpec { seed: 41, mix: Mix::single(class), table_size: 300, ..Default::default() }
+}
+
+fn cfg_for(workers: usize, churn: Option<ChurnSpec>) -> WallClockConfig {
+    WallClockConfig { workers, ring_capacity: 64, churn, ..Default::default() }
+}
+
+#[test]
+fn accounting_identity_holds_at_every_worker_count() {
+    for class in [TrafficClass::Ipv4, TrafficClass::Ndn] {
+        for workers in [1usize, 2, 4] {
+            let spec = spec_for(class);
+            let r = run_wallclock_finite(&spec, RATE_PPS, PACKETS, &cfg_for(workers, None));
+            assert_eq!(r.injected, PACKETS as u64, "{class:?} workers={workers} injects all");
+            assert!(r.identity_holds, "{class:?} workers={workers}: {r:?}");
+            assert_eq!(r.queue_full, 0, "{class:?} workers={workers}: Block never drops at ring");
+        }
+    }
+}
+
+#[test]
+fn outcome_classes_are_thread_count_invariant() {
+    // The packet bytes decide the outcome class; threads only decide who
+    // executes. Every worker count must report the same class counts,
+    // and two runs at the same count must agree exactly.
+    let spec = spec_for(TrafficClass::Ipv4);
+    let baseline = run_wallclock_finite(&spec, RATE_PPS, PACKETS, &cfg_for(1, None));
+    assert!(baseline.identity_holds, "baseline: {baseline:?}");
+    for workers in [1usize, 2, 4] {
+        let a = run_wallclock_finite(&spec, RATE_PPS, PACKETS, &cfg_for(workers, None));
+        let b = run_wallclock_finite(&spec, RATE_PPS, PACKETS, &cfg_for(workers, None));
+        assert_eq!(
+            (a.forwarded, a.consumed, a.dropped),
+            (b.forwarded, b.consumed, b.dropped),
+            "workers={workers} must reproduce"
+        );
+        assert_eq!(
+            (a.forwarded, a.consumed, a.dropped),
+            (baseline.forwarded, baseline.consumed, baseline.dropped),
+            "workers={workers} must match the single-worker classes"
+        );
+    }
+}
+
+#[test]
+fn identity_and_determinism_survive_a_churn_storm() {
+    // 1M updates per virtual second, polled on packet timestamps: the
+    // storm's delta schedule is a pure function of the trace, and the
+    // flap pool never covers a trace route, so outcome counts reproduce
+    // exactly even though snapshot pickup races worker execution.
+    let churn = ChurnSpec { rate_ups: 1_000_000, ..Default::default() };
+    for workers in [1usize, 2, 4] {
+        let spec = spec_for(TrafficClass::Ipv4);
+        let a =
+            run_wallclock_finite(&spec, RATE_PPS, PACKETS, &cfg_for(workers, Some(churn.clone())));
+        let b =
+            run_wallclock_finite(&spec, RATE_PPS, PACKETS, &cfg_for(workers, Some(churn.clone())));
+        assert!(a.identity_holds, "workers={workers} under churn: {a:?}");
+        assert_eq!(a.queue_full, 0, "workers={workers}: lossless under churn");
+        assert!(a.churn_deltas > 0, "workers={workers}: the storm must actually commit deltas");
+        assert_eq!(
+            (a.injected, a.forwarded, a.consumed, a.dropped, a.churn_deltas),
+            (b.injected, b.forwarded, b.consumed, b.dropped, b.churn_deltas),
+            "workers={workers} churn outcome counts must reproduce"
+        );
+    }
+}
