@@ -107,7 +107,7 @@ fn run_once(n: usize) -> RunResult {
 
     // Cut the ring right next to router 0: the short arc dies and
     // traffic must go the long way around.
-    net.link_down(routers[0], 0);
+    dip_scenario::sever_link(&mut net, routers[0], 0);
     for &r in &routers {
         net.schedule_control_ticks(r, 1_600_000, 50_000, 3_500_000);
     }

@@ -1,0 +1,104 @@
+//! Internet-scale scenario bench: the partition-length sweep and the
+//! ≥128-router fat-tree point, regenerating `BENCH_scenarios.json`.
+//!
+//! Part 1 sweeps the partition window on a k=4 fat-tree (fresh network
+//! per point, fixed outage-phase duration, so the only variable is how
+//! long the producer island stays dark) and emits one line per window
+//! with the NDN-vs-IPv4 delivery fractions — the paper's
+//! disruption-tolerance divergence, measured through the real control
+//! plane. NDN must out-deliver IPv4 at every nonzero window.
+//!
+//! Part 2 runs the no-fault `fat_tree(k=12)` scenario: 180 routers
+//! converge from a cold start (HELLO → LSA flood → SPF, no hand-written
+//! FIBs) and carry all six traffic classes end to end. The network-wide
+//! accounting identity is asserted on every run, partitions included.
+//!
+//! ```text
+//! {"bench":"scenario_partition","window_ns":...,"ndn_delivery_fraction":...,
+//!  "ipv4_delivery_fraction":...,"reconvergence_ns":...,...}
+//! {"bench":"scenario_fat_tree","routers":180,...,"identity_ok":1,...}
+//! ```
+//!
+//! Env knobs (smoke runs): `DIP_SCENARIO_WINDOWS` (comma list, ns),
+//! `DIP_SCENARIO_K` (fat-tree arity of the large point).
+
+use dip_bench::JsonLine;
+use dip_scenario::{partition_sweep, run_scenario, ScenarioProtocol, ScenarioSpec};
+
+const SEED: u64 = 7;
+const REQUESTS: usize = 24;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let windows: Vec<u64> = std::env::var("DIP_SCENARIO_WINDOWS")
+        .map(|v| v.split(',').filter_map(|w| w.trim().parse().ok()).collect())
+        .unwrap_or_else(|_| vec![0, 200_000, 400_000, 800_000, 1_200_000]);
+
+    // Part 1: delivery fraction vs partition length, IPv4 vs NDN.
+    for point in partition_sweep(4, &windows, REQUESTS, SEED) {
+        let report = &point.report;
+        assert!(report.converged, "window {}: control plane must converge", point.window);
+        assert!(report.identity_ok, "window {}: accounting identity", point.window);
+        let outage = report.phase("outage").expect("outage phase");
+        let ndn = outage.delivery_fraction("ndn").expect("ndn injected");
+        let ipv4 = outage.delivery_fraction("ipv4").expect("ipv4 injected");
+        if point.window > 0 {
+            assert!(
+                ndn > ipv4,
+                "window {}: NDN must out-deliver IPv4 through a partition ({ndn} vs {ipv4})",
+                point.window
+            );
+        }
+        JsonLine::new("scenario_partition")
+            .str("topology", &report.topology)
+            .u64("routers", report.routers as u64)
+            .u64("seed", report.seed)
+            .u64("window_ns", point.window)
+            .f64p("ndn_delivery_fraction", ndn, 4)
+            .f64p("ipv4_delivery_fraction", ipv4, 4)
+            .u64("cache_hits", outage.cache_hits)
+            .u64("link_dropped", outage.link_dropped)
+            .u64("pit_expired_evictions", outage.pit_expired_evictions)
+            .u64("reconvergence_ns", outage.reconvergence_ns.unwrap_or(0))
+            .u64("identity_ok", report.identity_ok as u64)
+            .str("fingerprint", &format!("{:016x}", report.fingerprint))
+            .emit();
+    }
+
+    // Part 2: the ≥128-router point — every protocol through a cold-start
+    // converged 180-router fat-tree.
+    let k = env_usize("DIP_SCENARIO_K", 12);
+    let report = run_scenario(&ScenarioSpec::fat_tree(k, 12, SEED));
+    assert!(report.converged, "k={k}: every LSDB must hold every origin");
+    assert!(report.identity_ok, "k={k}: accounting identity network-wide");
+    if k == 12 {
+        assert!(report.routers >= 128, "k=12 fat-tree is the >=128-router point");
+    }
+    let steady = report.phase("steady").expect("steady phase");
+    let mut line = JsonLine::new("scenario_fat_tree")
+        .str("topology", &report.topology)
+        .u64("routers", report.routers as u64)
+        .u64("links", report.links as u64)
+        .u64("seed", report.seed)
+        .u64("spf_runs", report.spf_runs)
+        .u64("convergence_samples", report.convergence_samples);
+    for proto in ScenarioProtocol::ALL {
+        let fraction = steady.delivery_fraction(proto.label()).expect("protocol injected");
+        assert!(
+            (fraction - 1.0).abs() < f64::EPSILON,
+            "k={k}: {} must deliver end to end through the converged core (got {fraction})",
+            proto.label()
+        );
+        line = line.f64p(&format!("{}_delivery_fraction", proto.label()), fraction, 4);
+    }
+    line.u64("cache_hits", steady.cache_hits)
+        .u64("accounted", report.accounted)
+        .u64("sent", report.sent)
+        .u64("link_dropped", report.link_dropped)
+        .u64("identity_ok", report.identity_ok as u64)
+        .str("fingerprint", &format!("{:016x}", report.fingerprint))
+        .emit();
+}

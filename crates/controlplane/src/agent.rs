@@ -50,6 +50,14 @@ pub struct AgentConfig {
     pub max_age: u32,
     /// Cost advertised for every adjacency (uniform-metric SPF).
     pub link_cost: u32,
+    /// Hard cap on unacknowledged-LSA retransmit state *per neighbor*.
+    /// On 100+-node graphs a slow or partitioned neighbor would
+    /// otherwise accumulate one pending entry per origin — O(nodes) per
+    /// port, O(nodes²) per agent. When a new origin would exceed the
+    /// cap, the entry with the oldest `last_sent` is evicted
+    /// deterministically; recovery rides the periodic LSA refresh and
+    /// the Hello database sync, both of which re-offer evicted origins.
+    pub retransmit_queue_limit: usize,
 }
 
 impl Default for AgentConfig {
@@ -61,6 +69,7 @@ impl Default for AgentConfig {
             lsa_refresh: 50_000_000,
             max_age: 16,
             link_cost: 1,
+            retransmit_queue_limit: 64,
         }
     }
 }
@@ -283,6 +292,47 @@ impl ControlAgent {
         }
     }
 
+    /// Records retransmit state for an LSA offered to `port`, enforcing
+    /// [`AgentConfig::retransmit_queue_limit`] per neighbor: when a new
+    /// origin would exceed the cap, the stalest entry on that port (oldest
+    /// `last_sent`, ties to the smallest origin — `BTreeMap` order makes
+    /// both deterministic) is evicted to make room.
+    fn note_pending(&mut self, port: Port, origin: u64, seq: u32, now: SimTime) {
+        let replacing = self.pending.contains_key(&(port, origin));
+        if !replacing {
+            let on_port = self.pending.keys().filter(|&&(p, _)| p == port).count();
+            if on_port >= self.config.retransmit_queue_limit {
+                let stalest = self
+                    .pending
+                    .iter()
+                    .filter(|(&(p, _), _)| p == port)
+                    .min_by_key(|(&(_, o), pend)| (pend.last_sent, o))
+                    .map(|(&k, _)| k);
+                if let Some(k) = stalest {
+                    self.pending.remove(&k);
+                }
+            }
+        }
+        self.pending.insert((port, origin), Pending { seq, last_sent: now });
+    }
+
+    /// Total unacknowledged-LSA retransmit entries across all neighbors
+    /// (the `dip_ctrl_retransmit_queue_depth` observation). Bounded by
+    /// `ports × retransmit_queue_limit`.
+    pub fn retransmit_queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The deepest single neighbor's retransmit queue — never exceeds
+    /// [`AgentConfig::retransmit_queue_limit`].
+    pub fn retransmit_queue_max_per_neighbor(&self) -> usize {
+        let mut per_port: BTreeMap<Port, usize> = BTreeMap::new();
+        for &(port, _) in self.pending.keys() {
+            *per_port.entry(port).or_insert(0) += 1;
+        }
+        per_port.values().copied().max().unwrap_or(0)
+    }
+
     /// Rebuilds and installs this node's own LSA from the live adjacency
     /// set (does not flood — callers flood the returned copy).
     fn originate(&mut self, now: SimTime) -> Lsa {
@@ -329,7 +379,7 @@ impl ControlAgent {
                 continue;
             }
             emits.push((port, msg.clone()));
-            self.pending.insert((port, lsa.origin), Pending { seq: lsa.seq, last_sent: now });
+            self.note_pending(port, lsa.origin, lsa.seq, now);
             sent += 1;
         }
         sent
@@ -366,10 +416,7 @@ impl ControlAgent {
                             in_port,
                             control_packet(&ControlMessage::LinkStateAdvertisement(aged)),
                         ));
-                        self.pending.insert(
-                            (in_port, lsa.origin),
-                            Pending { seq: lsa.seq, last_sent: now },
-                        );
+                        self.note_pending(in_port, lsa.origin, lsa.seq, now);
                         out.floods += 1;
                     }
                     self.mark_dirty(now);
@@ -406,10 +453,7 @@ impl ControlAgent {
                                 in_port,
                                 control_packet(&ControlMessage::LinkStateAdvertisement(aged)),
                             ));
-                            self.pending.insert(
-                                (in_port, newer.origin),
-                                Pending { seq: newer.seq, last_sent: now },
-                            );
+                            self.note_pending(in_port, newer.origin, newer.seq, now);
                             out.floods += 1;
                         }
                     }
@@ -494,7 +538,7 @@ impl ControlAgent {
                         port,
                         control_packet(&ControlMessage::LinkStateAdvertisement(aged)),
                     ));
-                    self.pending.insert((port, origin), Pending { seq, last_sent: now });
+                    self.note_pending(port, origin, seq, now);
                     out.floods += 1;
                 }
                 _ => {
@@ -781,6 +825,36 @@ mod tests {
         a.on_control(&hello_from(2), 0, 2 * retransmit);
         let tick = a.tick(2 * retransmit + 20);
         assert_eq!(tick.floods, 0, "acked LSA stays quiet");
+    }
+
+    #[test]
+    fn retransmit_queue_is_bounded_per_neighbor() {
+        // Port 1's neighbor never acks: flood far more origins through
+        // than the cap and check the pending state saturates instead of
+        // growing O(origins).
+        let cfg = AgentConfig { retransmit_queue_limit: 8, ..AgentConfig::default() };
+        let mut a = ControlAgent::new(1, vec![0, 1], cfg);
+        a.on_control(&hello_from(2), 0, 1);
+        a.on_control(&hello_from(3), 1, 1);
+        for origin in 10..200u64 {
+            let lsa =
+                Lsa { origin, seq: 1, age: 0, links: vec![], announce: Announcements::default() };
+            // Arrives on port 0, floods out port 1, recording pending
+            // retransmit state toward the silent neighbor there.
+            a.on_control(&ControlMessage::LinkStateAdvertisement(lsa), 0, 2);
+        }
+        assert!(a.lsdb_len() > 100, "LSAs themselves are all installed");
+        assert_eq!(a.retransmit_queue_max_per_neighbor(), 8, "pending state saturates at the cap");
+        assert!(
+            a.retransmit_queue_depth() <= 2 * 8,
+            "total depth bounded by ports x cap, got {}",
+            a.retransmit_queue_depth()
+        );
+        // An ack for an evicted origin is harmless; one for a retained
+        // origin (the latest insert survives eviction) shrinks the queue.
+        let before = a.retransmit_queue_depth();
+        a.on_control(&ControlMessage::LsaAck { origin: 199, seq: 1 }, 1, 3);
+        assert_eq!(a.retransmit_queue_depth(), before - 1);
     }
 
     #[test]

@@ -54,6 +54,7 @@ struct Metrics {
     spf_runs: Arc<Counter>,
     epoch: Arc<Gauge>,
     convergence: Arc<Histogram>,
+    retransmit_depth: Arc<Gauge>,
 }
 
 /// A router node running both a dataplane and a control-plane agent.
@@ -221,6 +222,11 @@ impl<R: SnapshotTarget + 'static> RouterNode for ControlNode<R> {
                 &labels,
                 &CONVERGENCE_BOUNDS,
             ),
+            retransmit_depth: registry.gauge(
+                "dip_ctrl_retransmit_queue_depth",
+                "Unacknowledged-LSA retransmit entries across all neighbors",
+                &labels,
+            ),
         });
     }
 
@@ -229,6 +235,7 @@ impl<R: SnapshotTarget + 'static> RouterNode for ControlNode<R> {
         if let Some(m) = &self.metrics {
             m.hellos.add(tick.hellos);
             m.floods.add(tick.floods);
+            m.retransmit_depth.set(self.agent.retransmit_queue_depth() as i64);
         }
         self.publish(&mut tick);
         let mut emits = std::mem::take(&mut self.outbox);

@@ -15,6 +15,7 @@ use crate::context::{Action, DropReason, PacketCtx, RouterState};
 use crate::cost::OpCost;
 use crate::ops::fib::field_to_names;
 use crate::FieldOp;
+use dip_tables::PitConsume;
 use dip_wire::triple::{FnKey, FnTriple};
 
 /// Data-side NDN op.
@@ -38,8 +39,8 @@ impl FieldOp for PitOp {
         let Some((compact, _)) = field_to_names(&bytes, triple.field_len) else {
             return Action::Drop(DropReason::MalformedField);
         };
-        match state.pit.consume(&compact, ctx.now) {
-            Some(faces) => {
+        match state.pit.consume_classified(&compact, ctx.now) {
+            PitConsume::Hit(faces) => {
                 if let Some(cs) = state.content_store.as_mut() {
                     if !state.require_pass_for_cache || ctx.pass_verified {
                         cs.insert(compact, ctx.payload.to_vec(), ctx.now);
@@ -47,7 +48,11 @@ impl FieldOp for PitOp {
                 }
                 Action::ForwardMulti(faces)
             }
-            None => Action::Drop(DropReason::PitMiss),
+            // The interest existed but lapsed under virtual time — the
+            // long-partition case. Accounted distinctly so aged-out
+            // entries are never mistaken for unsolicited data.
+            PitConsume::Expired => Action::Drop(DropReason::PitExpired),
+            PitConsume::Miss => Action::Drop(DropReason::PitMiss),
         }
     }
 
@@ -81,6 +86,22 @@ mod tests {
         let mut locs2 = data_locs(&name);
         let mut c2 = ctx(&mut locs2, b"the data");
         assert_eq!(PitOp.execute(&t, &mut st, &mut c2), Action::Drop(DropReason::PitMiss));
+    }
+
+    #[test]
+    fn late_data_for_expired_interest_is_pit_expired() {
+        let mut st = state();
+        // A tight TTL so the pending interest ages out under virtual time
+        // (the mid-partition case): the data is late, not unsolicited.
+        st.pit = dip_tables::Pit::new(16, 100);
+        let name = Name::parse("/a");
+        st.pit.record_interest(name.compact32(), 3, 1, 0).unwrap();
+        let mut locs = data_locs(&name);
+        let mut c = ctx(&mut locs, b"too late");
+        c.now = 5_000;
+        let t = FnTriple::router(0, 32, FnKey::Pit);
+        assert_eq!(PitOp.execute(&t, &mut st, &mut c), Action::Drop(DropReason::PitExpired));
+        assert_eq!(st.pit.expired_evictions(), 1, "the lapse is a counted eviction");
     }
 
     #[test]

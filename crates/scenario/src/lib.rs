@@ -1,0 +1,43 @@
+//! Internet-scale scenarios over the DIP control plane.
+//!
+//! This crate closes the loop between the topology the paper argues
+//! about (hundreds of routers, heterogeneous protocol islands) and the
+//! mechanisms the rest of the workspace implements one crate at a time:
+//!
+//! * [`topology`] — seeded generators for `k`-ary fat-trees and
+//!   preferential-attachment AS graphs, as pure data.
+//! * [`script`] — declarative scenario specs: phases, partition windows,
+//!   flash-crowd Zipf re-weighting, legacy islands; parseable from the
+//!   `dipload --scenario family:key=value,...` CLI form.
+//! * [`run`] — the runner: compiles a spec into a [`dip_sim`] network
+//!   whose every router runs the real [`dip_controlplane`] stack (routes
+//!   from SPF, never hand-written), schedules the disruptions, injects
+//!   the per-protocol request mix, and reports per-phase delivery
+//!   fractions, PIT/CS occupancy, and reconvergence times — all
+//!   byte-deterministic in the spec.
+//!
+//! The headline measurement: through a partition of the producer's edge
+//! router, NDN requests keep resolving from in-network content stores
+//! while IPv4's delivery fraction collapses for the length of the
+//! window — the disruption-tolerance argument of the paper's §2.3,
+//! quantified on graphs two orders of magnitude larger than the unit
+//! tests'.
+//!
+//! Raw link-admin calls (`link_down` / `link_up` and their scheduled
+//! variants) are pinned by `diplint` to the sim and scenario crates;
+//! other layers script outages through [`run::sever_link`],
+//! [`run::restore_link`], and [`run::schedule_outage`].
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod run;
+pub mod script;
+pub mod topology;
+
+pub use run::{
+    partition_sweep, restore_link, run_scenario, schedule_outage, sever_link, PhaseReport,
+    ProtocolCount, ScenarioReport, SweepPoint,
+};
+pub use script::{PhaseSpec, ScenarioProtocol, ScenarioSpec, TopologySpec};
+pub use topology::{EdgeClass, TopoLink, Topology};

@@ -1,0 +1,251 @@
+//! Seeded topology generators: `k`-ary fat-trees and AS-level graphs.
+//!
+//! Both produce an abstract [`Topology`] — routers, classed links, and
+//! the set of edge routers hosts may attach to — that the runner
+//! ([`crate::run`]) compiles into a [`dip_sim::engine::Network`] of
+//! [`ControlNode`](dip_controlplane::ControlNode)s. Nothing here touches
+//! the simulator: generation is pure and deterministic, so the same
+//! `(spec, seed)` always yields byte-identical wiring.
+
+use dip_crypto::DetRng;
+
+/// The role of a link in the generated graph, which determines its
+/// propagation latency (datacenter hops are short, provider hops longer,
+/// peering hops longest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeClass {
+    /// Fat-tree edge-switch to aggregation-switch link.
+    EdgeAgg,
+    /// Fat-tree aggregation-switch to core-switch link.
+    AggCore,
+    /// AS-graph customer-to-provider link (preferential attachment).
+    Provider,
+    /// AS-graph settlement-free peering link.
+    Peer,
+}
+
+impl EdgeClass {
+    /// Propagation latency for this class of link (virtual ns).
+    pub fn latency_ns(&self) -> u64 {
+        match self {
+            EdgeClass::EdgeAgg | EdgeClass::AggCore => 1_000,
+            EdgeClass::Provider => 2_000,
+            EdgeClass::Peer => 3_000,
+        }
+    }
+
+    /// Stable label (JSON output, fingerprints).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EdgeClass::EdgeAgg => "edge_agg",
+            EdgeClass::AggCore => "agg_core",
+            EdgeClass::Provider => "provider",
+            EdgeClass::Peer => "peer",
+        }
+    }
+}
+
+/// One undirected link between router indices `a` and `b`.
+#[derive(Debug, Clone, Copy)]
+pub struct TopoLink {
+    /// First endpoint (router index).
+    pub a: usize,
+    /// Second endpoint (router index).
+    pub b: usize,
+    /// Link class (drives latency).
+    pub class: EdgeClass,
+}
+
+/// An abstract generated topology over router indices `0..routers`.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Human-readable shape, e.g. `fat_tree(k=4)`.
+    pub label: String,
+    /// Number of routers; indices are `0..routers` and control-plane node
+    /// ids are `index + 1` (id 0 is reserved).
+    pub routers: usize,
+    /// Undirected links (each wired once into the simulator).
+    pub links: Vec<TopoLink>,
+    /// Routers hosts may attach to: fat-tree edge switches, AS-graph
+    /// stub networks.
+    pub edge_routers: Vec<usize>,
+}
+
+impl Topology {
+    /// A `k`-ary fat-tree (`k` even, ≥ 2): `(k/2)²` core switches, `k`
+    /// pods of `k/2` aggregation and `k/2` edge switches each — `5k²/4`
+    /// routers total, every edge switch reachable from every other over
+    /// `k²/4` equal-cost core paths.
+    pub fn fat_tree(k: usize) -> Topology {
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree k must be even and >= 2");
+        let half = k / 2;
+        let cores = half * half;
+        let aggs = k * half;
+        let agg_base = cores;
+        let edge_base = cores + aggs;
+        let routers = cores + 2 * aggs;
+        let mut links = Vec::new();
+        for pod in 0..k {
+            for i in 0..half {
+                let agg = agg_base + pod * half + i;
+                // Aggregation switch i of every pod uplinks to core group i.
+                for c in 0..half {
+                    links.push(TopoLink { a: agg, b: i * half + c, class: EdgeClass::AggCore });
+                }
+                // Full bipartite edge↔agg mesh within the pod.
+                for j in 0..half {
+                    let edge = edge_base + pod * half + j;
+                    links.push(TopoLink { a: edge, b: agg, class: EdgeClass::EdgeAgg });
+                }
+            }
+        }
+        Topology {
+            label: format!("fat_tree(k={k})"),
+            routers,
+            links,
+            edge_routers: (edge_base..routers).collect(),
+        }
+    }
+
+    /// An AS-level graph by preferential attachment: a seed clique of
+    /// `m + 1` nodes, then each new node buys transit from `m` distinct
+    /// existing providers chosen with probability proportional to degree
+    /// (Barabási–Albert), plus `peers` extra settlement-free peering
+    /// links between non-adjacent pairs. Deterministic in `seed`.
+    pub fn as_graph(nodes: usize, m: usize, peers: usize, seed: u64) -> Topology {
+        let m = m.max(1);
+        assert!(nodes >= m + 2, "as-graph needs at least m + 2 nodes");
+        let mut rng = DetRng::seed_from_u64(seed ^ 0xA5A5_0001);
+        let mut links: Vec<TopoLink> = Vec::new();
+        // Every link endpoint once per degree: sampling an element of
+        // this list IS degree-proportional sampling.
+        let mut endpoints: Vec<usize> = Vec::new();
+        let add = |links: &mut Vec<TopoLink>,
+                   endpoints: &mut Vec<usize>,
+                   a: usize,
+                   b: usize,
+                   class: EdgeClass| {
+            links.push(TopoLink { a, b, class });
+            endpoints.push(a);
+            endpoints.push(b);
+        };
+        for a in 0..=m {
+            for b in (a + 1)..=m {
+                add(&mut links, &mut endpoints, a, b, EdgeClass::Provider);
+            }
+        }
+        for new in (m + 1)..nodes {
+            let mut targets: Vec<usize> = Vec::new();
+            let mut guard = 0;
+            while targets.len() < m && guard < 10_000 {
+                guard += 1;
+                let t = endpoints[rng.gen_index(endpoints.len())];
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            for t in targets {
+                add(&mut links, &mut endpoints, new, t, EdgeClass::Provider);
+            }
+        }
+        // Peering links between distinct, not-already-adjacent pairs.
+        let adjacent = |links: &[TopoLink], a: usize, b: usize| {
+            links.iter().any(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+        };
+        let mut added = 0;
+        let mut guard = 0;
+        while added < peers && guard < 10_000 {
+            guard += 1;
+            let a = rng.gen_index(nodes);
+            let b = rng.gen_index(nodes);
+            if a != b && !adjacent(&links, a, b) {
+                add(&mut links, &mut endpoints, a, b, EdgeClass::Peer);
+                added += 1;
+            }
+        }
+        // Stubs (lowest-degree late joiners) are the host attachment
+        // points — the AS-graph analogue of fat-tree edge switches.
+        let mut degree = vec![0usize; nodes];
+        for l in &links {
+            degree[l.a] += 1;
+            degree[l.b] += 1;
+        }
+        let min_degree = degree.iter().copied().min().unwrap_or(0);
+        let mut edge_routers: Vec<usize> =
+            (0..nodes).filter(|&r| degree[r] <= min_degree + 1).collect();
+        if edge_routers.len() < 2 {
+            edge_routers = (0..nodes).collect();
+        }
+        Topology {
+            label: format!("as_graph(n={nodes},m={m},peers={peers})"),
+            routers: nodes,
+            links,
+            edge_routers,
+        }
+    }
+
+    /// Degree (link endpoints) of router `r`.
+    pub fn degree(&self, r: usize) -> usize {
+        self.links.iter().filter(|l| l.a == r || l.b == r).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_counts_match_the_formula() {
+        for k in [2usize, 4, 6, 8] {
+            let t = Topology::fat_tree(k);
+            assert_eq!(t.routers, 5 * k * k / 4, "5k^2/4 switches for k={k}");
+            // k/2 core uplinks per agg + k/2 edge downlinks per agg.
+            assert_eq!(t.links.len(), k * k * k / 2, "k^3/2 links for k={k}");
+            assert_eq!(t.edge_routers.len(), k * k / 2);
+            // Every edge switch has exactly k/2 links, every core exactly k.
+            for &e in &t.edge_routers {
+                assert_eq!(t.degree(e), k / 2);
+            }
+            for c in 0..(k / 2) * (k / 2) {
+                assert_eq!(t.degree(c), k);
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_k4_has_128_plus_node_sibling() {
+        // The bench's >=128-router point: k=12 -> 180 routers.
+        let t = Topology::fat_tree(12);
+        assert!(t.routers >= 128, "k=12 fat-tree has {} routers", t.routers);
+    }
+
+    #[test]
+    fn as_graph_is_deterministic_and_connected() {
+        let a = Topology::as_graph(40, 2, 6, 7);
+        let b = Topology::as_graph(40, 2, 6, 7);
+        assert_eq!(a.links.len(), b.links.len());
+        for (x, y) in a.links.iter().zip(&b.links) {
+            assert_eq!((x.a, x.b, x.class), (y.a, y.b, y.class));
+        }
+        // Connectivity by union-find-free BFS.
+        let mut seen = vec![false; a.routers];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(r) = stack.pop() {
+            for l in &a.links {
+                for (x, y) in [(l.a, l.b), (l.b, l.a)] {
+                    if x == r && !seen[y] {
+                        seen[y] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "preferential attachment keeps the graph connected");
+        assert!(a.edge_routers.len() >= 2, "at least two stub attachment points");
+        // A different seed rewires the peering (and usually the transit).
+        let c = Topology::as_graph(40, 2, 6, 8);
+        let same = a.links.iter().zip(&c.links).all(|(x, y)| (x.a, x.b) == (y.a, y.b));
+        assert!(!same, "seed changes the wiring");
+    }
+}

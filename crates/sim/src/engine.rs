@@ -536,6 +536,20 @@ impl Network {
         &self.trace
     }
 
+    /// Number of nodes (routers and hosts) in the network.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The remote end of `node`'s `port`: `(peer, peer_port)`, or `None`
+    /// when the port is unwired. Topology-generation layers use this to
+    /// trace a converged forwarding path hop by hop (e.g. to establish a
+    /// path-bound OPT session over whatever route SPF actually chose).
+    pub fn link_peer(&self, node: NodeId, port: u32) -> Option<(NodeId, u32)> {
+        let end = self.nodes.get(node.0)?.ports.get(port as usize)?.as_ref()?;
+        Some((NodeId(end.peer), end.peer_port))
+    }
+
     /// Mutable access to a classic [`DipRouter`] node.
     ///
     /// Errors with [`SimError::WrongNodeKind`] if the node is a host or a

@@ -33,7 +33,7 @@ pub use bit_trie::{BitTrie, Prefix};
 pub use content_store::ContentStore;
 pub use fib::{Ipv4Fib, Ipv6Fib, NameFib};
 pub use name_trie::NameTrie;
-pub use pit::{Pit, PitError, PitOutcome};
+pub use pit::{Pit, PitConsume, PitError, PitOutcome};
 pub use xia_table::{XiaNextHop, XiaRouteTable};
 
 /// A router port / face identifier.

@@ -40,6 +40,23 @@ pub enum PitError {
     CapacityExhausted,
 }
 
+/// Classified result of consuming a PIT entry on a data packet.
+///
+/// `§3`'s "match miss" covers two situations a disruption-tolerance
+/// audit must tell apart: the data was never requested here
+/// ([`PitConsume::Miss`]) versus it *was* requested but the entry aged
+/// out under virtual time before the data arrived
+/// ([`PitConsume::Expired`] — the long-partition case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PitConsume {
+    /// A live entry matched; forward the data to these faces.
+    Hit(Vec<Port>),
+    /// An entry existed but had lapsed; it was evicted (and counted).
+    Expired,
+    /// No entry for this name at all.
+    Miss,
+}
+
 #[derive(Debug, Clone)]
 struct PitEntry {
     faces: Vec<Port>,
@@ -145,14 +162,25 @@ impl<K: std::hash::Hash + Eq + Clone> Pit<K> {
     /// An expired entry is a miss; it is removed eagerly (and counted as
     /// an eviction) rather than left to consume capacity.
     pub fn consume(&mut self, name: &K, now: Ticks) -> Option<Vec<Port>> {
+        match self.consume_classified(name, now) {
+            PitConsume::Hit(faces) => Some(faces),
+            PitConsume::Expired | PitConsume::Miss => None,
+        }
+    }
+
+    /// Like [`Pit::consume`] but distinguishes an aged-out entry from one
+    /// that never existed, so callers can account the drop as
+    /// "pit_expired" rather than "pit_miss". An expired entry is still
+    /// evicted eagerly and counted.
+    pub fn consume_classified(&mut self, name: &K, now: Ticks) -> PitConsume {
         match self.entries.remove(name) {
-            Some(e) if e.expires_at > now => Some(e.faces),
+            Some(e) if e.expires_at > now => PitConsume::Hit(e.faces),
             Some(_) => {
-                // Expired: a miss, evicted on lookup.
+                // Expired: evicted on lookup, reported distinctly.
                 self.evictions.inc();
-                None
+                PitConsume::Expired
             }
-            None => None,
+            None => PitConsume::Miss,
         }
     }
 
@@ -317,6 +345,22 @@ mod tests {
         p.record_interest(7, 1, 1, 0).unwrap();
         p.record_interest(7, 2, 2, 500).unwrap();
         assert_eq!(p.expired_evictions(), 2);
+    }
+
+    #[test]
+    fn consume_classified_separates_expired_from_absent() {
+        let mut p = pit();
+        p.record_interest(42, 3, 1, 0).unwrap();
+        // Live entry: a hit with the recorded face.
+        assert_eq!(p.consume_classified(&42, 50), PitConsume::Hit(vec![3]));
+        // Consumed already: a plain miss, not an expiry.
+        assert_eq!(p.consume_classified(&42, 51), PitConsume::Miss);
+        // Aged-out entry: reported as expired and counted as an eviction.
+        p.record_interest(7, 4, 9, 0).unwrap();
+        assert_eq!(p.consume_classified(&7, 100), PitConsume::Expired);
+        assert_eq!(p.expired_evictions(), 1);
+        // Never requested at all: a miss.
+        assert_eq!(p.consume_classified(&99, 100), PitConsume::Miss);
     }
 
     #[test]

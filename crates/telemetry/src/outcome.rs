@@ -18,6 +18,14 @@ pub enum DropReason {
     NoRoute,
     /// Data arrived with no pending interest (§3: "discards the packet").
     PitMiss,
+    /// Data arrived for an interest whose PIT entry had already aged out
+    /// under virtual time — the request existed but lapsed mid-flight
+    /// (e.g. during a partition window). Distinct from [`PitMiss`]
+    /// (never requested) so disruption scenarios can tell "too late"
+    /// from "unsolicited".
+    ///
+    /// [`PitMiss`]: DropReason::PitMiss
+    PitExpired,
     /// Duplicate interest nonce (loop suppression).
     DuplicateInterest,
     /// PIT capacity exhausted (§2.4 state budget).
@@ -52,9 +60,10 @@ pub enum DropReason {
 
 impl DropReason {
     /// Every reason, in stable order ([`DropReason::index`] indexes it).
-    pub const ALL: [DropReason; 15] = [
+    pub const ALL: [DropReason; 16] = [
         DropReason::NoRoute,
         DropReason::PitMiss,
+        DropReason::PitExpired,
         DropReason::DuplicateInterest,
         DropReason::StateBudgetExhausted,
         DropReason::AuthenticationFailed,
@@ -75,6 +84,7 @@ impl DropReason {
         match self {
             DropReason::NoRoute => "no_route",
             DropReason::PitMiss => "pit_miss",
+            DropReason::PitExpired => "pit_expired",
             DropReason::DuplicateInterest => "duplicate_interest",
             DropReason::StateBudgetExhausted => "state_budget_exhausted",
             DropReason::AuthenticationFailed => "authentication_failed",

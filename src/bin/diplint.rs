@@ -23,6 +23,13 @@
 //!    `crates/routes`. Everything else goes through `RouteStore`'s
 //!    `rebuild`/`commit` API, so there is exactly one implementation of
 //!    the copy-on-write table algebra to verify against the oracle.
+//! 6. **link-admin** — administrative link state (`link_down`/`link_up`
+//!    and their scheduled variants) is touched only by the simulator
+//!    that owns it (`crates/sim`) and the scenario crate that scripts
+//!    it (`crates/scenario`). Benches and drivers stage outages through
+//!    `dip_scenario`'s `sever_link`/`restore_link`/`schedule_outage`
+//!    wrappers, so every disruption a measurement reports went through
+//!    the one scripted path.
 //!
 //! Violations print as `path:line: rule: text` and the process exits 1.
 //!
@@ -48,6 +55,12 @@ const ROUTE_DELTA_NEEDLES: [&str; 6] = [
     concat!("fn ", "build_from"),
     concat!(".", "build_from("),
     concat!("::", "build_from"),
+];
+const LINK_ADMIN_NEEDLES: [&str; 4] = [
+    concat!(".", "link_down("),
+    concat!(".", "link_up("),
+    concat!(".", "schedule_link_down("),
+    concat!(".", "schedule_link_up("),
 ];
 const QUANTILE_NEEDLE: &str = concat!("fn ", "quantile");
 const DROP_REASON_NEEDLE: &str = concat!("enum ", "DropReason");
@@ -126,6 +139,12 @@ fn lint_file(root: &Path, path: &Path, violations: &mut Vec<Violation>) {
             && ROUTE_DELTA_NEEDLES.iter().any(|n| line.contains(n))
         {
             report("route-delta");
+        }
+        if !rel.starts_with("crates/sim/")
+            && !rel.starts_with("crates/scenario/")
+            && LINK_ADMIN_NEEDLES.iter().any(|n| line.contains(n))
+        {
+            report("link-admin");
         }
         if !rel.starts_with("crates/telemetry/") {
             if line.contains(QUANTILE_NEEDLE) {

@@ -32,6 +32,13 @@
 //! `UPS` updates per virtual second (see `dip_workload::churn`); the
 //! emitted line then carries `churn_ups`, `churn_deltas`, and
 //! `churn_epoch_swaps` from the MST trial.
+//!
+//! `--scenario SPEC` switches to the scenario engine instead: SPEC is the
+//! compact `family:key=value,...` form from `dip_scenario` (e.g.
+//! `partition:k=4,window=400000,requests=24,seed=7`), and the output is
+//! one self-contained JSON report with per-phase, per-protocol delivery
+//! fractions, drop taxonomies, PIT/CS occupancy, and reconvergence
+//! times. Fully deterministic: same SPEC, same bytes.
 
 use dip::workload::{
     find_mst, find_mst_wallclock, host_cpus, measure_capacity, ArrivalModel, ChurnSpec, EngineKind,
@@ -60,6 +67,7 @@ struct Args {
     measure_ms: u64,
     arrival: ArrivalModel,
     churn_ups: Option<u64>,
+    scenario: Option<String>,
 }
 
 fn usage(err: &str) -> ! {
@@ -69,7 +77,8 @@ fn usage(err: &str) -> ! {
          \u{20}              [--engine router|dataplane|wallclock] [--workers N] [--batch N]\n\
          \u{20}              [--packets N] [--iters N] [--lo PPS] [--hi PPS] [--queue N]\n\
          \u{20}              [--p99-ns N] [--drop-frac F] [--warmup-ms N] [--measure-ms N]\n\
-         \u{20}              [--arrival uniform|poisson|onoff] [--churn UPS]"
+         \u{20}              [--arrival uniform|poisson|onoff] [--churn UPS]\n\
+         \u{20}              [--scenario family:key=value,...]"
     );
     std::process::exit(2);
 }
@@ -90,6 +99,7 @@ fn parse_args() -> Args {
         measure_ms: 200,
         arrival: ArrivalModel::Poisson,
         churn_ups: None,
+        scenario: None,
     };
     let (mut workers, mut batch) = (2usize, 32usize);
     let mut engine_name = String::from("router");
@@ -138,6 +148,7 @@ fn parse_args() -> Args {
             "--churn" => {
                 args.churn_ups = Some(value().parse().unwrap_or_else(|_| usage("bad --churn")))
             }
+            "--scenario" => args.scenario = Some(value()),
             "--arrival" => {
                 args.arrival = match value().as_str() {
                     "uniform" => ArrivalModel::Uniform,
@@ -161,10 +172,20 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if let Some(spec) = &args.scenario {
+        return run_scenario_cli(spec);
+    }
     match args.engine {
         CliEngine::Modeled(engine) => run_modeled(&args, engine),
         CliEngine::Wallclock { workers, batch_size } => run_wallclock(&args, workers, batch_size),
     }
+}
+
+/// The scenario engine: generated topology, real control plane, scripted
+/// disruptions, one deterministic JSON report on stdout.
+fn run_scenario_cli(spec: &str) {
+    let spec = dip::scenario::ScenarioSpec::parse(spec).unwrap_or_else(|e| usage(&e));
+    println!("{}", dip::scenario::run_scenario(&spec).to_json());
 }
 
 /// The original virtual-time path: deterministic queue model over the

@@ -46,6 +46,7 @@
 //! | [`controlplane`] | `dip-controlplane` | distributed routing: HELLO adjacencies, LSA flooding, Dijkstra SPF, epoch-swap route publication |
 //! | [`telemetry`] | `dip-telemetry` | zero-dependency metrics: counters/gauges/histograms, the packet-outcome taxonomy, Prometheus + JSON rendering |
 //! | [`workload`] | `dip-workload` | deterministic load generation: Zipf/Pareto/MMPP traffic models, open/closed-loop drivers, SLO + max-sustainable-throughput search |
+//! | [`scenario`] | `dip-scenario` | internet-scale scenarios: fat-tree / AS-graph generators, partition + flash-crowd scripts over the real control plane, per-protocol delivery measurement |
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results of every table and figure.
@@ -59,6 +60,7 @@ pub use dip_crypto as crypto;
 pub use dip_dataplane as dataplane;
 pub use dip_fnops as fnops;
 pub use dip_protocols as protocols;
+pub use dip_scenario as scenario;
 pub use dip_sim as sim;
 pub use dip_tables as tables;
 pub use dip_telemetry as telemetry;

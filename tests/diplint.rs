@@ -111,6 +111,27 @@ fn route_delta_outside_routes_is_flagged() {
 }
 
 #[test]
+fn link_admin_outside_sim_and_scenario_is_flagged() {
+    let immediate = format!("fn cut(net: &mut Network) {{ net{}r, 0); }}\n", ".link_down(");
+    let s = Scratch::new("linkadmin");
+    s.file("crates/bench/src/fault.rs", &immediate);
+    expect_violation(&s, "link-admin");
+
+    let scheduled = format!("net{}40_000, r, 0);\n", ".schedule_link_up(");
+    let t = Scratch::new("linkadmin-sched");
+    t.file("src/bin/breaker.rs", &scheduled);
+    expect_violation(&t, "link-admin");
+
+    // The simulator owns link state; the scenario crate scripts it.
+    let sim = Scratch::new("linkadmin-sim-ok");
+    sim.file("crates/sim/src/engine.rs", &immediate);
+    expect_clean(&sim);
+    let scn = Scratch::new("linkadmin-scenario-ok");
+    scn.file("crates/scenario/src/run.rs", &format!("{immediate}{scheduled}"));
+    expect_clean(&scn);
+}
+
+#[test]
 fn quantile_outside_telemetry_is_flagged() {
     let seeded = format!("pub {}(&self, q: f64) -> u64 {{ 0 }}\n", "fn quantile");
     let s = Scratch::new("quantile");
